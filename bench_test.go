@@ -1,0 +1,259 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7) at a laptop-friendly scale. Each benchmark wraps one experiment from
+// internal/experiments; cmd/comic-bench prints the full row/series output
+// and accepts -scale 1 for paper-sized runs.
+//
+// Run with: go test -bench=. -benchmem .
+package comic_test
+
+import (
+	"testing"
+
+	"comic"
+	"comic/internal/experiments"
+	"comic/internal/rrset"
+)
+
+// benchConfig is deliberately small: benchmarks measure harness cost and
+// verify the experiments run end to end; EXPERIMENTS.md records the
+// paper-shape outputs produced by cmd/comic-bench at larger scales.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Scale:        0.02,
+		Seed:         42,
+		K:            5,
+		OppositeSize: 10,
+		MCRuns:       300,
+		FixedTheta:   1000,
+		DatasetNames: []string{"Flixster", "Douban-Book"},
+	}
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ImprovementNextSeeds(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DatasetNames = []string{"Flixster"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.SelfRows[0].OverCopying, "pct-over-copying")
+		}
+	}
+}
+
+func BenchmarkTable3ImprovementRandomSeeds(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DatasetNames = []string{"Flixster"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4ImprovementTopSeeds(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DatasetNames = []string{"Flixster"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5to7LearnedGAPs(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.05
+	cfg.DatasetNames = []string{"Flixster"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table5to7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].Learned.GAP.QA0, "learned-qA0")
+		}
+	}
+}
+
+func BenchmarkTable8SandwichRatios(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DatasetNames = []string{"Flixster"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].Ratios["Flixster"], "ratio-SIM-learn")
+		}
+	}
+}
+
+func BenchmarkFigure4EpsilonSweep(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DatasetNames = []string{"Flixster"}
+	cfg.FixedTheta = 0
+	cfg.MaxTheta = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(cfg, []float64{0.5, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5SpreadVsK(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DatasetNames = []string{"Flixster"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6BoostVsK(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DatasetNames = []string{"Flixster"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7aRunningTime(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DatasetNames = []string{"Flixster"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7Time(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7bScalability(b *testing.B) {
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7Scale(cfg, []int{400, 800}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8SandwichStress(b *testing.B) {
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].RelError, "rel-error")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// BenchmarkAblationSIMvsSIMPlus quantifies RR-SIM+'s saving: identical RR
+// sets, far less forward-labeling work (Lemma 7, §6.2.2).
+func BenchmarkAblationSIMvsSIMPlus(b *testing.B) {
+	d := comic.FlixsterDataset(0.05, 1)
+	gap := comic.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.5, QBA: 0.5}
+	seedsB := comic.HighDegreeSeeds(d.Graph, 10)
+	for _, variant := range []string{"RR-SIM", "RR-SIM+"} {
+		variant := variant
+		b.Run(variant, func(b *testing.B) {
+			var gen rrset.Generator
+			var err error
+			if variant == "RR-SIM" {
+				gen, err = rrset.NewSIM(d.Graph, gap, seedsB)
+			} else {
+				gen, err = rrset.NewSIMPlus(d.Graph, gap, seedsB)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rrset.Collect(gen, 2000, 0, uint64(i))
+			}
+			c := gen.Counters()
+			b.ReportMetric(float64(c.EdgesForward)/float64(c.Sets), "fwd-edges/set")
+		})
+	}
+}
+
+// BenchmarkAblationBoostEstimators compares the paired-world (common random
+// numbers) boost estimator against independent-runs estimation at equal
+// budget.
+func BenchmarkAblationBoostEstimators(b *testing.B) {
+	d := comic.FlixsterDataset(0.05, 1)
+	seedsA := comic.HighDegreeSeeds(d.Graph, 10)
+	seedsB := comic.PageRankSeeds(d.Graph, 10)
+	b.Run("paired", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comic.EstimateBoost(d.Graph, d.GAP, seedsA, seedsB, 1000, uint64(i))
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			with := comic.EstimateSpread(d.Graph, d.GAP, seedsA, seedsB, 1000, uint64(i))
+			without := comic.EstimateSpread(d.Graph, d.GAP, seedsA, nil, 1000, uint64(i)+7)
+			_ = with.MeanA - without.MeanA
+		}
+	})
+}
+
+// BenchmarkEndToEndSelfInfMax measures the full public-API solve path.
+func BenchmarkEndToEndSelfInfMax(b *testing.B) {
+	d := comic.FlixsterDataset(0.05, 1)
+	seedsB := comic.HighDegreeSeeds(d.Graph, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := comic.SelfInfMax(d.Graph, d.GAP, seedsB, 5, comic.Options{
+			FixedTheta: 2000, EvalRuns: 300, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndCompInfMax measures the full CompInfMax solve path.
+func BenchmarkEndToEndCompInfMax(b *testing.B) {
+	d := comic.FlixsterDataset(0.05, 1)
+	seedsA := comic.HighDegreeSeeds(d.Graph, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := comic.CompInfMax(d.Graph, d.GAP, seedsA, 5, comic.Options{
+			FixedTheta: 2000, EvalRuns: 300, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command comic-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	comic-bench -exp table2 -scale 0.05
+//	comic-bench -exp all -scale 0.05 -mc 2000
+//	comic-bench -exp fig7b -scale 0.02
+//
+// Experiment ids: table1, table2, table3, table4, table5-7, table8, fig4,
+// fig5, fig6, fig7a, fig7b, fig8, all. At -scale 1 the datasets match the
+// paper's Table 1 sizes (slow on a laptop); the default 0.05 reproduces the
+// shapes in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"comic/internal/experiments"
+	"comic/internal/stats"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id (table1..table8, fig4..fig8, all)")
+		scale      = flag.Float64("scale", 0.05, "dataset scale in (0, 1]")
+		seed       = flag.Uint64("seed", 42, "master random seed")
+		mcRuns     = flag.Int("mc", 2000, "Monte-Carlo evaluation runs per seed set")
+		k          = flag.Int("k", 0, "seed budget (0 = paper's 50, scaled)")
+		opp        = flag.Int("opposite", 0, "opposite seed set size (0 = paper's 100, scaled)")
+		epsilon    = flag.Float64("epsilon", 0.5, "TIM epsilon")
+		fixedTheta = flag.Int("theta", 0, "fixed RR-set budget (0 = epsilon-driven)")
+		greedy     = flag.Bool("greedy", false, "include the Monte-Carlo Greedy baseline (slow)")
+		dsets      = flag.String("datasets", "", "comma-separated dataset subset (default all)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:         *scale,
+		Seed:          *seed,
+		MCRuns:        *mcRuns,
+		K:             *k,
+		OppositeSize:  *opp,
+		Epsilon:       *epsilon,
+		FixedTheta:    *fixedTheta,
+		IncludeGreedy: *greedy,
+	}
+	if *dsets != "" {
+		cfg.DatasetNames = strings.Split(*dsets, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "table3", "table4", "table5-7", "table8",
+			"fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "comic-bench: render: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(id string, cfg experiments.Config) ([]*stats.Table, error) {
+	switch id {
+	case "table1":
+		r, err := experiments.Table1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table()}, nil
+	case "table2":
+		r, err := experiments.Table2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Tables(), nil
+	case "table3":
+		r, err := experiments.Table3(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Tables(), nil
+	case "table4":
+		r, err := experiments.Table4(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Tables(), nil
+	case "table5-7", "table5", "table6", "table7":
+		r, err := experiments.Table5to7(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table()}, nil
+	case "table8":
+		r, err := experiments.Table8(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table()}, nil
+	case "fig4":
+		r, err := experiments.Figure4(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table()}, nil
+	case "fig5":
+		r, err := experiments.Figure5(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table()}, nil
+	case "fig6":
+		r, err := experiments.Figure6(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t := r.Table()
+		for name, s := range r.BaselineSpread {
+			t.AddRow(name, "sigmaA(SA, empty)", "-", stats.F2(s))
+		}
+		return []*stats.Table{t}, nil
+	case "fig7a":
+		r, err := experiments.Figure7Time(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table()}, nil
+	case "fig7b":
+		r, err := experiments.Figure7Scale(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table()}, nil
+	case "fig8":
+		r, err := experiments.Figure8(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table()}, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", id)
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"comic/internal/experiments"
+)
+
+func tinyConfig() experiments.Config {
+	return experiments.Config{
+		Scale:        0.01,
+		Seed:         7,
+		K:            3,
+		OppositeSize: 5,
+		MCRuns:       100,
+		FixedTheta:   300,
+		DatasetNames: []string{"Flixster"},
+	}
+}
+
+func TestRunAllIDs(t *testing.T) {
+	ids := []string{"table1", "table2", "table3", "table4", "table5-7", "table8",
+		"fig5", "fig6", "fig7a", "fig8"}
+	for _, id := range ids {
+		tables, err := run(id, tinyConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		for _, tab := range tables {
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatalf("%s render: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s rendered empty output", id)
+			}
+		}
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.FixedTheta = 0
+	cfg.MaxTheta = 5000
+	tables, err := run("fig4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("fig4 tables = %d", len(tables))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := run("table99", tinyConfig()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

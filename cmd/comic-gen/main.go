@@ -1,0 +1,98 @@
+// Command comic-gen generates synthetic graphs and action logs.
+//
+// Usage:
+//
+//	comic-gen -kind powerlaw -n 10000 -avgdeg 8 -out graph.txt
+//	comic-gen -kind dataset -dataset Flixster -scale 0.1 -out flixster.txt
+//	comic-gen -kind log -dataset Flixster -scale 0.05 -out log.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"comic"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "powerlaw", "powerlaw | dataset | log")
+		n       = flag.Int("n", 10000, "nodes (powerlaw)")
+		avgDeg  = flag.Float64("avgdeg", 8, "average out-degree (powerlaw)")
+		expo    = flag.Float64("exponent", 2.16, "power-law exponent (powerlaw)")
+		bidir   = flag.Bool("bidirect", true, "emit both edge directions (powerlaw)")
+		dataset = flag.String("dataset", "Flixster", "dataset name (dataset/log kinds)")
+		scale   = flag.Float64("scale", 0.05, "dataset scale (dataset/log kinds)")
+		seeds   = flag.Int("logseeds", 50, "organic seeds per item (log kind)")
+		signal  = flag.Float64("signal", 1, "inform signal observation rate (log kind)")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		out     = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	switch *kind {
+	case "powerlaw":
+		g := comic.PowerLawGraph(*n, *avgDeg, *expo, *bidir, *seed)
+		if err := comic.WriteGraph(w, g); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote power-law graph: %d nodes, %d edges\n", g.N(), g.M())
+	case "dataset":
+		d, err := loadDataset(*dataset, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := comic.WriteGraph(w, d.Graph); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d nodes, %d edges (GAPs %+v)\n",
+			d.Name, d.Graph.N(), d.Graph.M(), d.GAP)
+	case "log":
+		d, err := loadDataset(*dataset, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		log := comic.GenerateActionLog(d.Graph, []comic.ActionLogPair{
+			{ItemA: 0, ItemB: 1, GAP: d.GAP, SeedsA: *seeds, SeedsB: *seeds},
+		}, *signal, *seed+1)
+		if err := comic.WriteActionLog(w, log); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote action log: %d entries over %d users\n",
+			len(log.Entries), log.NumUsers)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func loadDataset(name string, scale float64, seed uint64) (*comic.Dataset, error) {
+	switch name {
+	case "Flixster":
+		return comic.FlixsterDataset(scale, seed), nil
+	case "Douban-Book":
+		return comic.DoubanBookDataset(scale, seed), nil
+	case "Douban-Movie":
+		return comic.DoubanMovieDataset(scale, seed), nil
+	case "Last.fm":
+		return comic.LastFMDataset(scale, seed), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "comic-gen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1, 2,3", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("parseSeeds = %v", got)
+	}
+}
+
+func TestParseSeedsEmpty(t *testing.T) {
+	got, err := parseSeeds("", 10)
+	if err != nil || got != nil {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestParseSeedsErrors(t *testing.T) {
+	if _, err := parseSeeds("1,x", 10); err == nil {
+		t.Fatal("non-numeric seed accepted")
+	}
+	if _, err := parseSeeds("11", 10); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+	if _, err := parseSeeds("-1", 10); err == nil {
+		t.Fatal("negative seed accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Command comic-sim estimates Com-IC spreads by Monte-Carlo simulation.
+//
+// Usage:
+//
+//	comic-sim -graph g.txt -seedsA 0,1,2 -seedsB 3,4 -runs 10000 \
+//	          -qa0 0.3 -qab 0.8 -qb0 0.4 -qba 0.9
+//
+// Prints σ_A, σ_B with standard errors, and the boost relative to S_B = ∅.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"comic"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to the edge-list graph file")
+		seedsAStr = flag.String("seedsA", "", "comma-separated A-seed ids")
+		seedsBStr = flag.String("seedsB", "", "comma-separated B-seed ids")
+		runs      = flag.Int("runs", 10000, "Monte-Carlo runs")
+		qa0       = flag.Float64("qa0", 0.5, "q_{A|emptyset}")
+		qab       = flag.Float64("qab", 0.8, "q_{A|B}")
+		qb0       = flag.Float64("qb0", 0.5, "q_{B|emptyset}")
+		qba       = flag.Float64("qba", 0.8, "q_{B|A}")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "comic-sim: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := comic.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	seedsA, err := parseSeeds(*seedsAStr, g.N())
+	if err != nil {
+		fatal(err)
+	}
+	seedsB, err := parseSeeds(*seedsBStr, g.N())
+	if err != nil {
+		fatal(err)
+	}
+	gap := comic.GAP{QA0: *qa0, QAB: *qab, QB0: *qb0, QBA: *qba}
+	if err := gap.Validate(); err != nil {
+		fatal(err)
+	}
+
+	est := comic.EstimateSpread(g, gap, seedsA, seedsB, *runs, *seed)
+	fmt.Printf("graph:   %d nodes, %d edges\n", g.N(), g.M())
+	fmt.Printf("GAPs:    qA|0=%.2f qA|B=%.2f qB|0=%.2f qB|A=%.2f (%v / %v)\n",
+		gap.QA0, gap.QAB, gap.QB0, gap.QBA, gap.EffectOn(comic.ItemA), gap.EffectOn(comic.ItemB))
+	fmt.Printf("sigmaA:  %.2f ± %.2f\n", est.MeanA, est.StderrA)
+	fmt.Printf("sigmaB:  %.2f ± %.2f\n", est.MeanB, est.StderrB)
+	if len(seedsB) > 0 {
+		boost, se := comic.EstimateBoost(g, gap, seedsA, seedsB, *runs, *seed+1)
+		fmt.Printf("boost:   %.2f ± %.2f (A-spread gained thanks to S_B)\n", boost, se)
+	}
+}
+
+func parseSeeds(s string, n int) ([]int32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", p, err)
+		}
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("seed %d out of range [0,%d)", v, n)
+		}
+		out = append(out, int32(v))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "comic-sim: %v\n", err)
+	os.Exit(1)
+}

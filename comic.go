@@ -1,0 +1,275 @@
+// Package comic is a Go implementation of the Comparative Independent
+// Cascade (Com-IC) model and the influence-maximization algorithms of
+//
+//	Wei Lu, Wei Chen, Laks V.S. Lakshmanan.
+//	"From Competition to Complementarity: Comparative Influence Diffusion
+//	and Maximization." PVLDB 9(2) / VLDB 2016. arXiv:1507.00317.
+//
+// Com-IC models two propagating items A and B whose interaction ranges from
+// pure competition to perfect complementarity, controlled by four Global
+// Adoption Probabilities (GAPs). The package exposes:
+//
+//   - the diffusion engine and possible-world model (Simulate, NewSimulator,
+//     SampleWorld),
+//   - Monte-Carlo spread/boost estimation (EstimateSpread, EstimateBoost),
+//   - the two seed-selection problems with RR-set + sandwich approximation
+//     solvers (SelfInfMax, CompInfMax),
+//   - baseline selectors (HighDegreeSeeds, PageRankSeeds, RandomSeeds,
+//     CopyingSeeds, GreedySeeds),
+//   - GAP learning from action logs (GenerateActionLog, LearnGAP),
+//   - the paper's four evaluation datasets as synthetic stand-ins
+//     (FlixsterDataset and friends), and
+//   - graph construction, generation and serialization utilities.
+//
+// Entry points accept a deterministic master seed; identical inputs always
+// produce identical outputs, regardless of GOMAXPROCS.
+package comic
+
+import (
+	"io"
+
+	"comic/internal/actionlog"
+	"comic/internal/core"
+	"comic/internal/datasets"
+	"comic/internal/graph"
+	"comic/internal/montecarlo"
+	"comic/internal/multi"
+	"comic/internal/rng"
+	"comic/internal/sandwich"
+	"comic/internal/seeds"
+)
+
+// Core model types.
+type (
+	// Graph is a directed social network with edge influence probabilities.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges into an immutable Graph.
+	GraphBuilder = graph.Builder
+	// GAP holds the four Global Adoption Probabilities of the NLA.
+	GAP = core.GAP
+	// Item identifies one of the two propagating entities.
+	Item = core.Item
+	// State is a node's NLA state with respect to one item.
+	State = core.State
+	// Simulator runs single diffusions with reusable scratch.
+	Simulator = core.Simulator
+	// World is an explicitly sampled possible world.
+	World = core.World
+	// Trace is a full record of one diffusion.
+	Trace = core.Trace
+	// RNG is the deterministic random number generator used throughout.
+	RNG = rng.RNG
+	// Dataset bundles a synthetic stand-in network with its learned GAPs.
+	Dataset = datasets.Dataset
+	// ActionLog is a timestamped user action log (§7.2).
+	ActionLog = actionlog.Log
+	// ActionLogPair declares one item pair for log generation.
+	ActionLogPair = actionlog.Pair
+	// GAPEstimate is a learned GAP with confidence intervals.
+	GAPEstimate = actionlog.GAPEstimate
+	// SeedResult is the outcome of a SelfInfMax/CompInfMax solve.
+	SeedResult = sandwich.Result
+)
+
+// Item and state constants.
+const (
+	ItemA = core.A
+	ItemB = core.B
+
+	StateIdle      = core.Idle
+	StateSuspended = core.Suspended
+	StateAdopted   = core.Adopted
+	StateRejected  = core.Rejected
+)
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// ReadGraph parses a text edge list ("n m" header, then "src dst prob").
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes g as a text edge list.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// NewSimulator returns a reusable Com-IC simulator for g under gap.
+func NewSimulator(g *Graph, gap GAP) *Simulator { return core.NewSimulator(g, gap) }
+
+// SampleWorld draws a complete possible world (§5.1).
+func SampleWorld(g *Graph, r *RNG) *World { return core.SampleWorld(g, r) }
+
+// Simulate runs a single Com-IC diffusion and returns the numbers of A- and
+// B-adopted nodes.
+func Simulate(g *Graph, gap GAP, seedsA, seedsB []int32, seed uint64) (countA, countB int) {
+	return core.NewSimulator(g, gap).Run(seedsA, seedsB, rng.New(seed))
+}
+
+// SpreadEstimate carries Monte-Carlo spread estimates with standard errors.
+type SpreadEstimate = montecarlo.Result
+
+// EstimateSpread estimates σ_A and σ_B by `runs` parallel Monte-Carlo
+// simulations (the paper evaluates with 10K runs).
+func EstimateSpread(g *Graph, gap GAP, seedsA, seedsB []int32, runs int, seed uint64) SpreadEstimate {
+	return montecarlo.New(g, gap).Estimate(seedsA, seedsB, runs, seed)
+}
+
+// EstimateBoost estimates the CompInfMax objective σ_A(S_A,S_B)−σ_A(S_A,∅)
+// with common-random-number paired worlds.
+func EstimateBoost(g *Graph, gap GAP, seedsA, seedsB []int32, runs int, seed uint64) (mean, stderr float64) {
+	return montecarlo.New(g, gap).BoostPaired(seedsA, seedsB, runs, seed)
+}
+
+// Options tunes the SelfInfMax and CompInfMax solvers.
+type Options struct {
+	// Epsilon is the TIM accuracy knob of Eq. 3 (default 0.5, the paper's
+	// choice; smaller is slower and tighter).
+	Epsilon float64
+	// FixedTheta, when positive, bypasses the ε-driven RR-set budget.
+	FixedTheta int
+	// MaxTheta caps the ε-driven budget (default 2,000,000).
+	MaxTheta int
+	// EvalRuns is the Monte-Carlo budget used to score candidate seed sets
+	// under the original GAPs (default 10,000).
+	EvalRuns int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// IncludeGreedy adds the CELF Monte-Carlo greedy candidate S_σ
+	// (expensive; off by default).
+	IncludeGreedy bool
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) sandwichConfig(k int) sandwich.Config {
+	cfg := sandwich.NewConfig(k)
+	if o.Epsilon > 0 {
+		cfg.TIM.Epsilon = o.Epsilon
+	}
+	cfg.TIM.FixedTheta = o.FixedTheta
+	if o.MaxTheta > 0 {
+		cfg.TIM.MaxTheta = o.MaxTheta
+	}
+	if o.EvalRuns > 0 {
+		cfg.EvalRuns = o.EvalRuns
+	}
+	cfg.Seed = o.Seed
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cfg.IncludeGreedy = o.IncludeGreedy
+	cfg.TIM.Workers = o.Workers
+	return cfg
+}
+
+// SelfInfMax solves Problem 1: find k A-seeds maximizing σ_A given the fixed
+// B-seed set, under mutually complementary GAPs. The solver is GeneralTIM
+// over RR-SIM+ sets with the sandwich approximation when the objective is
+// not submodular (§6).
+func SelfInfMax(g *Graph, gap GAP, seedsB []int32, k int, opts Options) (*SeedResult, error) {
+	return sandwich.SolveSelfInfMax(g, gap, seedsB, opts.sandwichConfig(k))
+}
+
+// CompInfMax solves Problem 2: find k B-seeds maximizing the boost
+// σ_A(S_A,S_B) − σ_A(S_A,∅) given the fixed A-seed set. The solver is
+// GeneralTIM over RR-CIM sets on the q_{B|A}→1 upper bound (§6.3, §6.4).
+func CompInfMax(g *Graph, gap GAP, seedsA []int32, k int, opts Options) (*SeedResult, error) {
+	return sandwich.SolveCompInfMax(g, gap, seedsA, opts.sandwichConfig(k))
+}
+
+// Baseline seed selectors (§7.1, §7.3).
+
+// HighDegreeSeeds returns the k highest out-degree nodes.
+func HighDegreeSeeds(g *Graph, k int) []int32 { return seeds.HighDegree(g, k) }
+
+// PageRankSeeds returns the k nodes with highest reversed PageRank.
+func PageRankSeeds(g *Graph, k int) []int32 { return seeds.PageRank(g, k) }
+
+// RandomSeeds returns k distinct uniformly random nodes.
+func RandomSeeds(g *Graph, k int, seed uint64) []int32 {
+	return seeds.Random(g, k, rng.New(seed))
+}
+
+// CopyingSeeds returns the top-k of the opposite item's seeds, filled with
+// high-degree nodes when short.
+func CopyingSeeds(g *Graph, opposite []int32, k int) []int32 {
+	return seeds.Copying(g, opposite, k)
+}
+
+// GreedySeeds runs the CELF Monte-Carlo greedy of Kempe et al. on the
+// SelfInfMax objective with `runs` simulations per evaluation.
+func GreedySeeds(g *Graph, gap GAP, fixedB []int32, k, runs int, seed uint64) []int32 {
+	f := seeds.SelfInfMaxObjective(g, gap, fixedB, runs, seed)
+	return seeds.Greedy(g, f, k, nil)
+}
+
+// Action logs and learning (§7.2).
+
+// GenerateActionLog synthesizes a timestamped action log by running one
+// Com-IC diffusion per item pair with the given ground-truth GAPs.
+func GenerateActionLog(g *Graph, pairs []ActionLogPair, signalRate float64, seed uint64) *ActionLog {
+	return actionlog.Generate(g, pairs, actionlog.GenerateOptions{SignalRate: signalRate}, rng.New(seed))
+}
+
+// LearnGAP estimates the GAPs of an item pair from an action log with the
+// §7.2 estimator, with 95% confidence intervals.
+func LearnGAP(log *ActionLog, itemA, itemB int32) (*GAPEstimate, error) {
+	return actionlog.LearnGAP(log, itemA, itemB)
+}
+
+// LearnEdgeProbabilities learns p(u,v) from an action log with the static
+// Bernoulli model of Goyal et al. [12].
+func LearnEdgeProbabilities(log *ActionLog, g *Graph) []float64 {
+	return actionlog.LearnEdgeProbabilities(log, g)
+}
+
+// ReadActionLog parses the CSV form of an action log.
+func ReadActionLog(r io.Reader) (*ActionLog, error) { return actionlog.ReadCSV(r) }
+
+// WriteActionLog writes an action log as CSV.
+func WriteActionLog(w io.Writer, log *ActionLog) error { return actionlog.WriteCSV(w, log) }
+
+// Datasets (§7, Table 1; synthetic stand-ins, see DESIGN.md).
+
+// FlixsterDataset returns the Flixster stand-in at the given scale ∈ (0,1].
+func FlixsterDataset(scale float64, seed uint64) *Dataset { return datasets.Flixster(scale, seed) }
+
+// DoubanBookDataset returns the Douban-Book stand-in.
+func DoubanBookDataset(scale float64, seed uint64) *Dataset { return datasets.DoubanBook(scale, seed) }
+
+// DoubanMovieDataset returns the Douban-Movie stand-in.
+func DoubanMovieDataset(scale float64, seed uint64) *Dataset {
+	return datasets.DoubanMovie(scale, seed)
+}
+
+// LastFMDataset returns the Last.fm stand-in.
+func LastFMDataset(scale float64, seed uint64) *Dataset { return datasets.LastFM(scale, seed) }
+
+// PowerLawGraph generates a Chung-Lu power-law graph (exponent, avgDeg) with
+// weighted-cascade edge probabilities, the substrate of the paper's
+// scalability experiments (Figure 7b).
+func PowerLawGraph(n int, avgDeg, exponent float64, bidirect bool, seed uint64) *Graph {
+	g := graph.PowerLaw(n, avgDeg, exponent, bidirect, rng.New(seed))
+	graph.AssignWeightedCascade(g)
+	return g
+}
+
+// Multi-item extension (§8): k propagating items with k·2^(k−1) GAPs.
+
+// MultiGAPTable holds q_{i|S} for k items and every adopted subset S.
+type MultiGAPTable = multi.GAPTable
+
+// MultiSimulator runs k-item Com-IC diffusions.
+type MultiSimulator = multi.Simulator
+
+// NewMultiGAPTable returns a zero-filled GAP table for k items (k ≤ 16).
+func NewMultiGAPTable(k int) (*MultiGAPTable, error) { return multi.NewGAPTable(k) }
+
+// MultiFromPairGAP embeds two-item GAPs into a k=2 table (item 0 = A).
+func MultiFromPairGAP(gap GAP) *MultiGAPTable { return multi.FromPairGAP(gap) }
+
+// NewMultiSimulator returns a k-item simulator for g under the table.
+func NewMultiSimulator(g *Graph, t *MultiGAPTable) *MultiSimulator {
+	return multi.NewSimulator(g, t)
+}

@@ -1,0 +1,157 @@
+package comic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"comic"
+)
+
+func TestFacadeSimulate(t *testing.T) {
+	b := comic.NewGraphBuilder(3)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1)
+	g := b.MustBuild()
+	gap := comic.GAP{QA0: 1, QAB: 1, QB0: 1, QBA: 1}
+	a, bb := comic.Simulate(g, gap, []int32{0}, nil, 1)
+	if a != 3 || bb != 0 {
+		t.Fatalf("Simulate = %d,%d", a, bb)
+	}
+}
+
+func TestFacadeEstimate(t *testing.T) {
+	g := comic.PowerLawGraph(300, 6, 2.16, true, 5)
+	gap := comic.GAP{QA0: 0.5, QAB: 0.9, QB0: 0.5, QBA: 0.9}
+	est := comic.EstimateSpread(g, gap, []int32{0, 1}, []int32{2}, 500, 7)
+	if est.MeanA <= 0 || est.Runs != 500 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	boost, _ := comic.EstimateBoost(g, gap, []int32{0, 1}, []int32{0, 1}, 300, 9)
+	if boost < 0 {
+		t.Fatalf("boost = %v", boost)
+	}
+}
+
+func TestFacadeSelfInfMax(t *testing.T) {
+	g := comic.PowerLawGraph(400, 6, 2.16, true, 11)
+	gap := comic.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.9}
+	res, err := comic.SelfInfMax(g, gap, []int32{0, 1}, 3, comic.Options{
+		FixedTheta: 2000, EvalRuns: 500, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("got %d seeds", len(res.Seeds))
+	}
+	random := comic.RandomSeeds(g, 3, 17)
+	rr := comic.EstimateSpread(g, gap, res.Seeds, []int32{0, 1}, 2000, 19).MeanA
+	rnd := comic.EstimateSpread(g, gap, random, []int32{0, 1}, 2000, 19).MeanA
+	if rr < rnd {
+		t.Fatalf("SelfInfMax (%v) lost to random seeds (%v)", rr, rnd)
+	}
+}
+
+func TestFacadeCompInfMax(t *testing.T) {
+	g := comic.PowerLawGraph(400, 6, 2.16, true, 21)
+	gap := comic.GAP{QA0: 0.2, QAB: 0.9, QB0: 0.5, QBA: 0.9}
+	res, err := comic.CompInfMax(g, gap, []int32{0, 1, 2}, 3, comic.Options{
+		FixedTheta: 2000, EvalRuns: 500, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 || res.Objective < 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g := comic.PowerLawGraph(200, 6, 2.16, true, 31)
+	if len(comic.HighDegreeSeeds(g, 5)) != 5 {
+		t.Fatal("HighDegreeSeeds")
+	}
+	if len(comic.PageRankSeeds(g, 5)) != 5 {
+		t.Fatal("PageRankSeeds")
+	}
+	if len(comic.CopyingSeeds(g, []int32{1, 2}, 5)) != 5 {
+		t.Fatal("CopyingSeeds")
+	}
+	gap := comic.GAP{QA0: 0.5, QAB: 0.9, QB0: 0.5, QBA: 0.5}
+	if len(comic.GreedySeeds(g, gap, nil, 2, 50, 33)) != 2 {
+		t.Fatal("GreedySeeds")
+	}
+}
+
+func TestFacadeActionLog(t *testing.T) {
+	g := comic.PowerLawGraph(500, 6, 2.16, true, 41)
+	gap := comic.GAP{QA0: 0.6, QAB: 0.8, QB0: 0.6, QBA: 0.8}
+	log := comic.GenerateActionLog(g, []comic.ActionLogPair{
+		{ItemA: 0, ItemB: 1, GAP: gap, SeedsA: 20, SeedsB: 20},
+	}, 1, 43)
+	est, err := comic.LearnGAP(log, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.GAP.QA0 <= 0 || est.GAP.QA0 > 1 {
+		t.Fatalf("learned GAP %+v", est.GAP)
+	}
+	var buf bytes.Buffer
+	if err := comic.WriteActionLog(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := comic.ReadActionLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(log.Entries) {
+		t.Fatal("action log round trip lost entries")
+	}
+	probs := comic.LearnEdgeProbabilities(log, g)
+	if len(probs) != g.M() {
+		t.Fatal("edge probability vector wrong length")
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := comic.PowerLawGraph(50, 4, 2.16, false, 51)
+	var buf bytes.Buffer
+	if err := comic.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := comic.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatal("graph round trip size mismatch")
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	for _, d := range []*comic.Dataset{
+		comic.FlixsterDataset(0.01, 1),
+		comic.DoubanBookDataset(0.01, 1),
+		comic.DoubanMovieDataset(0.01, 1),
+		comic.LastFMDataset(0.01, 1),
+	} {
+		if d.Graph.N() == 0 || d.GAP.Validate() != nil {
+			t.Fatalf("dataset %s malformed", d.Name)
+		}
+	}
+}
+
+func TestFacadeWorldDeterminism(t *testing.T) {
+	g := comic.PowerLawGraph(100, 5, 2.16, true, 61)
+	gap := comic.GAP{QA0: 0.4, QAB: 0.8, QB0: 0.4, QBA: 0.8}
+	w := comic.SampleWorld(g, comic.NewRNG(63))
+	sim := comic.NewSimulator(g, gap)
+	sim.SetWorld(w)
+	a1, b1 := sim.Run([]int32{0}, []int32{1}, nil)
+	a2, b2 := sim.Run([]int32{0}, []int32{1}, nil)
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("world mode not deterministic through the facade")
+	}
+	if sim.StateOf(0, comic.ItemA) != comic.StateAdopted {
+		t.Fatal("state constants broken")
+	}
+}

@@ -1,0 +1,73 @@
+package comic_test
+
+import (
+	"fmt"
+
+	"comic"
+)
+
+// ExampleSimulate runs one deterministic Com-IC cascade on a path: with
+// q_{A|∅} = 1 and live edges, the A cascade blankets the graph.
+func ExampleSimulate() {
+	b := comic.NewGraphBuilder(4)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	gap := comic.GAP{QA0: 1, QAB: 1}
+	a, bb := comic.Simulate(g, gap, []int32{0}, nil, 1)
+	fmt.Println(a, bb)
+	// Output: 4 0
+}
+
+// ExampleGAP_Reconsider shows the reconsideration probability ρ_A derived
+// from the GAPs: q_{A|∅} + (1 − q_{A|∅})·ρ_A = q_{A|B}.
+func ExampleGAP_Reconsider() {
+	gap := comic.GAP{QA0: 0.2, QAB: 0.6}
+	fmt.Printf("%.2f\n", gap.Reconsider(comic.ItemA))
+	// Output: 0.50
+}
+
+// ExampleGAP_EffectOn classifies an asymmetric relationship: the watch (A)
+// is complemented by the phone (B) more than the other way around.
+func ExampleGAP_EffectOn() {
+	gap := comic.GAP{QA0: 0.15, QAB: 0.7, QB0: 0.55, QBA: 0.65}
+	fmt.Println(gap.EffectOn(comic.ItemA), gap.EffectOn(comic.ItemB))
+	// Output: complements complements
+}
+
+// ExampleEstimateSpread estimates σ_A on a two-node graph: the seed plus
+// p·q_{A|∅} = 0.5·0.5 expected downstream adoptions.
+func ExampleEstimateSpread() {
+	b := comic.NewGraphBuilder(2)
+	b.AddEdge(0, 1, 0.5)
+	g := b.MustBuild()
+	gap := comic.GAP{QA0: 0.5, QAB: 0.5}
+	est := comic.EstimateSpread(g, gap, []int32{0}, nil, 200000, 1)
+	fmt.Printf("%.2f\n", est.MeanA)
+	// Output: 1.25
+}
+
+// ExampleSelfInfMax selects the obviously-best seed on a star graph: the
+// hub reaches everyone.
+func ExampleSelfInfMax() {
+	b := comic.NewGraphBuilder(6)
+	for leaf := int32(1); leaf < 6; leaf++ {
+		b.AddEdge(0, leaf, 1)
+	}
+	g := b.MustBuild()
+	gap := comic.GAP{QA0: 0.9, QAB: 0.9, QB0: 0.5, QBA: 0.5}
+	res, err := comic.SelfInfMax(g, gap, nil, 1, comic.Options{FixedTheta: 500, EvalRuns: 100, Seed: 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Seeds)
+	// Output: [0]
+}
+
+// ExampleNewMultiGAPTable shows the parameter count of the k-item
+// extension: k·2^(k−1).
+func ExampleNewMultiGAPTable() {
+	tab, _ := comic.NewMultiGAPTable(4)
+	fmt.Println(tab.ParamCount())
+	// Output: 32
+}

@@ -1,0 +1,65 @@
+// The competition end of the spectrum: Com-IC subsumes the purely
+// Competitive IC model (§3) and exposes every intermediate degree of
+// substitutability. This example sweeps q_{B|A} from pure competition to
+// independence and watches item B's spread recover, and demonstrates the
+// paper's Example 1: in mixed competition/complementarity settings, *more*
+// A-seeds can mean *less* A-adoption (non-monotonicity).
+//
+// Run with: go run ./examples/competition
+package main
+
+import (
+	"fmt"
+
+	"comic"
+)
+
+func main() {
+	g := comic.PowerLawGraph(2000, 8, 2.16, true, 3)
+	seedsA := comic.HighDegreeSeeds(g, 10)
+	seedsB := comic.RandomSeeds(g, 10, 5)
+
+	fmt.Println("competition sweep: A blocks B with strength 1-qB|A")
+	fmt.Println("qB|A    sigmaA   sigmaB")
+	for _, qba := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		gap := comic.GAP{QA0: 0.6, QAB: 0.3, QB0: 0.6, QBA: qba * 0.6}
+		est := comic.EstimateSpread(g, gap, seedsA, seedsB, 4000, 7)
+		fmt.Printf("%.2f    %6.1f   %6.1f\n", qba*0.6, est.MeanA, est.MeanB)
+	}
+
+	// Example 1 of the paper (Appendix A.2): one-way complementarity with
+	// reverse competition makes sigma_A non-monotone in S_A. Graph:
+	// y -> u -> w -> v, s1 -> v, s2 -> w; qA|B = qB|0 = 1, qB|A = 0.
+	b := comic.NewGraphBuilder(6)
+	b.AddEdge(3, 2, 1) // y -> u
+	b.AddEdge(2, 1, 1) // u -> w
+	b.AddEdge(1, 0, 1) // w -> v
+	b.AddEdge(4, 0, 1) // s1 -> v
+	b.AddEdge(5, 1, 1) // s2 -> w
+	gEx := b.MustBuild()
+	q := 0.5
+	gap := comic.GAP{QA0: q, QAB: 1, QB0: 1, QBA: 0}
+
+	pv := func(seeds []int32) float64 {
+		hits := 0
+		const runs = 40000
+		sim := comic.NewSimulator(gEx, gap)
+		for i := 0; i < runs; i++ {
+			sim.Run(seeds, []int32{3}, comic.NewRNG(uint64(1000+i)))
+			if sim.StateOf(0, comic.ItemA) == comic.StateAdopted {
+				hits++
+			}
+		}
+		return float64(hits) / runs
+	}
+	small := pv([]int32{4})
+	large := pv([]int32{4, 5})
+	fmt.Println("\nExample 1 (non-monotonicity, q = 0.5):")
+	fmt.Printf("P(v adopts A | S_A = {s1})     = %.3f  (theory: 1)\n", small)
+	fmt.Printf("P(v adopts A | S_A = {s1,s2})  = %.3f  (theory: 1 - q + q^2 = %.3f)\n",
+		large, 1-q+q*q)
+	if large < small {
+		fmt.Println("adding a seed REDUCED the spread — submodular tooling does not apply here,")
+		fmt.Println("which is why the paper restricts to Q+/Q- and builds the sandwich bounds.")
+	}
+}

@@ -1,0 +1,86 @@
+// Three-item Com-IC (the §8 extension): a phone, a watch that needs the
+// phone, and a band that needs BOTH. The k-item model takes k·2^(k−1) GAPs —
+// 12 parameters for k=3 — and generalizes the NLA: every new adoption
+// re-evaluates all informed-but-unadopted items against the enlarged
+// adoption set.
+//
+// Run with: go run ./examples/multiitem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comic"
+)
+
+func main() {
+	g := comic.PowerLawGraph(3000, 8, 2.16, true, 1)
+	// Uniform edge probabilities keep all three cascades alive.
+	probs := g.Probs()
+	for i := range probs {
+		probs[i] = 0.08
+	}
+	fmt.Printf("network: %d nodes, %d edges\n", g.N(), g.M())
+
+	const (
+		phone = 0
+		watch = 1
+		band  = 2
+	)
+	tab, err := comic.NewMultiGAPTable(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3-item GAP table holds %d parameters (k·2^(k-1))\n", tab.ParamCount())
+
+	must := func(e error) {
+		if e != nil {
+			log.Fatal(e)
+		}
+	}
+	// The phone stands alone.
+	must(tab.SetAll(phone, 0.5))
+	// The watch: nearly useless without the phone, attractive with it.
+	must(tab.SetAll(watch, 0.05))
+	must(tab.Set(watch, 1<<phone, 0.6))         // phone adopted
+	must(tab.Set(watch, 1<<phone|1<<band, 0.7)) // phone + band adopted
+	// The band: requires BOTH phone and watch.
+	must(tab.SetAll(band, 0.01))
+	must(tab.Set(band, 1<<phone|1<<watch, 0.8))
+
+	sim := comic.NewMultiSimulator(g, tab)
+	top := comic.HighDegreeSeeds(g, 60)
+	seedsPhone := top[:20]
+	seedsWatch := top[20:40]
+	seedsBand := top[40:60]
+
+	avg := func(seedSets [][]int32, runs int) [3]float64 {
+		var sums [3]float64
+		for i := 0; i < runs; i++ {
+			counts := sim.Run(seedSets, comic.NewRNG(uint64(100+i)))
+			for j := 0; j < 3; j++ {
+				sums[j] += float64(counts[j])
+			}
+		}
+		for j := range sums {
+			sums[j] /= float64(runs)
+		}
+		return sums
+	}
+
+	full := avg([][]int32{seedsPhone, seedsWatch, seedsBand}, 2000)
+	fmt.Printf("\nall three campaigns:   phone %.0f, watch %.0f, band %.0f adopters\n",
+		full[0], full[1], full[2])
+
+	noPhone := avg([][]int32{nil, seedsWatch, seedsBand}, 2000)
+	fmt.Printf("without the phone:     phone %.0f, watch %.0f, band %.0f adopters\n",
+		noPhone[0], noPhone[1], noPhone[2])
+
+	noWatch := avg([][]int32{seedsPhone, nil, seedsBand}, 2000)
+	fmt.Printf("without the watch:     phone %.0f, watch %.0f, band %.0f adopters\n",
+		noWatch[0], noWatch[1], noWatch[2])
+
+	fmt.Println("\nthe band only moves when both of its complements do — the")
+	fmt.Println("three-way dependency is inexpressible in the two-item model.")
+}

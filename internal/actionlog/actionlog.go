@@ -1,0 +1,343 @@
+// Package actionlog implements the data side of §7.2: timestamped user
+// action logs (ratings plus "informed" signals such as Flixster's
+// want-to-see / not-interested and Douban's wish lists), a generator that
+// produces such logs by running Com-IC diffusions with known ground-truth
+// GAPs, the GAP estimator with 95% confidence intervals, and the
+// static-Bernoulli edge-probability learner of Goyal et al. [12].
+package actionlog
+
+import (
+	"fmt"
+	"sort"
+
+	"comic/internal/core"
+	"comic/internal/graph"
+	"comic/internal/rng"
+)
+
+// Action distinguishes the two observable event kinds.
+type Action uint8
+
+const (
+	// Informed records that the user saw the item (wish list,
+	// want-to-see/not-interested) without necessarily adopting it.
+	Informed Action = 0
+	// Rated records an adoption: the user rated the item.
+	Rated Action = 1
+)
+
+// Entry is one log record (u, i, a, t): user u performed action a on item i
+// at time t. Times are totally ordered event stamps.
+type Entry struct {
+	User   int32
+	Item   int32
+	Action Action
+	Time   int64
+}
+
+// Log is a time-sorted action log.
+type Log struct {
+	Entries  []Entry
+	NumUsers int
+	NumItems int
+}
+
+// sortEntries orders the log by time, breaking ties deterministically.
+func (l *Log) sortEntries() {
+	sort.Slice(l.Entries, func(i, j int) bool {
+		a, b := l.Entries[i], l.Entries[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.Item != b.Item {
+			return a.Item < b.Item
+		}
+		return a.Action < b.Action
+	})
+}
+
+// Pair declares one item pair to generate diffusion data for.
+type Pair struct {
+	ItemA, ItemB int32
+	GAP          core.GAP
+	// SeedsA/SeedsB are the numbers of organic early adopters for each item.
+	SeedsA, SeedsB int
+}
+
+// GenerateOptions tunes log generation.
+type GenerateOptions struct {
+	// SignalRate is the probability that an informed-but-not-rated event
+	// leaves an observable record (1 = every inform is observed).
+	SignalRate float64
+}
+
+// Generate runs one Com-IC diffusion per pair over g and converts the traces
+// into an action log. Event stamps from the traces keep the exact
+// interleaving of informs and adoptions, so the §7.2 estimator sees data
+// that matches its own generative assumptions.
+func Generate(g *graph.Graph, pairs []Pair, opts GenerateOptions, r *rng.RNG) *Log {
+	if opts.SignalRate <= 0 {
+		opts.SignalRate = 1
+	}
+	log := &Log{NumUsers: g.N()}
+	maxItem := int32(0)
+	base := int64(0)
+	for _, p := range pairs {
+		if p.ItemA > maxItem {
+			maxItem = p.ItemA
+		}
+		if p.ItemB > maxItem {
+			maxItem = p.ItemB
+		}
+		sim := core.NewSimulator(g, p.GAP)
+		seedsA := randomSeeds(g.N(), p.SeedsA, r)
+		seedsB := randomSeeds(g.N(), p.SeedsB, r)
+		tr := sim.RunTrace(seedsA, seedsB, r)
+
+		span := int64(0)
+		emit := func(u int32, item int32, informEv, adoptEv int32) {
+			if informEv >= 0 {
+				observed := adoptEv >= 0 || opts.SignalRate >= 1 || r.Bernoulli(opts.SignalRate)
+				if observed {
+					log.Entries = append(log.Entries, Entry{
+						User: u, Item: item, Action: Informed, Time: base + int64(informEv),
+					})
+				}
+				if int64(informEv) > span {
+					span = int64(informEv)
+				}
+			}
+			if adoptEv >= 0 {
+				log.Entries = append(log.Entries, Entry{
+					User: u, Item: item, Action: Rated, Time: base + int64(adoptEv),
+				})
+				if int64(adoptEv) > span {
+					span = int64(adoptEv)
+				}
+			}
+		}
+		for u := int32(0); u < int32(g.N()); u++ {
+			emit(u, p.ItemA, tr.InformEvA[u], tr.AdoptEvA[u])
+			emit(u, p.ItemB, tr.InformEvB[u], tr.AdoptEvB[u])
+		}
+		base += span + 1
+	}
+	log.NumItems = int(maxItem) + 1
+	log.sortEntries()
+	return log
+}
+
+func randomSeeds(n, k int, r *rng.RNG) []int32 {
+	if k > n {
+		k = n
+	}
+	perm := make([]int32, n)
+	r.Perm(perm)
+	return append([]int32(nil), perm[:k]...)
+}
+
+// GAPEstimate is a learned GAP with 95% confidence half-widths and the
+// sample counts (denominators) behind each estimate.
+type GAPEstimate struct {
+	GAP                    core.GAP
+	CIA0, CIAB, CIB0, CIBA float64
+	NA0, NAB, NB0, NBA     int
+}
+
+// userTimes aggregates one user's earliest inform and rate times per item.
+type userTimes struct {
+	informA, rateA int64
+	informB, rateB int64
+}
+
+// LearnGAP estimates the four GAPs for the item pair (itemA, itemB) with the
+// estimator of §7.2:
+//
+//	q_{A|∅} = |R_A \ R_{B≺rate A}| / |I_A \ R_{B≺inform A}|
+//	q_{A|B} = |R_{B≺rate A}|      / |R_{B≺inform A}|
+//
+// and symmetrically for B. Rating an item implies having been informed of
+// it, so the effective inform time is min(inform record, rate record).
+func LearnGAP(log *Log, itemA, itemB int32) (*GAPEstimate, error) {
+	users := map[int32]*userTimes{}
+	get := func(u int32) *userTimes {
+		ut := users[u]
+		if ut == nil {
+			ut = &userTimes{informA: -1, rateA: -1, informB: -1, rateB: -1}
+			users[u] = ut
+		}
+		return ut
+	}
+	min64 := func(a, b int64) int64 {
+		if a < 0 || (b >= 0 && b < a) {
+			return b
+		}
+		return a
+	}
+	for _, e := range log.Entries {
+		if e.Item != itemA && e.Item != itemB {
+			continue
+		}
+		ut := get(e.User)
+		switch {
+		case e.Item == itemA && e.Action == Informed:
+			ut.informA = min64(ut.informA, e.Time)
+		case e.Item == itemA && e.Action == Rated:
+			ut.rateA = min64(ut.rateA, e.Time)
+			ut.informA = min64(ut.informA, e.Time)
+		case e.Item == itemB && e.Action == Informed:
+			ut.informB = min64(ut.informB, e.Time)
+		default:
+			ut.rateB = min64(ut.rateB, e.Time)
+			ut.informB = min64(ut.informB, e.Time)
+		}
+	}
+
+	type counts struct {
+		ratedNoOther, informedNoOther int // numerator/denominator for q_{X|∅}
+		ratedAfter, informedAfter     int // numerator/denominator for q_{X|Y}
+	}
+	var cA, cB counts
+	for _, ut := range users {
+		// Direction A given B.
+		if ut.informA >= 0 {
+			bBeforeInformA := ut.rateB >= 0 && ut.rateB < ut.informA
+			if bBeforeInformA {
+				cA.informedAfter++
+			} else {
+				cA.informedNoOther++
+			}
+		}
+		if ut.rateA >= 0 {
+			bBeforeRateA := ut.rateB >= 0 && ut.rateB < ut.rateA
+			if bBeforeRateA {
+				cA.ratedAfter++
+			} else {
+				cA.ratedNoOther++
+			}
+		}
+		// Direction B given A.
+		if ut.informB >= 0 {
+			aBeforeInformB := ut.rateA >= 0 && ut.rateA < ut.informB
+			if aBeforeInformB {
+				cB.informedAfter++
+			} else {
+				cB.informedNoOther++
+			}
+		}
+		if ut.rateB >= 0 {
+			aBeforeRateB := ut.rateA >= 0 && ut.rateA < ut.rateB
+			if aBeforeRateB {
+				cB.ratedAfter++
+			} else {
+				cB.ratedNoOther++
+			}
+		}
+	}
+	if cA.informedNoOther == 0 || cB.informedNoOther == 0 {
+		return nil, fmt.Errorf("actionlog: no inform events for items %d/%d", itemA, itemB)
+	}
+
+	est := &GAPEstimate{
+		NA0: cA.informedNoOther, NAB: cA.informedAfter,
+		NB0: cB.informedNoOther, NBA: cB.informedAfter,
+	}
+	est.GAP.QA0 = float64(cA.ratedNoOther) / float64(cA.informedNoOther)
+	est.GAP.QB0 = float64(cB.ratedNoOther) / float64(cB.informedNoOther)
+	if cA.informedAfter > 0 {
+		est.GAP.QAB = float64(cA.ratedAfter) / float64(cA.informedAfter)
+	}
+	if cB.informedAfter > 0 {
+		est.GAP.QBA = float64(cB.ratedAfter) / float64(cB.informedAfter)
+	}
+	clamp01(&est.GAP.QA0)
+	clamp01(&est.GAP.QAB)
+	clamp01(&est.GAP.QB0)
+	clamp01(&est.GAP.QBA)
+	est.CIA0 = ci95(est.GAP.QA0, est.NA0)
+	est.CIAB = ci95(est.GAP.QAB, est.NAB)
+	est.CIB0 = ci95(est.GAP.QB0, est.NB0)
+	est.CIBA = ci95(est.GAP.QBA, est.NBA)
+	return est, nil
+}
+
+// clamp01 bounds ratio estimates to [0,1]: the §7.2 estimator can exceed 1
+// when reconsideration adds numerator mass outside the denominator
+// population.
+func clamp01(v *float64) {
+	if *v > 1 {
+		*v = 1
+	}
+	if *v < 0 {
+		*v = 0
+	}
+}
+
+func ci95(q float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1.96 * sqrt(q*(1-q)/float64(n))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations; avoids importing math for one call site and keeps
+	// the package dependency surface minimal.
+	z := x
+	for i := 0; i < 24; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// LearnEdgeProbabilities implements the static Bernoulli model of Goyal et
+// al. [12]: p(u,v) = A_{u2v} / A_u, where A_u is the number of actions
+// (ratings) performed by u and A_{u2v} the number of items rated by u and
+// later re-rated by its out-neighbor v. Edges with A_u = 0 get probability
+// 0.
+func LearnEdgeProbabilities(log *Log, g *graph.Graph) []float64 {
+	ratings := map[int32]map[int32]int64{} // item -> user -> time
+	actions := make([]int64, g.N())
+	for _, e := range log.Entries {
+		if e.Action != Rated {
+			continue
+		}
+		m := ratings[e.Item]
+		if m == nil {
+			m = map[int32]int64{}
+			ratings[e.Item] = m
+		}
+		if _, dup := m[e.User]; !dup {
+			m[e.User] = e.Time
+			actions[e.User]++
+		}
+	}
+	prop := make([]int64, g.M())
+	for _, raters := range ratings {
+		for u, tu := range raters {
+			to, eids := g.OutNeighbors(u)
+			for i := range to {
+				if tv, ok := raters[to[i]]; ok && tv > tu {
+					prop[eids[i]]++
+				}
+			}
+		}
+	}
+	probs := make([]float64, g.M())
+	for eid := int32(0); eid < int32(g.M()); eid++ {
+		u, _ := g.EdgeEndpoints(eid)
+		if actions[u] > 0 {
+			probs[eid] = float64(prop[eid]) / float64(actions[u])
+			if probs[eid] > 1 {
+				probs[eid] = 1
+			}
+		}
+	}
+	return probs
+}

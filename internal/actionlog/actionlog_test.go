@@ -1,0 +1,353 @@
+package actionlog
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"comic/internal/core"
+	"comic/internal/graph"
+	"comic/internal/rng"
+)
+
+// handLog builds a log where the §7.2 counts can be verified by hand:
+//
+//	user 0: rates B at 1, informed of A at 2, rates A at 3  -> q_{A|B} bucket, adopts
+//	user 1: rates B at 1, informed of A at 2, never rates A -> q_{A|B} bucket, rejects
+//	user 2: informed of A at 1, rates A at 2                -> q_{A|∅} bucket, adopts
+//	user 3: informed of A at 1, never rates A               -> q_{A|∅} bucket, rejects
+//	user 4: informed of A at 1, rates A at 2, rates B at 3  -> q_{A|∅} bucket (B after A)
+func handLog() *Log {
+	log := &Log{NumUsers: 5, NumItems: 2}
+	add := func(u int32, item int32, a Action, t int64) {
+		log.Entries = append(log.Entries, Entry{User: u, Item: item, Action: a, Time: t})
+	}
+	add(0, 1, Rated, 1)
+	add(0, 0, Informed, 2)
+	add(0, 0, Rated, 3)
+	add(1, 1, Rated, 1)
+	add(1, 0, Informed, 2)
+	add(2, 0, Informed, 1)
+	add(2, 0, Rated, 2)
+	add(3, 0, Informed, 1)
+	add(4, 0, Informed, 1)
+	add(4, 0, Rated, 2)
+	add(4, 1, Rated, 3)
+	log.sortEntries()
+	return log
+}
+
+func TestLearnGAPHandCounts(t *testing.T) {
+	est, err := LearnGAP(handLog(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q_{A|B} = |{0}| / |{0,1}| = 0.5
+	if est.GAP.QAB != 0.5 || est.NAB != 2 {
+		t.Fatalf("qAB = %v (n=%d), want 0.5 (2)", est.GAP.QAB, est.NAB)
+	}
+	// q_{A|∅} = |{2,4}| / |{2,3,4}| = 2/3
+	if math.Abs(est.GAP.QA0-2.0/3) > 1e-12 || est.NA0 != 3 {
+		t.Fatalf("qA0 = %v (n=%d), want 2/3 (3)", est.GAP.QA0, est.NA0)
+	}
+	// B side: rated B: users 0,1 (before any A), 4 (after rating A).
+	// q_{B|A}: informed-of-B-after-rating-A = {4}, rated = {4} -> 1.
+	if est.GAP.QBA != 1 || est.NBA != 1 {
+		t.Fatalf("qBA = %v (n=%d), want 1 (1)", est.GAP.QBA, est.NBA)
+	}
+	// q_{B|∅}: informed of B with no prior A rating = {0,1} -> both rated.
+	if est.GAP.QB0 != 1 || est.NB0 != 2 {
+		t.Fatalf("qB0 = %v (n=%d), want 1 (2)", est.GAP.QB0, est.NB0)
+	}
+	// CI of qAB: 1.96*sqrt(0.25/2).
+	want := 1.96 * math.Sqrt(0.25/2)
+	if math.Abs(est.CIAB-want) > 1e-9 {
+		t.Fatalf("CI(qAB) = %v, want %v", est.CIAB, want)
+	}
+}
+
+func TestLearnGAPNoData(t *testing.T) {
+	log := &Log{NumUsers: 1, NumItems: 2}
+	if _, err := LearnGAP(log, 0, 1); err == nil {
+		t.Fatal("LearnGAP accepted an empty log")
+	}
+}
+
+func TestGenerateProducesConsistentLog(t *testing.T) {
+	g := graph.PowerLaw(1000, 6, 2.16, true, rng.New(3))
+	graph.AssignUniform(g, 0.2)
+	gap := core.GAP{QA0: 0.5, QAB: 0.8, QB0: 0.6, QBA: 0.9}
+	log := Generate(g, []Pair{{ItemA: 0, ItemB: 1, GAP: gap, SeedsA: 30, SeedsB: 30}}, GenerateOptions{}, rng.New(4))
+	if len(log.Entries) == 0 {
+		t.Fatal("empty log")
+	}
+	// Sorted by time.
+	for i := 1; i < len(log.Entries); i++ {
+		if log.Entries[i].Time < log.Entries[i-1].Time {
+			t.Fatal("log not sorted")
+		}
+	}
+	// Every rating is preceded (or accompanied) by knowledge: for each
+	// user/item, inform time <= rate time.
+	type key struct{ u, i int32 }
+	informAt := map[key]int64{}
+	for _, e := range log.Entries {
+		if e.Action == Informed {
+			if t0, ok := informAt[key{e.User, e.Item}]; !ok || e.Time < t0 {
+				informAt[key{e.User, e.Item}] = e.Time
+			}
+		}
+	}
+	for _, e := range log.Entries {
+		if e.Action == Rated {
+			if t0, ok := informAt[key{e.User, e.Item}]; ok && t0 > e.Time {
+				t.Fatalf("user %d rated item %d before being informed", e.User, e.Item)
+			}
+		}
+	}
+	// At most one rating per user/item.
+	seen := map[key]bool{}
+	for _, e := range log.Entries {
+		if e.Action == Rated {
+			k := key{e.User, e.Item}
+			if seen[k] {
+				t.Fatalf("user %d rated item %d twice", e.User, e.Item)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestLearnGAPRecoversGroundTruth(t *testing.T) {
+	// End-to-end §7.2: generate a large log with known GAPs and check the
+	// estimator lands near the truth. qA0/qB0 are estimated very tightly;
+	// the conditional GAPs carry the estimator's inherent reconsideration
+	// bias, so they get a looser tolerance but must preserve the
+	// complementarity direction.
+	g := graph.PowerLaw(20000, 6, 2.16, true, rng.New(11))
+	graph.AssignUniform(g, 0.15)
+	truth := core.GAP{QA0: 0.55, QAB: 0.8, QB0: 0.65, QBA: 0.85}
+	log := Generate(g, []Pair{{ItemA: 0, ItemB: 1, GAP: truth, SeedsA: 150, SeedsB: 150}},
+		GenerateOptions{}, rng.New(12))
+	est, err := LearnGAP(log, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.GAP.QA0-truth.QA0) > 0.05 {
+		t.Fatalf("qA0 learned %v, truth %v", est.GAP.QA0, truth.QA0)
+	}
+	if math.Abs(est.GAP.QB0-truth.QB0) > 0.05 {
+		t.Fatalf("qB0 learned %v, truth %v", est.GAP.QB0, truth.QB0)
+	}
+	if est.NAB < 30 || est.NBA < 30 {
+		t.Fatalf("too few conditional samples: NAB=%d NBA=%d", est.NAB, est.NBA)
+	}
+	// The conditional GAPs carry the estimator's inherent upward
+	// reconsideration bias (users informed of A, suspended, who adopt A
+	// after B enter the numerator of q_{A|B} but not its denominator), so
+	// only a one-sided bound is guaranteed.
+	if est.GAP.QAB < truth.QAB-0.12 {
+		t.Fatalf("qAB learned %v, truth %v", est.GAP.QAB, truth.QAB)
+	}
+	if est.GAP.QBA < truth.QBA-0.12 {
+		t.Fatalf("qBA learned %v, truth %v", est.GAP.QBA, truth.QBA)
+	}
+	// Complementarity must be detected in both directions.
+	if est.GAP.QAB <= est.GAP.QA0 || est.GAP.QBA <= est.GAP.QB0 {
+		t.Fatalf("complementarity direction lost: %+v", est.GAP)
+	}
+}
+
+func TestLearnGAPConsistentOnIIDUsers(t *testing.T) {
+	// When the data matches the estimator's own generative assumptions (no
+	// reconsideration interleaving), all four GAPs are recovered tightly.
+	// Users are i.i.d.: half see A first (never adopt B before), half rate
+	// B and are then informed of A; symmetric populations exist for B.
+	truth := core.GAP{QA0: 0.55, QAB: 0.8, QB0: 0.65, QBA: 0.85}
+	r := rng.New(77)
+	log := &Log{}
+	var uid int32
+	add := func(u int32, item int32, a Action, t int64) {
+		log.Entries = append(log.Entries, Entry{User: u, Item: item, Action: a, Time: t})
+	}
+	const perGroup = 8000
+	for i := 0; i < perGroup; i++ {
+		// Group 1: informed of A only; adopt with q_{A|∅}.
+		u := uid
+		uid++
+		add(u, 0, Informed, 1)
+		if r.Bernoulli(truth.QA0) {
+			add(u, 0, Rated, 2)
+		}
+		// Group 2: informed of B; adopters are later informed of A and
+		// adopt with q_{A|B}.
+		u = uid
+		uid++
+		add(u, 1, Informed, 1)
+		if r.Bernoulli(truth.QB0) {
+			add(u, 1, Rated, 2)
+			add(u, 0, Informed, 3)
+			if r.Bernoulli(truth.QAB) {
+				add(u, 0, Rated, 4)
+			}
+		}
+		// Group 3: informed of A; adopters are later informed of B and
+		// adopt with q_{B|A}.
+		u = uid
+		uid++
+		add(u, 0, Informed, 1)
+		if r.Bernoulli(truth.QA0) {
+			add(u, 0, Rated, 2)
+			add(u, 1, Informed, 3)
+			if r.Bernoulli(truth.QBA) {
+				add(u, 1, Rated, 4)
+			}
+		}
+	}
+	log.NumUsers = int(uid)
+	log.NumItems = 2
+	log.sortEntries()
+	est, err := LearnGAP(log, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name         string
+		got, want, n float64
+	}{
+		{"qA0", est.GAP.QA0, truth.QA0, float64(est.NA0)},
+		{"qAB", est.GAP.QAB, truth.QAB, float64(est.NAB)},
+		{"qB0", est.GAP.QB0, truth.QB0, float64(est.NB0)},
+		{"qBA", est.GAP.QBA, truth.QBA, float64(est.NBA)},
+	} {
+		if math.Abs(c.got-c.want) > 0.025 {
+			t.Fatalf("%s learned %v, truth %v (n=%v)", c.name, c.got, c.want, c.n)
+		}
+	}
+	// Conditional denominators come from the adopter subpopulations.
+	if est.NAB < 3000 || est.NBA < 3000 {
+		t.Fatalf("conditional sample sizes too small: NAB=%d NBA=%d", est.NAB, est.NBA)
+	}
+}
+
+func TestGeneratePartialSignals(t *testing.T) {
+	g := graph.PowerLaw(2000, 6, 2.16, true, rng.New(21))
+	graph.AssignUniform(g, 0.2)
+	gap := core.GAP{QA0: 0.5, QAB: 0.7, QB0: 0.5, QBA: 0.7}
+	full := Generate(g, []Pair{{ItemA: 0, ItemB: 1, GAP: gap, SeedsA: 50, SeedsB: 50}},
+		GenerateOptions{SignalRate: 1}, rng.New(22))
+	partial := Generate(g, []Pair{{ItemA: 0, ItemB: 1, GAP: gap, SeedsA: 50, SeedsB: 50}},
+		GenerateOptions{SignalRate: 0.3}, rng.New(22))
+	informs := func(l *Log) int {
+		n := 0
+		for _, e := range l.Entries {
+			if e.Action == Informed {
+				n++
+			}
+		}
+		return n
+	}
+	if informs(partial) >= informs(full) {
+		t.Fatalf("partial signals (%d) not fewer than full (%d)", informs(partial), informs(full))
+	}
+	// Learning still works on partial data.
+	if _, err := LearnGAP(partial, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnEdgeProbabilitiesChain(t *testing.T) {
+	// Deterministic: items flow down a 3-node path; every u-rated item is
+	// re-rated by v for half the items.
+	g := graph.Path(3, 0) // probabilities irrelevant here
+	log := &Log{NumUsers: 3, NumItems: 4}
+	add := func(u int32, item int32, t int64) {
+		log.Entries = append(log.Entries, Entry{User: u, Item: item, Action: Rated, Time: t})
+	}
+	// Items 0,1: rated by node 0 then node 1 (propagated). Items 2,3:
+	// rated by node 0 only.
+	add(0, 0, 1)
+	add(1, 0, 2)
+	add(0, 1, 3)
+	add(1, 1, 4)
+	add(0, 2, 5)
+	add(0, 3, 6)
+	log.sortEntries()
+	probs := LearnEdgeProbabilities(log, g)
+	// Edge 0->1: A_0 = 4 actions, 2 propagated: p = 0.5.
+	_, eids := g.OutNeighbors(0)
+	if probs[eids[0]] != 0.5 {
+		t.Fatalf("p(0->1) = %v, want 0.5", probs[eids[0]])
+	}
+	// Edge 1->2: node 2 never rated: p = 0.
+	_, eids = g.OutNeighbors(1)
+	if probs[eids[0]] != 0 {
+		t.Fatalf("p(1->2) = %v, want 0", probs[eids[0]])
+	}
+}
+
+func TestLearnEdgeProbabilitiesRecovers(t *testing.T) {
+	// Statistical recovery: single-item IC cascades over a fixed edge with
+	// p=0.6 must yield p̂ near 0.6. Many items = many trials.
+	g := graph.Path(2, 0.6)
+	gap := core.ClassicIC()
+	r := rng.New(31)
+	log := &Log{NumUsers: 2}
+	sim := core.NewSimulator(g, gap)
+	const items = 2000
+	timeBase := int64(0)
+	for item := int32(0); item < items; item++ {
+		tr := sim.RunTrace([]int32{0}, nil, r)
+		log.Entries = append(log.Entries, Entry{User: 0, Item: item, Action: Rated, Time: timeBase})
+		if tr.AdoptTimeA[1] >= 0 {
+			log.Entries = append(log.Entries, Entry{User: 1, Item: item, Action: Rated, Time: timeBase + 1})
+		}
+		timeBase += 2
+	}
+	log.NumItems = items
+	log.sortEntries()
+	probs := LearnEdgeProbabilities(log, g)
+	_, eids := g.OutNeighbors(0)
+	if math.Abs(probs[eids[0]]-0.6) > 0.04 {
+		t.Fatalf("learned p = %v, want ~0.6", probs[eids[0]])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := graph.PowerLaw(300, 5, 2.16, true, rng.New(41))
+	graph.AssignUniform(g, 0.3)
+	gap := core.GAP{QA0: 0.5, QAB: 0.8, QB0: 0.5, QBA: 0.8}
+	log := Generate(g, []Pair{{ItemA: 0, ItemB: 1, GAP: gap, SeedsA: 10, SeedsB: 10}},
+		GenerateOptions{}, rng.New(42))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(log.Entries) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(back.Entries), len(log.Entries))
+	}
+	for i := range back.Entries {
+		if back.Entries[i] != log.Entries[i] {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, back.Entries[i], log.Entries[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"user,item,action,time\n1,2,dance,3\n",
+		"user,item,action,time\nx,2,rate,3\n",
+		"user,item,action,time\n1,y,rate,3\n",
+		"user,item,action,time\n1,2,rate,z\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(in)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, in)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package actionlog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the log as "user,item,action,time" rows with a header.
+func WriteCSV(w io.Writer, log *Log) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user", "item", "action", "time"}); err != nil {
+		return err
+	}
+	row := make([]string, 4)
+	for _, e := range log.Entries {
+		row[0] = strconv.FormatInt(int64(e.User), 10)
+		row[1] = strconv.FormatInt(int64(e.Item), 10)
+		if e.Action == Informed {
+			row[2] = "inform"
+		} else {
+			row[2] = "rate"
+		}
+		row[3] = strconv.FormatInt(e.Time, 10)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the format written by WriteCSV.
+func ReadCSV(r io.Reader) (*Log, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("actionlog: empty input")
+	}
+	log := &Log{}
+	maxUser, maxItem := int32(-1), int32(-1)
+	for i, rec := range records[1:] {
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("actionlog: row %d has %d fields, want 4", i+2, len(rec))
+		}
+		user, err := strconv.ParseInt(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: row %d user: %v", i+2, err)
+		}
+		item, err := strconv.ParseInt(rec[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: row %d item: %v", i+2, err)
+		}
+		var action Action
+		switch rec[2] {
+		case "inform":
+			action = Informed
+		case "rate":
+			action = Rated
+		default:
+			return nil, fmt.Errorf("actionlog: row %d unknown action %q", i+2, rec[2])
+		}
+		t, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: row %d time: %v", i+2, err)
+		}
+		log.Entries = append(log.Entries, Entry{
+			User: int32(user), Item: int32(item), Action: action, Time: t,
+		})
+		if int32(user) > maxUser {
+			maxUser = int32(user)
+		}
+		if int32(item) > maxItem {
+			maxItem = int32(item)
+		}
+	}
+	log.NumUsers = int(maxUser) + 1
+	log.NumItems = int(maxItem) + 1
+	log.sortEntries()
+	return log, nil
+}

@@ -1,0 +1,179 @@
+// Package core implements the Comparative Independent Cascade (Com-IC)
+// diffusion model of Lu, Chen and Lakshmanan (VLDB 2016): two propagating
+// items A and B, edge-level information propagation, and a Node-Level
+// Automaton (NLA) whose behaviour is governed by the four Global Adoption
+// Probabilities (GAPs). The package provides the stochastic diffusion engine
+// (Figure 2 of the paper), the equivalent possible-world model (§5.1), and
+// execution traces used for learning GAPs from action logs (§7.2).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Item identifies one of the two propagating entities.
+type Item uint8
+
+const (
+	// A is the first propagating item (the "self" item in SelfInfMax and
+	// the boosted item in CompInfMax).
+	A Item = 0
+	// B is the second propagating item (the complementing item).
+	B Item = 1
+)
+
+// Other returns the other item.
+func (it Item) Other() Item { return 1 - it }
+
+// String returns "A" or "B".
+func (it Item) String() string {
+	if it == A {
+		return "A"
+	}
+	return "B"
+}
+
+// State is a node's NLA state with respect to one item (Figure 1).
+type State uint8
+
+const (
+	// Idle: the node has not been informed of the item.
+	Idle State = iota
+	// Suspended: informed while not other-adopted, failed q_{X|∅}; may
+	// still adopt through reconsideration.
+	Suspended
+	// Adopted: the node adopted the item and propagates it.
+	Adopted
+	// Rejected: the node will never adopt the item.
+	Rejected
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Suspended:
+		return "suspended"
+	case Adopted:
+		return "adopted"
+	case Rejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// GAP holds the four Global Adoption Probabilities
+// Q = (q_{A|∅}, q_{A|B}, q_{B|∅}, q_{B|A}) ∈ [0,1]^4 (§3).
+type GAP struct {
+	QA0 float64 // q_{A|∅}: P(adopt A | informed of A, not B-adopted)
+	QAB float64 // q_{A|B}: P(adopt A | informed of A, B-adopted)
+	QB0 float64 // q_{B|∅}: P(adopt B | informed of B, not A-adopted)
+	QBA float64 // q_{B|A}: P(adopt B | informed of B, A-adopted)
+}
+
+// Validate reports an error when any probability is outside [0, 1] or NaN.
+func (q GAP) Validate() error {
+	for _, v := range [...]float64{q.QA0, q.QAB, q.QB0, q.QBA} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("core: GAP value %v out of [0,1]", v)
+		}
+	}
+	return nil
+}
+
+// Q returns the adoption probability for item given whether the other item
+// is already adopted.
+func (q GAP) Q(item Item, otherAdopted bool) float64 {
+	if item == A {
+		if otherAdopted {
+			return q.QAB
+		}
+		return q.QA0
+	}
+	if otherAdopted {
+		return q.QBA
+	}
+	return q.QB0
+}
+
+// MutuallyComplementary reports whether q lies in Q+ (§3):
+// q_{A|∅} ≤ q_{A|B} and q_{B|∅} ≤ q_{B|A}.
+func (q GAP) MutuallyComplementary() bool {
+	return q.QA0 <= q.QAB && q.QB0 <= q.QBA
+}
+
+// MutuallyCompetitive reports whether q lies in Q− (§3):
+// q_{A|∅} ≥ q_{A|B} and q_{B|∅} ≥ q_{B|A}.
+func (q GAP) MutuallyCompetitive() bool {
+	return q.QA0 >= q.QAB && q.QB0 >= q.QBA
+}
+
+// BIndifferentToA reports q_{B|A} = q_{B|∅}: B's diffusion is independent of
+// A (Lemma 3), the "one-way complementarity" setting of Theorem 4 in which
+// RR-SIM is exact.
+func (q GAP) BIndifferentToA() bool { return q.QB0 == q.QBA }
+
+// AIndifferentToB reports q_{A|B} = q_{A|∅}.
+func (q GAP) AIndifferentToB() bool { return q.QA0 == q.QAB }
+
+// Reconsider returns ρ_X = max(q_{X|Y} − q_{X|∅}, 0) / (1 − q_{X|∅}), the
+// probability that an X-suspended node adopts X upon adopting the other item
+// (Figure 2, step 4). When q_{X|∅} = 1 suspension is impossible and ρ is 0.
+func (q GAP) Reconsider(item Item) float64 {
+	q0 := q.Q(item, false)
+	qy := q.Q(item, true)
+	if q0 >= 1 {
+		return 0
+	}
+	return math.Max(qy-q0, 0) / (1 - q0)
+}
+
+// Relationship classifies the effect of "other" on "item".
+type Relationship int
+
+const (
+	// Independent: adopting the other item does not change this item's
+	// adoption probability.
+	Independent Relationship = iota
+	// Competes: the other item reduces this item's adoption probability.
+	Competes
+	// Complements: the other item raises this item's adoption probability.
+	Complements
+)
+
+// String implements fmt.Stringer.
+func (r Relationship) String() string {
+	switch r {
+	case Independent:
+		return "independent"
+	case Competes:
+		return "competes"
+	case Complements:
+		return "complements"
+	}
+	return fmt.Sprintf("relationship(%d)", int(r))
+}
+
+// EffectOn returns how the other item affects the adoption of item.
+func (q GAP) EffectOn(item Item) Relationship {
+	q0 := q.Q(item, false)
+	qy := q.Q(item, true)
+	switch {
+	case qy > q0:
+		return Complements
+	case qy < q0:
+		return Competes
+	default:
+		return Independent
+	}
+}
+
+// ClassicIC returns the GAP values that reduce Com-IC to the classic
+// single-item IC model for A (q_{A|∅} = q_{A|B} = 1, B inert), per §3.
+func ClassicIC() GAP { return GAP{QA0: 1, QAB: 1, QB0: 0, QBA: 0} }
+
+// PureCompetition returns the GAPs of the purely Competitive IC model
+// (q_{A|∅} = q_{B|∅} = 1, q_{A|B} = q_{B|A} = 0), per §3.
+func PureCompetition() GAP { return GAP{QA0: 1, QAB: 0, QB0: 1, QBA: 0} }

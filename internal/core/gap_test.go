@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGAPValidate(t *testing.T) {
+	good := GAP{0.1, 0.2, 0.3, 0.4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid GAP rejected: %v", err)
+	}
+	bad := []GAP{
+		{QA0: -0.1}, {QAB: 1.1}, {QB0: math.NaN()}, {QBA: 2},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Fatalf("case %d: invalid GAP accepted: %+v", i, q)
+		}
+	}
+}
+
+func TestGAPQ(t *testing.T) {
+	q := GAP{QA0: 0.1, QAB: 0.2, QB0: 0.3, QBA: 0.4}
+	if q.Q(A, false) != 0.1 || q.Q(A, true) != 0.2 {
+		t.Fatal("Q for item A wrong")
+	}
+	if q.Q(B, false) != 0.3 || q.Q(B, true) != 0.4 {
+		t.Fatal("Q for item B wrong")
+	}
+}
+
+func TestItemOther(t *testing.T) {
+	if A.Other() != B || B.Other() != A {
+		t.Fatal("Other is wrong")
+	}
+	if A.String() != "A" || B.String() != "B" {
+		t.Fatal("Item.String is wrong")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		Idle: "idle", Suspended: "suspended", Adopted: "adopted", Rejected: "rejected",
+	} {
+		if st.String() != want {
+			t.Fatalf("State(%d).String() = %q", st, st.String())
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	comp := GAP{QA0: 0.2, QAB: 0.8, QB0: 0.3, QBA: 0.9}
+	if !comp.MutuallyComplementary() || comp.MutuallyCompetitive() {
+		t.Fatal("Q+ misclassified")
+	}
+	compete := GAP{QA0: 0.8, QAB: 0.2, QB0: 0.9, QBA: 0.3}
+	if !compete.MutuallyCompetitive() || compete.MutuallyComplementary() {
+		t.Fatal("Q- misclassified")
+	}
+	// Equal GAPs are in both classes by convention (§3).
+	indiff := GAP{QA0: 0.5, QAB: 0.5, QB0: 0.5, QBA: 0.5}
+	if !indiff.MutuallyComplementary() || !indiff.MutuallyCompetitive() {
+		t.Fatal("independent GAPs must belong to both Q+ and Q-")
+	}
+	if !indiff.AIndifferentToB() || !indiff.BIndifferentToA() {
+		t.Fatal("indifference misdetected")
+	}
+}
+
+func TestEffectOn(t *testing.T) {
+	q := GAP{QA0: 0.2, QAB: 0.8, QB0: 0.9, QBA: 0.3}
+	if q.EffectOn(A) != Complements {
+		t.Fatalf("EffectOn(A) = %v", q.EffectOn(A))
+	}
+	if q.EffectOn(B) != Competes {
+		t.Fatalf("EffectOn(B) = %v", q.EffectOn(B))
+	}
+	if (GAP{QA0: 0.5, QAB: 0.5}).EffectOn(A) != Independent {
+		t.Fatal("EffectOn should report Independent for equal GAPs")
+	}
+	if Complements.String() != "complements" || Competes.String() != "competes" || Independent.String() != "independent" {
+		t.Fatal("Relationship.String is wrong")
+	}
+}
+
+func TestReconsider(t *testing.T) {
+	// ρ_A = (q_{A|B} - q_{A|∅}) / (1 - q_{A|∅}) in the complementary case,
+	// chosen so q_{A|∅} + (1-q_{A|∅})ρ_A = q_{A|B} (§3).
+	q := GAP{QA0: 0.2, QAB: 0.6}
+	rho := q.Reconsider(A)
+	if got := q.QA0 + (1-q.QA0)*rho; math.Abs(got-q.QAB) > 1e-12 {
+		t.Fatalf("reconsideration identity broken: %v != %v", got, q.QAB)
+	}
+	// Competitive direction: never reconsider.
+	if (GAP{QA0: 0.6, QAB: 0.2}).Reconsider(A) != 0 {
+		t.Fatal("competitive reconsideration must be 0")
+	}
+	// q_{X|∅} = 1 means suspension is impossible.
+	if (GAP{QA0: 1, QAB: 1}).Reconsider(A) != 0 {
+		t.Fatal("Reconsider with q0=1 must be 0")
+	}
+	if (GAP{QB0: 0.5, QBA: 1}).Reconsider(B) != 1 {
+		t.Fatal("Reconsider(B) with qBA=1 must be 1")
+	}
+}
+
+// Property: the reconsideration identity q0 + (1-q0)ρ = max(q0, qY) holds
+// across the whole GAP space.
+func TestQuickReconsiderIdentity(t *testing.T) {
+	f := func(a0, ab uint16) bool {
+		q := GAP{QA0: float64(a0%1000) / 1000, QAB: float64(ab%1000) / 1000}
+		rho := q.Reconsider(A)
+		want := math.Max(q.QA0, q.QAB)
+		return math.Abs(q.QA0+(1-q.QA0)*rho-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecialGAPs(t *testing.T) {
+	ic := ClassicIC()
+	if ic.QA0 != 1 || ic.QAB != 1 {
+		t.Fatal("ClassicIC must always adopt A when informed")
+	}
+	pc := PureCompetition()
+	if pc.QA0 != 1 || pc.QAB != 0 || pc.QB0 != 1 || pc.QBA != 0 {
+		t.Fatal("PureCompetition constants wrong")
+	}
+	if !pc.MutuallyCompetitive() {
+		t.Fatal("PureCompetition not in Q-")
+	}
+}
+
+func TestAlphaRange(t *testing.T) {
+	if AlphaRange(0.1, 0.3, 0.7) != 0 {
+		t.Fatal("below both boundaries should be range 0")
+	}
+	if AlphaRange(0.5, 0.3, 0.7) != 1 {
+		t.Fatal("between boundaries should be range 1")
+	}
+	if AlphaRange(0.9, 0.3, 0.7) != 2 {
+		t.Fatal("above both boundaries should be range 2")
+	}
+	// Boundary order must not matter.
+	if AlphaRange(0.5, 0.7, 0.3) != 1 {
+		t.Fatal("AlphaRange must sort its boundaries")
+	}
+}

@@ -1,0 +1,139 @@
+// Package datasets builds the four evaluation networks of the paper
+// (Table 1) as synthetic stand-ins matched on scale, degree skew, and
+// directedness (see DESIGN.md substitution 1), plus the power-law
+// scalability graphs of Figure 7b. Edge probabilities follow the
+// weighted-cascade substitution for the learned probabilities of [12]
+// (substitution 2); the GAPs attached to each dataset are the values the
+// paper learned for its §7.3 item pairs (Tables 5-7).
+package datasets
+
+import (
+	"fmt"
+	"math"
+
+	"comic/internal/core"
+	"comic/internal/graph"
+	"comic/internal/rng"
+)
+
+// Dataset bundles a network with the learned GAPs the paper used on it.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+	// GAP holds the §7.3 learned (or, for Last.fm, synthetic) GAPs:
+	// the item pair used in Figures 5, 6, 7a and Table 8 "learn" rows.
+	GAP core.GAP
+	// PairName documents which item pair the GAPs belong to.
+	PairName string
+}
+
+// Target statistics from Table 1 (full scale).
+type target struct {
+	name     string
+	nodes    int
+	avgOut   float64
+	bidirect bool
+	gap      core.GAP
+	pairName string
+}
+
+var targets = []target{
+	// Flixster: strongly-connected component of a movie-rating network,
+	// undirected links directed both ways. Pair: Monsters Inc. / Shrek.
+	{"Flixster", 12900, 14.8, true,
+		core.GAP{QA0: 0.88, QAB: 0.92, QB0: 0.92, QBA: 0.96}, "Monsters Inc. / Shrek"},
+	// Douban-Book: follower edges, one direction. Pair: The Unbearable
+	// Lightness of Being / Norwegian Wood.
+	{"Douban-Book", 23300, 6.5, false,
+		core.GAP{QA0: 0.75, QAB: 0.85, QB0: 0.92, QBA: 0.97}, "Unbearable Lightness / Norwegian Wood"},
+	// Douban-Movie. Pair: Fight Club / Se7en.
+	{"Douban-Movie", 34900, 7.9, false,
+		core.GAP{QA0: 0.84, QAB: 0.89, QB0: 0.89, QBA: 0.95}, "Fight Club / Se7en"},
+	// Last.fm: no inform signal in the data, synthetic GAPs (§7.3).
+	{"Last.fm", 61000, 9.6, true,
+		core.GAP{QA0: 0.5, QAB: 0.75, QB0: 0.5, QBA: 0.75}, "synthetic pair"},
+}
+
+// Names lists the four dataset names in paper order.
+func Names() []string {
+	out := make([]string, len(targets))
+	for i, t := range targets {
+		out[i] = t.name
+	}
+	return out
+}
+
+// build constructs one dataset at the given scale ∈ (0, 1].
+func build(t target, scale float64, seed uint64) *Dataset {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(math.Max(50, math.Round(float64(t.nodes)*scale)))
+	r := rng.New(seed ^ hash(t.name))
+	g := graph.PowerLaw(n, t.avgOut, 2.16, t.bidirect, r)
+	graph.AssignWeightedCascade(g)
+	return &Dataset{Name: t.name, Graph: g, GAP: t.gap, PairName: t.pairName}
+}
+
+func hash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ByName builds one dataset by its Table 1 name.
+func ByName(name string, scale float64, seed uint64) (*Dataset, error) {
+	for _, t := range targets {
+		if t.name == name {
+			return build(t, scale, seed), nil
+		}
+	}
+	return nil, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names())
+}
+
+// All builds the four paper datasets at the given scale.
+func All(scale float64, seed uint64) []*Dataset {
+	out := make([]*Dataset, len(targets))
+	for i, t := range targets {
+		out[i] = build(t, scale, seed)
+	}
+	return out
+}
+
+// Flixster, DoubanBook, DoubanMovie and LastFM are convenience
+// constructors for the individual networks.
+func Flixster(scale float64, seed uint64) *Dataset    { return build(targets[0], scale, seed) }
+func DoubanBook(scale float64, seed uint64) *Dataset  { return build(targets[1], scale, seed) }
+func DoubanMovie(scale float64, seed uint64) *Dataset { return build(targets[2], scale, seed) }
+func LastFM(scale float64, seed uint64) *Dataset      { return build(targets[3], scale, seed) }
+
+// Scalability returns a Figure 7b graph: power-law with exponent 2.16 and
+// average degree about 5, weighted-cascade probabilities.
+func Scalability(n int, seed uint64) *graph.Graph {
+	g := graph.PowerLaw(n, 5, 2.16, true, rng.New(seed))
+	graph.AssignWeightedCascade(g)
+	return g
+}
+
+// Stats describes a dataset in Table 1 form.
+type Stats struct {
+	Name      string
+	Nodes     int
+	Edges     int
+	AvgOutDeg float64
+	MaxOutDeg int
+}
+
+// Describe returns Table 1 statistics for d.
+func (d *Dataset) Describe() Stats {
+	return Stats{
+		Name:      d.Name,
+		Nodes:     d.Graph.N(),
+		Edges:     d.Graph.M(),
+		AvgOutDeg: d.Graph.AvgOutDegree(),
+		MaxOutDeg: d.Graph.MaxOutDegree(),
+	}
+}

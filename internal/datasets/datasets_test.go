@@ -1,0 +1,118 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllFourDatasets(t *testing.T) {
+	ds := All(0.05, 1)
+	if len(ds) != 4 {
+		t.Fatalf("got %d datasets", len(ds))
+	}
+	wantNames := []string{"Flixster", "Douban-Book", "Douban-Movie", "Last.fm"}
+	for i, d := range ds {
+		if d.Name != wantNames[i] {
+			t.Fatalf("dataset %d = %q, want %q", i, d.Name, wantNames[i])
+		}
+		if d.Graph.N() == 0 || d.Graph.M() == 0 {
+			t.Fatalf("%s is empty", d.Name)
+		}
+		if err := d.GAP.Validate(); err != nil {
+			t.Fatalf("%s GAPs invalid: %v", d.Name, err)
+		}
+		if !d.GAP.MutuallyComplementary() {
+			t.Fatalf("%s GAPs not Q+ (the §7.3 pairs are all complementary)", d.Name)
+		}
+	}
+}
+
+func TestScaledSizes(t *testing.T) {
+	d := Flixster(0.1, 1)
+	if n := d.Graph.N(); n < 1200 || n > 1400 {
+		t.Fatalf("Flixster at 0.1 scale has %d nodes, want ~1290", n)
+	}
+	// Average degree stays near the Table 1 target regardless of scale.
+	if avg := d.Graph.AvgOutDegree(); math.Abs(avg-14.8) > 5 {
+		t.Fatalf("Flixster avg out-degree %v far from 14.8", avg)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	// Degree-ordering of Table 1 must be preserved: Flixster has the
+	// highest average out-degree; Douban-Book the lowest.
+	ds := All(0.05, 3)
+	stats := make(map[string]Stats, 4)
+	for _, d := range ds {
+		stats[d.Name] = d.Describe()
+	}
+	if !(stats["Flixster"].AvgOutDeg > stats["Last.fm"].AvgOutDeg) {
+		t.Fatalf("Flixster avg %v not above Last.fm %v",
+			stats["Flixster"].AvgOutDeg, stats["Last.fm"].AvgOutDeg)
+	}
+	if !(stats["Douban-Book"].AvgOutDeg < stats["Douban-Movie"].AvgOutDeg) {
+		t.Fatalf("Douban-Book avg %v not below Douban-Movie %v",
+			stats["Douban-Book"].AvgOutDeg, stats["Douban-Movie"].AvgOutDeg)
+	}
+	// Skewed degrees (power-law): hubs well above average.
+	for name, s := range stats {
+		if float64(s.MaxOutDeg) < 3*s.AvgOutDeg {
+			t.Fatalf("%s lacks hubs: max %d vs avg %v", name, s.MaxOutDeg, s.AvgOutDeg)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("Last.fm", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "Last.fm" {
+		t.Fatalf("got %q", d.Name)
+	}
+	if _, err := ByName("Orkut", 0.02, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := DoubanBook(0.02, 9)
+	b := DoubanBook(0.02, 9)
+	if a.Graph.N() != b.Graph.N() || a.Graph.M() != b.Graph.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for eid := int32(0); eid < int32(a.Graph.M()); eid++ {
+		ua, va := a.Graph.EdgeEndpoints(eid)
+		ub, vb := b.Graph.EdgeEndpoints(eid)
+		if ua != ub || va != vb {
+			t.Fatal("edge sets differ for identical seeds")
+		}
+	}
+}
+
+func TestWeightedCascadeProbabilities(t *testing.T) {
+	d := DoubanMovie(0.02, 5)
+	g := d.Graph
+	for v := int32(0); v < int32(g.N()); v++ {
+		_, eids := g.InNeighbors(v)
+		if len(eids) == 0 {
+			continue
+		}
+		want := 1.0 / float64(len(eids))
+		for _, eid := range eids {
+			if math.Abs(g.Prob(eid)-want) > 1e-12 {
+				t.Fatalf("node %d edge prob %v, want %v", v, g.Prob(eid), want)
+			}
+		}
+	}
+}
+
+func TestScalability(t *testing.T) {
+	g := Scalability(2000, 7)
+	if g.N() != 2000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if avg := g.AvgOutDegree(); avg < 2.5 || avg > 7.5 {
+		t.Fatalf("avg degree %v far from 5", avg)
+	}
+}

@@ -1,0 +1,302 @@
+// Package exact computes exact Com-IC adoption probabilities and spreads on
+// small graphs by exhaustively enumerating the finite equivalence classes of
+// possible worlds (§5.1 of the paper, Eq. 2):
+//
+//	σ_A(S_A, S_B) = Σ_W Pr[W] · σ_A^W(S_A, S_B)
+//
+// An equivalence class fixes, for every edge, its live/blocked outcome; for
+// every node, the range its α thresholds fall into relative to the GAPs; for
+// every node, the tie-break order of its in-edges; and for every dual seed,
+// the coin τ. The class count is finite, so small instances can be evaluated
+// exactly. The package is the test oracle for the Monte-Carlo engine, the
+// RR-set algorithms, and the counter-examples in the paper's appendix.
+package exact
+
+import (
+	"fmt"
+
+	"comic/internal/core"
+	"comic/internal/graph"
+)
+
+// Result holds exact expected spreads and per-node adoption probabilities.
+type Result struct {
+	SigmaA float64   // expected number of A-adopted nodes
+	SigmaB float64   // expected number of B-adopted nodes
+	ProbA  []float64 // ProbA[v] = P(v adopts A)
+	ProbB  []float64
+}
+
+// Evaluator enumerates possible-world classes of one (graph, GAP) instance.
+type Evaluator struct {
+	g          *graph.Graph
+	gap        core.GAP
+	MaxClasses int64 // enumeration budget; defaults to 4e6
+}
+
+// New returns an Evaluator for g under gap.
+func New(g *graph.Graph, gap core.GAP) *Evaluator {
+	return &Evaluator{g: g, gap: gap, MaxClasses: 4_000_000}
+}
+
+// rangeChoice is one α range with its probability mass and a representative
+// value strictly inside the range (so ≤/> comparisons against the GAPs
+// behave as they would for a continuous draw).
+type rangeChoice struct {
+	rep  float64
+	mass float64
+}
+
+// alphaRanges returns the ranges induced by boundaries b1, b2 on [0,1],
+// dropping zero-mass ranges.
+func alphaRanges(b1, b2 float64) []rangeChoice {
+	lo, hi := b1, b2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	bounds := []float64{0, lo, hi, 1}
+	var out []rangeChoice
+	for i := 0; i+1 < len(bounds); i++ {
+		mass := bounds[i+1] - bounds[i]
+		if mass <= 0 {
+			continue
+		}
+		out = append(out, rangeChoice{rep: (bounds[i] + bounds[i+1]) / 2, mass: mass})
+	}
+	return out
+}
+
+type dimension struct {
+	count int
+	// apply installs choice c into the world and returns its weight.
+	apply func(w *core.World, c int) float64
+}
+
+func contains(set []int32, v int32) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func factorial(n int) int64 {
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f
+}
+
+// Eval computes the exact spreads and adoption probabilities for the given
+// seed sets. It returns an error when the class count exceeds MaxClasses.
+func (e *Evaluator) Eval(seedsA, seedsB []int32) (*Result, error) {
+	g, gap := e.g, e.gap
+	n, m := g.N(), g.M()
+
+	var dims []dimension
+	total := int64(1)
+	push := func(d dimension) error {
+		if d.count <= 1 {
+			if d.count == 1 {
+				dims = append(dims, d)
+			}
+			return nil
+		}
+		total *= int64(d.count)
+		if total > e.MaxClasses {
+			return fmt.Errorf("exact: class count exceeds budget %d", e.MaxClasses)
+		}
+		dims = append(dims, d)
+		return nil
+	}
+
+	// Edge live/blocked outcomes.
+	for eid := int32(0); eid < int32(m); eid++ {
+		eid := eid
+		p := g.Prob(eid)
+		switch {
+		case p <= 0:
+			if err := push(dimension{count: 1, apply: func(w *core.World, c int) float64 {
+				w.EdgeLive[eid] = false
+				return 1
+			}}); err != nil {
+				return nil, err
+			}
+		case p >= 1:
+			if err := push(dimension{count: 1, apply: func(w *core.World, c int) float64 {
+				w.EdgeLive[eid] = true
+				return 1
+			}}); err != nil {
+				return nil, err
+			}
+		default:
+			if err := push(dimension{count: 2, apply: func(w *core.World, c int) float64 {
+				w.EdgeLive[eid] = c == 0
+				if c == 0 {
+					return p
+				}
+				return 1 - p
+			}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// α ranges. A seed's own-item α is never consulted (seeds adopt without
+	// testing the NLA), so skip those dimensions.
+	for v := int32(0); v < int32(n); v++ {
+		v := v
+		if !contains(seedsA, v) {
+			ranges := alphaRanges(gap.QA0, gap.QAB)
+			if err := push(dimension{count: len(ranges), apply: func(w *core.World, c int) float64 {
+				w.AlphaA[v] = ranges[c].rep
+				return ranges[c].mass
+			}}); err != nil {
+				return nil, err
+			}
+		}
+		if !contains(seedsB, v) {
+			ranges := alphaRanges(gap.QB0, gap.QBA)
+			if err := push(dimension{count: len(ranges), apply: func(w *core.World, c int) float64 {
+				w.AlphaB[v] = ranges[c].rep
+				return ranges[c].mass
+			}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Tie-break permutations of each node's in-edges. Ranks are compared
+	// only among edges sharing a target, so nodes are independent.
+	for v := int32(0); v < int32(n); v++ {
+		_, eids := g.InNeighbors(v)
+		d := len(eids)
+		if d < 2 {
+			continue
+		}
+		if factorial(d) > e.MaxClasses {
+			return nil, fmt.Errorf("exact: in-degree %d permutation space too large", d)
+		}
+		perms := permutations(d)
+		inEdges := append([]int32(nil), eids...)
+		weight := 1.0 / float64(len(perms))
+		if err := push(dimension{count: len(perms), apply: func(w *core.World, c int) float64 {
+			for pos, idx := range perms[c] {
+				w.EdgeRank[inEdges[idx]] = float64(pos)
+			}
+			return weight
+		}}); err != nil {
+			return nil, err
+		}
+	}
+
+	// τ coins for dual seeds.
+	for _, v := range seedsA {
+		v := v
+		if !contains(seedsB, v) {
+			continue
+		}
+		if err := push(dimension{count: 2, apply: func(w *core.World, c int) float64 {
+			if c == 0 {
+				w.SeedFirst[v] = core.A
+			} else {
+				w.SeedFirst[v] = core.B
+			}
+			return 0.5
+		}}); err != nil {
+			return nil, err
+		}
+	}
+
+	world := &core.World{
+		EdgeLive:  make([]bool, m),
+		AlphaA:    make([]float64, n),
+		AlphaB:    make([]float64, n),
+		EdgeRank:  make([]float64, m),
+		SeedFirst: make([]core.Item, n),
+	}
+	// Defaults for dimensions that were skipped entirely.
+	for i := range world.AlphaA {
+		world.AlphaA[i] = 0.5
+		world.AlphaB[i] = 0.5
+	}
+
+	sim := core.NewSimulator(g, gap)
+	sim.SetWorld(world)
+
+	res := &Result{ProbA: make([]float64, n), ProbB: make([]float64, n)}
+	var dfs func(depth int, weight float64)
+	dfs = func(depth int, weight float64) {
+		if weight == 0 {
+			return
+		}
+		if depth == len(dims) {
+			a, b := sim.Run(seedsA, seedsB, nil)
+			res.SigmaA += weight * float64(a)
+			res.SigmaB += weight * float64(b)
+			for _, v := range sim.AdoptedA() {
+				res.ProbA[v] += weight
+			}
+			for _, v := range sim.AdoptedB() {
+				res.ProbB[v] += weight
+			}
+			return
+		}
+		d := dims[depth]
+		for c := 0; c < d.count; c++ {
+			w := d.apply(world, c)
+			dfs(depth+1, weight*w)
+		}
+	}
+	dfs(0, 1)
+	return res, nil
+}
+
+// permutations returns all permutations of [0, d) in lexicographic order.
+func permutations(d int) [][]int {
+	if d == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == d {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < d; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// SigmaA is a convenience wrapper returning only the expected A-spread.
+func SigmaA(g *graph.Graph, gap core.GAP, seedsA, seedsB []int32) (float64, error) {
+	r, err := New(g, gap).Eval(seedsA, seedsB)
+	if err != nil {
+		return 0, err
+	}
+	return r.SigmaA, nil
+}
+
+// AdoptionProbability returns P(target adopts item) exactly.
+func AdoptionProbability(g *graph.Graph, gap core.GAP, seedsA, seedsB []int32, target int32, item core.Item) (float64, error) {
+	r, err := New(g, gap).Eval(seedsA, seedsB)
+	if err != nil {
+		return 0, err
+	}
+	if item == core.A {
+		return r.ProbA[target], nil
+	}
+	return r.ProbB[target], nil
+}

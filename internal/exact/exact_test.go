@@ -1,0 +1,223 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"comic/internal/core"
+	"comic/internal/graph"
+	"comic/internal/rng"
+)
+
+func TestAlphaRangesPartition(t *testing.T) {
+	cases := []struct{ b1, b2 float64 }{
+		{0.3, 0.7}, {0.7, 0.3}, {0, 0.5}, {0.5, 1}, {0, 0}, {1, 1}, {0.5, 0.5},
+	}
+	for _, c := range cases {
+		ranges := alphaRanges(c.b1, c.b2)
+		mass := 0.0
+		for _, r := range ranges {
+			if r.mass <= 0 {
+				t.Fatalf("boundaries (%v,%v): non-positive mass %v", c.b1, c.b2, r.mass)
+			}
+			mass += r.mass
+			if r.rep < 0 || r.rep > 1 {
+				t.Fatalf("representative %v out of [0,1]", r.rep)
+			}
+		}
+		if math.Abs(mass-1) > 1e-12 {
+			t.Fatalf("boundaries (%v,%v): masses sum to %v", c.b1, c.b2, mass)
+		}
+	}
+}
+
+func TestAlphaRangeRepresentativesRespectBoundaries(t *testing.T) {
+	// Representatives must compare against the boundaries exactly as a
+	// continuous uniform draw from the range would.
+	ranges := alphaRanges(0.3, 0.7)
+	if len(ranges) != 3 {
+		t.Fatalf("expected 3 ranges, got %d", len(ranges))
+	}
+	if !(ranges[0].rep <= 0.3 && ranges[0].rep <= 0.7) {
+		t.Fatal("low representative must pass both thresholds")
+	}
+	if !(ranges[1].rep > 0.3 && ranges[1].rep <= 0.7) {
+		t.Fatal("middle representative must pass only the high threshold")
+	}
+	if !(ranges[2].rep > 0.7) {
+		t.Fatal("high representative must fail both thresholds")
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	for d, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 6, 4: 24} {
+		perms := permutations(d)
+		if len(perms) != want {
+			t.Fatalf("permutations(%d) = %d, want %d", d, len(perms), want)
+		}
+		seen := map[string]bool{}
+		for _, p := range perms {
+			key := ""
+			used := make([]bool, d)
+			for _, v := range p {
+				if v < 0 || v >= d || used[v] {
+					t.Fatalf("invalid permutation %v", p)
+				}
+				used[v] = true
+				key += string(rune('a' + v))
+			}
+			if seen[key] {
+				t.Fatalf("duplicate permutation %v", p)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestSingleEdgeClosedForm(t *testing.T) {
+	// One edge u -> v with probability p: P(v adopts A) = p * qA0.
+	g := graph.Path(2, 0.6)
+	gap := core.GAP{QA0: 0.45, QAB: 0.45}
+	res, err := New(g, gap).Eval([]int32{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.6 * 0.45
+	if math.Abs(res.ProbA[1]-want) > 1e-12 {
+		t.Fatalf("P(v) = %v, want %v", res.ProbA[1], want)
+	}
+	if math.Abs(res.SigmaA-(1+want)) > 1e-12 {
+		t.Fatalf("sigmaA = %v", res.SigmaA)
+	}
+	if res.SigmaB != 0 {
+		t.Fatalf("sigmaB = %v, want 0", res.SigmaB)
+	}
+}
+
+func TestDiamondClosedForm(t *testing.T) {
+	// Diamond s -> {x, y} -> v, all edges live, qA0 = q everywhere:
+	// P(v) = (1 - (1-q)^2) * q  — v informed iff x or y adopt.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	q := 0.3
+	gap := core.GAP{QA0: q, QAB: q}
+	res, err := New(g, gap).Eval([]int32{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - (1-q)*(1-q)) * q
+	if math.Abs(res.ProbA[3]-want) > 1e-12 {
+		t.Fatalf("P(v) = %v, want %v", res.ProbA[3], want)
+	}
+}
+
+func TestSeedsAlphaSkipped(t *testing.T) {
+	// The evaluator skips α dimensions for seeds. A complete graph where
+	// every node is an A-seed must cost exactly one class (plus αB dims)
+	// and give σA = n deterministically.
+	g := graph.Complete(4, 1)
+	gap := core.GAP{QA0: 0, QAB: 0, QB0: 0.5, QBA: 0.5}
+	res, err := New(g, gap).Eval([]int32{0, 1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SigmaA-4) > 1e-9 {
+		t.Fatalf("sigmaA = %v, want 4", res.SigmaA)
+	}
+}
+
+func TestBudgetError(t *testing.T) {
+	g := graph.Complete(8, 0.5) // 56 edges -> 2^56 classes
+	ev := New(g, core.GAP{QA0: 0.5, QAB: 0.5})
+	if _, err := ev.Eval([]int32{0}, nil); err == nil {
+		t.Fatal("expected a class-budget error")
+	}
+}
+
+func TestDualSeedCoin(t *testing.T) {
+	// v seeds both items; w is informed of both simultaneously. With pure
+	// competition (qA0=qB0=1, qAB=qBA=0), w adopts whichever item v's coin
+	// τ puts first: P(w adopts A) = 1/2.
+	g := graph.Path(2, 1)
+	gap := core.PureCompetition()
+	res, err := New(g, gap).Eval([]int32{0}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ProbA[1]-0.5) > 1e-12 || math.Abs(res.ProbB[1]-0.5) > 1e-12 {
+		t.Fatalf("tie coin broken: P(A)=%v P(B)=%v", res.ProbA[1], res.ProbB[1])
+	}
+}
+
+func TestTieBreakPermutationWeights(t *testing.T) {
+	// Two competing informers arrive simultaneously at v (pure
+	// competition): P(v adopts A) = 1/2 via the in-neighbor permutation.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 2, 1) // A-seed -> v
+	b.AddEdge(1, 2, 1) // B-seed -> v
+	g := b.MustBuild()
+	res, err := New(g, core.PureCompetition()).Eval([]int32{0}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ProbA[2]-0.5) > 1e-12 {
+		t.Fatalf("P(v adopts A) = %v, want 0.5", res.ProbA[2])
+	}
+	if math.Abs(res.ProbA[2]+res.ProbB[2]-1) > 1e-12 {
+		t.Fatalf("pure competition must give exactly one adoption: %v + %v",
+			res.ProbA[2], res.ProbB[2])
+	}
+}
+
+func TestSigmaAWrapper(t *testing.T) {
+	g := graph.Path(3, 1)
+	gap := core.GAP{QA0: 0.5, QAB: 0.5}
+	s, err := SigmaA(g, gap, []int32{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-(1+0.5+0.25)) > 1e-12 {
+		t.Fatalf("SigmaA = %v", s)
+	}
+}
+
+func TestAdoptionProbabilityWrapper(t *testing.T) {
+	g := graph.Path(2, 1)
+	gap := core.GAP{QA0: 0.5, QAB: 0.5, QB0: 0.25, QBA: 0.25}
+	pa, err := AdoptionProbability(g, gap, []int32{0}, []int32{0}, 1, core.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := AdoptionProbability(g, gap, []int32{0}, []int32{0}, 1, core.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa-0.5) > 1e-12 || math.Abs(pb-0.25) > 1e-12 {
+		t.Fatalf("P(A)=%v P(B)=%v", pa, pb)
+	}
+}
+
+func TestProbabilitiesSumToSigma(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		r := rng.New(uint64(40 + trial))
+		g := graph.ErdosRenyi(5, 4, r)
+		graph.AssignUniform(g, 0.5)
+		gap := core.GAP{QA0: 0.4, QAB: 0.8, QB0: 0.3, QBA: 0.9}
+		res, err := New(g, gap).Eval([]int32{0}, []int32{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumA, sumB := 0.0, 0.0
+		for v := 0; v < g.N(); v++ {
+			sumA += res.ProbA[v]
+			sumB += res.ProbB[v]
+		}
+		if math.Abs(sumA-res.SigmaA) > 1e-9 || math.Abs(sumB-res.SigmaB) > 1e-9 {
+			t.Fatalf("per-node probabilities inconsistent with spreads")
+		}
+	}
+}

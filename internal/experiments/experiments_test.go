@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{
+		Scale:        0.01,
+		Seed:         7,
+		K:            5,
+		OppositeSize: 10,
+		MCRuns:       300,
+		FixedTheta:   800,
+		DatasetNames: []string{"Flixster", "Douban-Book"},
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Scale != 0.05 || c.Seed != 42 || c.Epsilon != 0.5 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+	if c.K != 5 { // 50 * 0.05 = 2.5 -> floor 5
+		t.Fatalf("K default = %d", c.K)
+	}
+	if c.OppositeSize != 10 {
+		t.Fatalf("OppositeSize default = %d", c.OppositeSize)
+	}
+	if len(c.DatasetNames) != 4 {
+		t.Fatalf("dataset defaults = %v", c.DatasetNames)
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if scaled(100, 0.5, 10) != 50 {
+		t.Fatal("scaled(100, 0.5) != 50")
+	}
+	if scaled(100, 0.001, 10) != 10 {
+		t.Fatal("floor not applied")
+	}
+	if scaled(100, 2, 10) != 100 {
+		t.Fatal("cap at paper value not applied")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Nodes <= 0 || r.Edges <= 0 || r.AvgOutDeg <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	cfg := tiny()
+	cfg.DatasetNames = []string{"Flixster"}
+	res, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SelfRows) != 3 || len(res.CompRows) != 3 {
+		t.Fatalf("rows: self=%d comp=%d", len(res.SelfRows), len(res.CompRows))
+	}
+	for _, c := range res.SelfRows {
+		if c.Ours <= 0 || math.IsNaN(c.OverVanilla) || math.IsInf(c.OverVanilla, 0) {
+			t.Fatalf("bad cell %+v", c)
+		}
+		// Our seeds must not lose badly to either baseline: they optimize
+		// the same objective with the richer model.
+		if c.OverVanilla < -25 || c.OverCopying < -25 {
+			t.Fatalf("GeneralTIM lost to a baseline by >25%%: %+v", c)
+		}
+	}
+	tables := res.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("expected 2 tables")
+	}
+}
+
+func TestTable5to7Smoke(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.05
+	cfg.DatasetNames = []string{"Flixster"}
+	res, err := Table5to7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // four Flixster pairs
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		q := row.Learned.GAP
+		for _, v := range []float64{q.QA0, q.QAB, q.QB0, q.QBA} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("learned GAP out of range: %+v", q)
+			}
+		}
+		// The unconditional GAPs are learned tightly even at small scale.
+		if math.Abs(q.QA0-row.Spec.Truth.QA0) > 0.15 {
+			t.Fatalf("%s: qA0 learned %v truth %v", row.Spec.ItemA, q.QA0, row.Spec.Truth.QA0)
+		}
+	}
+}
+
+func TestTable8Smoke(t *testing.T) {
+	cfg := tiny()
+	cfg.DatasetNames = []string{"Flixster"}
+	res, err := Table8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		ratio := row.Ratios["Flixster"]
+		if ratio <= 0 || ratio > 1.25 {
+			t.Fatalf("%s ratio %v out of plausible range", row.Setting, ratio)
+		}
+	}
+}
+
+func TestFigure4Smoke(t *testing.T) {
+	cfg := tiny()
+	cfg.DatasetNames = []string{"Flixster"}
+	cfg.MaxTheta = 20000
+	res, err := Figure4(cfg, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 epsilons x 3 algorithms x 1 dataset.
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Seconds < 0 || p.Theta <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestFigure5And6Smoke(t *testing.T) {
+	cfg := tiny()
+	cfg.DatasetNames = []string{"Flixster"}
+	f5, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Points) != 5*4 { // kGrid(5) x 4 algorithms
+		t.Fatalf("figure 5 points = %d", len(f5.Points))
+	}
+	// RR at max k must beat Random at max k.
+	var rr, random float64
+	for _, p := range f5.Points {
+		if p.K == cfg.K {
+			switch p.Algorithm {
+			case "RR":
+				rr = p.Value
+			case "Random":
+				random = p.Value
+			}
+		}
+	}
+	if rr <= random {
+		t.Fatalf("RR (%v) did not beat Random (%v) at k=%d", rr, random, cfg.K)
+	}
+
+	f6, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.Points) != 5*4 {
+		t.Fatalf("figure 6 points = %d", len(f6.Points))
+	}
+	if f6.BaselineSpread["Flixster"] <= 0 {
+		t.Fatal("missing baseline spread")
+	}
+}
+
+func TestFigure7Smoke(t *testing.T) {
+	cfg := tiny()
+	cfg.DatasetNames = []string{"Flixster"}
+	f7, err := Figure7Time(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7.Rows) != 3 { // RR-SIM, RR-SIM+, RR-CIM (no greedy)
+		t.Fatalf("rows = %d", len(f7.Rows))
+	}
+	scale, err := Figure7Scale(cfg, []int{300, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scale.Points) != 6 {
+		t.Fatalf("scale points = %d", len(scale.Points))
+	}
+	for _, p := range scale.Points {
+		if p.Seconds < 0 {
+			t.Fatalf("negative duration %+v", p)
+		}
+	}
+}
+
+func TestFigure8Smoke(t *testing.T) {
+	cfg := tiny()
+	res, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SigmaS <= 0 || row.SigmaNu <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		if row.RelError < 0 || row.RelError > 1 {
+			t.Fatalf("relative error %v out of range", row.RelError)
+		}
+	}
+}
+
+func TestOppositeRegimes(t *testing.T) {
+	cfg := tiny()
+	cfg.DatasetNames = []string{"Flixster"}
+	ds, err := cfg.WithDefaults().loadDatasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds[0].Graph
+	c := cfg.WithDefaults()
+	top := c.oppositeSeeds(g, OppositeTop, 3)
+	next := c.oppositeSeeds(g, OppositeNext, 3)
+	random := c.oppositeSeeds(g, OppositeRandom, 3)
+	if len(top) != c.OppositeSize || len(next) != c.OppositeSize || len(random) != c.OppositeSize {
+		t.Fatalf("sizes: %d/%d/%d", len(top), len(next), len(random))
+	}
+	// Top and next must be disjoint (ranks 1..100 vs 101..200).
+	inTop := map[int32]bool{}
+	for _, v := range top {
+		inTop[v] = true
+	}
+	for _, v := range next {
+		if inTop[v] {
+			t.Fatalf("rank regimes overlap at node %d", v)
+		}
+	}
+	if OppositeTop.String() == "" || OppositeNext.String() == "" || OppositeRandom.String() == "" {
+		t.Fatal("regime names empty")
+	}
+}

@@ -1,0 +1,238 @@
+package graph
+
+import "sort"
+
+// PageRank computes PageRank scores with the given damping factor and
+// iteration count. When reversed is true the walk follows edges backwards
+// (v -> u for each influence edge u -> v), which scores nodes by how much
+// influence flows *out* of them; this is the variant used by the PageRank
+// seed-selection baseline in the paper's experiments (§7.3).
+func PageRank(g *Graph, damping float64, iters int, reversed bool) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	deg := make([]int, n)
+	for v := int32(0); v < int32(n); v++ {
+		if reversed {
+			deg[v] = g.InDegree(v)
+		} else {
+			deg[v] = g.OutDegree(v)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for u := int32(0); u < int32(n); u++ {
+			if deg[u] == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := rank[u] / float64(deg[u])
+			var nbrs []int32
+			if reversed {
+				nbrs, _ = g.InNeighbors(u)
+			} else {
+				nbrs, _ = g.OutNeighbors(u)
+			}
+			for _, v := range nbrs {
+				next[v] += share
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for i := range next {
+			next[i] = base + damping*next[i]
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// TopKByDegree returns the k nodes with highest out-degree (ties broken by
+// smaller id), the HighDegree baseline of §7.3.
+func TopKByDegree(g *Graph, k int) []int32 {
+	return topKBy(g.N(), k, func(v int32) float64 { return float64(g.OutDegree(v)) })
+}
+
+// TopKByScore returns the k nodes with highest score (ties by smaller id).
+func TopKByScore(score []float64, k int) []int32 {
+	return topKBy(len(score), k, func(v int32) float64 { return score[v] })
+}
+
+func topKBy(n, k int, score func(int32) float64) []int32 {
+	if k > n {
+		k = n
+	}
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := score(ids[i]), score(ids[j])
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	out := make([]int32, k)
+	copy(out, ids[:k])
+	return out
+}
+
+// StronglyConnectedComponents returns a component id per node, with ids in
+// [0, count). Uses Tarjan's algorithm with an explicit stack so deep graphs
+// do not overflow the goroutine stack.
+func StronglyConnectedComponents(g *Graph) (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var next int32 = 0
+
+	type frame struct {
+		v    int32
+		edge int32 // index into out-neighbor list
+	}
+	var call []frame
+
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != -1 {
+			continue
+		}
+		call = append(call[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			nbrs, _ := g.OutNeighbors(f.v)
+			if int(f.edge) < len(nbrs) {
+				w := nbrs[f.edge]
+				f.edge++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Pop frame.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := &call[len(call)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(count)
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	return comp, count
+}
+
+// LargestSCC returns the node ids (sorted) of the largest strongly connected
+// component, matching the paper's preprocessing of Flixster ("we extract a
+// strongly connected component", §7).
+func LargestSCC(g *Graph) []int32 {
+	comp, count := StronglyConnectedComponents(g)
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	var out []int32
+	for v, c := range comp {
+		if int(c) == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// Subgraph returns the induced subgraph on the given nodes, along with the
+// mapping from new ids to original ids.
+func Subgraph(g *Graph, nodes []int32) (*Graph, []int32) {
+	remap := make(map[int32]int32, len(nodes))
+	orig := make([]int32, len(nodes))
+	for i, v := range nodes {
+		remap[v] = int32(i)
+		orig[i] = v
+	}
+	b := NewBuilder(len(nodes))
+	for _, u := range nodes {
+		nu := remap[u]
+		to, eids := g.OutNeighbors(u)
+		for i, v := range to {
+			if nv, ok := remap[v]; ok {
+				b.AddEdge(nu, nv, g.Prob(eids[i]))
+			}
+		}
+	}
+	return b.MustBuild(), orig
+}
+
+// ForwardReachable returns the number of nodes reachable from roots
+// following out-edges (ignoring probabilities). Used in tests.
+func ForwardReachable(g *Graph, roots []int32) int {
+	seen := make([]bool, g.N())
+	var queue []int32
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	count := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		count++
+		nbrs, _ := g.OutNeighbors(u)
+		for _, v := range nbrs {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"math"
+
+	"comic/internal/rng"
+)
+
+// Generators for synthetic networks. The scalability experiments in the
+// paper (§7, Figure 7b) use "power-law random graphs ... with a power-law
+// degree exponent of 2.16" and average degree about 5; PowerLaw implements
+// the Chung-Lu expected-degree model used for that purpose. The remaining
+// generators provide controlled topologies for tests and examples.
+
+// PowerLaw returns a directed Chung-Lu graph with n nodes whose expected
+// degrees follow a power law with the given exponent, scaled so the average
+// out-degree is approximately avgDeg. Each sampled undirected pair is
+// directed both ways when bidirect is true (the convention for the
+// undirected datasets), otherwise a single random direction is used.
+func PowerLaw(n int, avgDeg, exponent float64, bidirect bool, r *rng.RNG) *Graph {
+	if n <= 1 {
+		return NewBuilder(n).MustBuild()
+	}
+	// Expected weight w_i ~ i^{-1/(exponent-1)}, the standard Chung-Lu
+	// construction for exponent > 2.
+	w := make([]float64, n)
+	sum := 0.0
+	p := 1.0 / (exponent - 1)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -p)
+		sum += w[i]
+	}
+	// Target number of undirected pairs so that directed average degree is
+	// avgDeg: bidirect doubles edges per pair.
+	pairsWanted := float64(n) * avgDeg
+	if bidirect {
+		pairsWanted /= 2
+	}
+	b := NewBuilder(n)
+	// Efficient sampling: pick endpoints proportionally to weight using the
+	// alias-free inverse-CDF over the sorted (descending) weights.
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i, wi := range w {
+		acc += wi
+		cdf[i] = acc
+	}
+	total := acc
+	sample := func() int32 {
+		x := r.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	target := int(pairsWanted)
+	for i := 0; i < target; i++ {
+		u, v := sample(), sample()
+		if u == v {
+			continue
+		}
+		if bidirect {
+			b.AddBoth(u, v, 0)
+		} else if r.Bernoulli(0.5) {
+			b.AddEdge(u, v, 0)
+		} else {
+			b.AddEdge(v, u, 0)
+		}
+	}
+	g := b.MustBuild()
+	return g
+}
+
+// ErdosRenyi returns a directed G(n, m) graph with m distinct random edges.
+func ErdosRenyi(n, m int, r *rng.RNG) *Graph {
+	b := NewBuilder(n)
+	seen := make(map[int64]bool, m)
+	added := 0
+	for added < m && len(seen) < n*(n-1) {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v, 0)
+		added++
+	}
+	return b.MustBuild()
+}
+
+// PreferentialAttachment returns a directed graph grown by preferential
+// attachment: each new node attaches out-edges to deg existing nodes chosen
+// proportionally to their current in-degree plus one.
+func PreferentialAttachment(n, deg int, r *rng.RNG) *Graph {
+	b := NewBuilder(n)
+	// targets holds one entry per unit of (in-degree + 1) mass.
+	targets := make([]int32, 0, n*(deg+1))
+	for v := 0; v < n; v++ {
+		k := deg
+		if v < deg {
+			k = v
+		}
+		chosen := make(map[int32]bool, k)
+		for len(chosen) < k {
+			t := targets[r.Intn(len(targets))]
+			if t == int32(v) || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			b.AddEdge(int32(v), t, 0)
+			targets = append(targets, t)
+		}
+		targets = append(targets, int32(v))
+	}
+	return b.MustBuild()
+}
+
+// Path returns the directed path 0 -> 1 -> ... -> n-1 with probability p on
+// every edge.
+func Path(n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1), p)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the directed cycle over n nodes with probability p.
+func Cycle(n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n), p)
+	}
+	return b.MustBuild()
+}
+
+// Star returns a graph where node 0 points to nodes 1..n-1 with probability p.
+func Star(n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i), p)
+	}
+	return b.MustBuild()
+}
+
+// Complete returns the complete directed graph on n nodes with probability p.
+func Complete(n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				b.AddEdge(int32(u), int32(v), p)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Grid returns a directed grid of rows x cols nodes with edges pointing
+// right and down, probability p.
+func Grid(rows, cols int, p float64) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1), p)
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c), p)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Probability assignment models.
+
+// AssignUniform sets every edge probability to p.
+func AssignUniform(g *Graph, p float64) {
+	probs := g.Probs()
+	for i := range probs {
+		probs[i] = p
+	}
+}
+
+// AssignWeightedCascade sets p(u,v) = 1/indeg(v), the standard
+// weighted-cascade substitution used when learned probabilities are
+// unavailable (see DESIGN.md substitution 2).
+func AssignWeightedCascade(g *Graph) {
+	for v := int32(0); v < int32(g.N()); v++ {
+		_, eids := g.InNeighbors(v)
+		if len(eids) == 0 {
+			continue
+		}
+		p := 1.0 / float64(len(eids))
+		for _, eid := range eids {
+			g.SetProb(eid, p)
+		}
+	}
+}
+
+// AssignTrivalency sets each edge probability uniformly at random from
+// {0.1, 0.01, 0.001}, the trivalency model of Chen et al. [9].
+func AssignTrivalency(g *Graph, r *rng.RNG) {
+	vals := [3]float64{0.1, 0.01, 0.001}
+	probs := g.Probs()
+	for i := range probs {
+		probs[i] = vals[r.Intn(3)]
+	}
+}

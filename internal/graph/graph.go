@@ -1,0 +1,248 @@
+// Package graph implements the directed social-network substrate used by the
+// Com-IC model: a compact CSR representation of a probabilistic digraph
+// G = (V, E, p) with p : E -> [0,1] (§2 of the paper), plus generators,
+// centrality measures, and serialization.
+//
+// Nodes are dense int32 ids in [0, N). Every directed edge has a stable edge
+// id in [0, M) shared between the out- and in-adjacency views, so per-edge
+// state (live/blocked coin flips in possible worlds) can be memoized in flat
+// arrays.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable directed graph with per-edge influence probabilities
+// in CSR (compressed sparse row) form for both directions.
+type Graph struct {
+	n int
+	m int
+
+	outOff []int32 // len n+1
+	outTo  []int32 // len m, destination of each out-slot
+	outEID []int32 // len m, edge id of each out-slot
+
+	inOff  []int32 // len n+1
+	inFrom []int32 // len m, source of each in-slot
+	inEID  []int32 // len m, edge id of each in-slot
+
+	prob []float64 // len m, indexed by edge id
+
+	edgeSrc    []int32 // len m, source of each edge id
+	outToByEID []int32 // len m, destination of each edge id
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return g.m }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u int32) int {
+	return int(g.outOff[u+1] - g.outOff[u])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v int32) int {
+	return int(g.inOff[v+1] - g.inOff[v])
+}
+
+// OutNeighbors returns the destinations and edge ids of u's outgoing edges.
+// The returned slices alias internal storage and must not be modified.
+func (g *Graph) OutNeighbors(u int32) (to, eids []int32) {
+	lo, hi := g.outOff[u], g.outOff[u+1]
+	return g.outTo[lo:hi], g.outEID[lo:hi]
+}
+
+// InNeighbors returns the sources and edge ids of v's incoming edges.
+// The returned slices alias internal storage and must not be modified.
+func (g *Graph) InNeighbors(v int32) (from, eids []int32) {
+	lo, hi := g.inOff[v], g.inOff[v+1]
+	return g.inFrom[lo:hi], g.inEID[lo:hi]
+}
+
+// Prob returns the influence probability of edge eid.
+func (g *Graph) Prob(eid int32) float64 { return g.prob[eid] }
+
+// SetProb overwrites the probability of edge eid. Probabilities are the only
+// mutable attribute of a built graph; topology is frozen.
+func (g *Graph) SetProb(eid int32, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: probability %v out of [0,1]", p))
+	}
+	g.prob[eid] = p
+}
+
+// Probs returns the backing probability slice indexed by edge id. Callers
+// may rescale probabilities in place (e.g. the weighted-cascade assignment),
+// but must keep every value in [0,1].
+func (g *Graph) Probs() []float64 { return g.prob }
+
+// EdgeEndpoints returns the (source, destination) pair of edge eid.
+// It is O(1): sources and destinations are stored per out-slot and edge ids
+// are assigned in out-slot order by the builder.
+func (g *Graph) EdgeEndpoints(eid int32) (u, v int32) {
+	return g.edgeSrc[eid], g.outToByEID[eid]
+}
+
+// AvgOutDegree returns the mean out-degree M/N.
+func (g *Graph) AvgOutDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(g.n)
+}
+
+// MaxOutDegree returns the maximum out-degree over all nodes.
+func (g *Graph) MaxOutDegree() int {
+	max := 0
+	for u := int32(0); u < int32(g.n); u++ {
+		if d := g.OutDegree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxInDegree returns the maximum in-degree over all nodes.
+func (g *Graph) MaxInDegree() int {
+	max := 0
+	for v := int32(0); v < int32(g.n); v++ {
+		if d := g.InDegree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	src   []int32
+	dst   []int32
+	prob  []float64
+	dedup bool
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, dedup: true}
+}
+
+// KeepDuplicates disables duplicate-edge merging (by default, parallel edges
+// (u,v) are merged keeping the maximum probability).
+func (b *Builder) KeepDuplicates() *Builder {
+	b.dedup = false
+	return b
+}
+
+// AddEdge records the directed edge (u, v) with probability p.
+func (b *Builder) AddEdge(u, v int32, p float64) *Builder {
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+	b.prob = append(b.prob, p)
+	return b
+}
+
+// AddBoth records both (u, v) and (v, u) with probability p, the convention
+// used for the undirected Flixster/Last.fm networks (§7: "we direct them in
+// both directions").
+func (b *Builder) AddBoth(u, v int32, p float64) *Builder {
+	return b.AddEdge(u, v, p).AddEdge(v, u, p)
+}
+
+// Build validates and freezes the accumulated edges into a Graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n < 0 {
+		return nil, errors.New("graph: negative node count")
+	}
+	for i := range b.src {
+		if b.src[i] < 0 || int(b.src[i]) >= b.n || b.dst[i] < 0 || int(b.dst[i]) >= b.n {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, b.src[i], b.dst[i], b.n)
+		}
+		if b.src[i] == b.dst[i] {
+			return nil, fmt.Errorf("graph: self-loop at node %d", b.src[i])
+		}
+		if b.prob[i] < 0 || b.prob[i] > 1 {
+			return nil, fmt.Errorf("graph: edge %d probability %v out of [0,1]", i, b.prob[i])
+		}
+	}
+
+	type edge struct {
+		u, v int32
+		p    float64
+	}
+	edges := make([]edge, len(b.src))
+	for i := range b.src {
+		edges[i] = edge{b.src[i], b.dst[i], b.prob[i]}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	if b.dedup {
+		out := edges[:0]
+		for _, e := range edges {
+			if len(out) > 0 && out[len(out)-1].u == e.u && out[len(out)-1].v == e.v {
+				if e.p > out[len(out)-1].p {
+					out[len(out)-1].p = e.p
+				}
+				continue
+			}
+			out = append(out, e)
+		}
+		edges = out
+	}
+
+	g := &Graph{n: b.n, m: len(edges)}
+	g.outOff = make([]int32, b.n+1)
+	g.inOff = make([]int32, b.n+1)
+	g.outTo = make([]int32, g.m)
+	g.outEID = make([]int32, g.m)
+	g.inFrom = make([]int32, g.m)
+	g.inEID = make([]int32, g.m)
+	g.prob = make([]float64, g.m)
+	g.edgeSrc = make([]int32, g.m)
+	g.outToByEID = make([]int32, g.m)
+
+	for _, e := range edges {
+		g.outOff[e.u+1]++
+		g.inOff[e.v+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	// Edge ids follow the sorted out-slot order, so filling out-CSR is a
+	// linear scan; the in-CSR is filled with a moving cursor per node.
+	inCursor := make([]int32, b.n)
+	copy(inCursor, g.inOff[:b.n])
+	for eid, e := range edges {
+		g.outTo[eid] = e.v
+		g.outEID[eid] = int32(eid)
+		g.prob[eid] = e.p
+		g.edgeSrc[eid] = e.u
+		g.outToByEID[eid] = e.v
+		c := inCursor[e.v]
+		g.inFrom[c] = e.u
+		g.inEID[c] = int32(eid)
+		inCursor[e.v] = c + 1
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// inputs are valid by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,516 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"comic/internal/rng"
+)
+
+func mustTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder(3).
+		AddEdge(0, 1, 0.5).
+		AddEdge(1, 2, 0.25).
+		AddEdge(2, 0, 1.0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBasic(t *testing.T) {
+	g := mustTriangle(t)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 3,3", g.N(), g.M())
+	}
+	to, eids := g.OutNeighbors(0)
+	if len(to) != 1 || to[0] != 1 {
+		t.Fatalf("out(0)=%v", to)
+	}
+	if g.Prob(eids[0]) != 0.5 {
+		t.Fatalf("prob(0->1)=%v", g.Prob(eids[0]))
+	}
+	from, _ := g.InNeighbors(0)
+	if len(from) != 1 || from[0] != 2 {
+		t.Fatalf("in(0)=%v", from)
+	}
+}
+
+func TestBuildRejectsBadEdges(t *testing.T) {
+	if _, err := NewBuilder(2).AddEdge(0, 5, 0.1).Build(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := NewBuilder(2).AddEdge(0, 0, 0.1).Build(); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := NewBuilder(2).AddEdge(0, 1, 1.5).Build(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := NewBuilder(2).AddEdge(0, 1, -0.1).Build(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, err := NewBuilder(-1).Build(); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+}
+
+func TestBuildDeduplicates(t *testing.T) {
+	g, err := NewBuilder(2).AddEdge(0, 1, 0.2).AddEdge(0, 1, 0.7).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M=%d, want 1 after dedup", g.M())
+	}
+	_, eids := g.OutNeighbors(0)
+	if g.Prob(eids[0]) != 0.7 {
+		t.Fatalf("dedup kept %v, want max 0.7", g.Prob(eids[0]))
+	}
+}
+
+func TestBuildKeepDuplicates(t *testing.T) {
+	g, err := NewBuilder(2).KeepDuplicates().AddEdge(0, 1, 0.2).AddEdge(0, 1, 0.7).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M=%d, want 2 with KeepDuplicates", g.M())
+	}
+}
+
+func TestAddBoth(t *testing.T) {
+	g := NewBuilder(2).AddBoth(0, 1, 0.3).MustBuild()
+	if g.M() != 2 {
+		t.Fatalf("M=%d want 2", g.M())
+	}
+	if g.OutDegree(0) != 1 || g.OutDegree(1) != 1 {
+		t.Fatal("AddBoth did not create edges in both directions")
+	}
+}
+
+func TestEdgeEndpoints(t *testing.T) {
+	g := mustTriangle(t)
+	for eid := int32(0); eid < int32(g.M()); eid++ {
+		u, v := g.EdgeEndpoints(eid)
+		to, eids := g.OutNeighbors(u)
+		found := false
+		for i := range to {
+			if eids[i] == eid && to[i] == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %d endpoints (%d,%d) not consistent with CSR", eid, u, v)
+		}
+	}
+}
+
+func TestSetProbPanicsOutOfRange(t *testing.T) {
+	g := mustTriangle(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetProb(1.5) did not panic")
+		}
+	}()
+	g.SetProb(0, 1.5)
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := Star(5, 0.1)
+	if g.MaxOutDegree() != 4 {
+		t.Fatalf("star max out-degree = %d", g.MaxOutDegree())
+	}
+	if g.MaxInDegree() != 1 {
+		t.Fatalf("star max in-degree = %d", g.MaxInDegree())
+	}
+	if got := g.AvgOutDegree(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("avg out-degree = %v", got)
+	}
+}
+
+// Property: for random graphs the in- and out-CSR views describe the same
+// edge set, and edge ids are consistent across views.
+func TestQuickCSRConsistency(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw % 60)
+		g := ErdosRenyi(n, m, rng.New(seed))
+		type key struct{ u, v int32 }
+		outSet := map[key]int32{}
+		for u := int32(0); u < int32(g.N()); u++ {
+			to, eids := g.OutNeighbors(u)
+			for i := range to {
+				outSet[key{u, to[i]}] = eids[i]
+			}
+		}
+		count := 0
+		for v := int32(0); v < int32(g.N()); v++ {
+			from, eids := g.InNeighbors(v)
+			for i := range from {
+				count++
+				if id, ok := outSet[key{from[i], v}]; !ok || id != eids[i] {
+					return false
+				}
+			}
+		}
+		return count == g.M() && len(outSet) == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiSize(t *testing.T) {
+	g := ErdosRenyi(50, 200, rng.New(1))
+	if g.N() != 50 || g.M() != 200 {
+		t.Fatalf("ER graph N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestPowerLawShape(t *testing.T) {
+	r := rng.New(42)
+	g := PowerLaw(2000, 8, 2.16, true, r)
+	if g.N() != 2000 {
+		t.Fatalf("N=%d", g.N())
+	}
+	avg := g.AvgOutDegree()
+	if avg < 4 || avg > 10 {
+		t.Fatalf("avg out-degree %v far from target 8", avg)
+	}
+	// Power-law graphs must be skewed: max degree far above average.
+	if float64(g.MaxOutDegree()) < 4*avg {
+		t.Fatalf("max degree %d not skewed vs avg %v", g.MaxOutDegree(), avg)
+	}
+}
+
+func TestPowerLawDirectedHalves(t *testing.T) {
+	r := rng.New(7)
+	bi := PowerLaw(1000, 6, 2.16, true, r)
+	r = rng.New(7)
+	uni := PowerLaw(1000, 6, 2.16, false, r)
+	// Both target the same average degree.
+	if math.Abs(bi.AvgOutDegree()-uni.AvgOutDegree()) > 2.5 {
+		t.Fatalf("bidirect avg %v vs unidirect %v", bi.AvgOutDegree(), uni.AvgOutDegree())
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(500, 3, rng.New(3))
+	if g.N() != 500 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// All but the first 3 nodes have out-degree 3.
+	for v := int32(3); v < 500; v++ {
+		if g.OutDegree(v) != 3 {
+			t.Fatalf("node %d out-degree %d", v, g.OutDegree(v))
+		}
+	}
+	if g.MaxInDegree() < 10 {
+		t.Fatalf("PA graph lacks hubs: max in-degree %d", g.MaxInDegree())
+	}
+}
+
+func TestFixedTopologies(t *testing.T) {
+	if g := Path(5, 1); g.M() != 4 || g.OutDegree(4) != 0 {
+		t.Fatal("bad path")
+	}
+	if g := Cycle(5, 1); g.M() != 5 || g.InDegree(0) != 1 {
+		t.Fatal("bad cycle")
+	}
+	if g := Complete(4, 0.5); g.M() != 12 {
+		t.Fatal("bad complete graph")
+	}
+	if g := Grid(3, 4, 0.5); g.N() != 12 || g.M() != 2*3*4-3-4 {
+		t.Fatalf("bad grid: M=%d", Grid(3, 4, 0.5).M())
+	}
+}
+
+func TestAssignUniform(t *testing.T) {
+	g := Complete(4, 0)
+	AssignUniform(g, 0.42)
+	for eid := int32(0); eid < int32(g.M()); eid++ {
+		if g.Prob(eid) != 0.42 {
+			t.Fatal("AssignUniform missed an edge")
+		}
+	}
+}
+
+func TestAssignWeightedCascade(t *testing.T) {
+	g := Star(5, 0)
+	AssignWeightedCascade(g)
+	for eid := int32(0); eid < int32(g.M()); eid++ {
+		if g.Prob(eid) != 1.0 { // every leaf has in-degree 1
+			t.Fatalf("weighted cascade prob %v, want 1", g.Prob(eid))
+		}
+	}
+	g2 := NewBuilder(3).AddEdge(0, 2, 0).AddEdge(1, 2, 0).MustBuild()
+	AssignWeightedCascade(g2)
+	for eid := int32(0); eid < 2; eid++ {
+		if g2.Prob(eid) != 0.5 {
+			t.Fatalf("weighted cascade prob %v, want 0.5", g2.Prob(eid))
+		}
+	}
+}
+
+func TestAssignTrivalency(t *testing.T) {
+	g := Complete(10, 0)
+	AssignTrivalency(g, rng.New(9))
+	for eid := int32(0); eid < int32(g.M()); eid++ {
+		p := g.Prob(eid)
+		if p != 0.1 && p != 0.01 && p != 0.001 {
+			t.Fatalf("trivalency produced %v", p)
+		}
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	g := Cycle(10, 1)
+	pr := PageRank(g, 0.85, 50, false)
+	for _, v := range pr {
+		if math.Abs(v-0.1) > 1e-9 {
+			t.Fatalf("cycle PageRank not uniform: %v", pr)
+		}
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// In a star with edges 0 -> i, forward PageRank concentrates on leaves;
+	// reversed PageRank concentrates on the hub.
+	g := Star(6, 1)
+	fwd := PageRank(g, 0.85, 50, false)
+	rev := PageRank(g, 0.85, 50, true)
+	if fwd[0] >= fwd[1] {
+		t.Fatalf("forward PR: hub %v >= leaf %v", fwd[0], fwd[1])
+	}
+	if rev[0] <= rev[1] {
+		t.Fatalf("reversed PR: hub %v <= leaf %v", rev[0], rev[1])
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := ErdosRenyi(100, 400, rng.New(5))
+	pr := PageRank(g, 0.85, 30, false)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+}
+
+func TestTopKByDegree(t *testing.T) {
+	g := NewBuilder(4).
+		AddEdge(2, 0, 1).AddEdge(2, 1, 1).AddEdge(2, 3, 1).
+		AddEdge(1, 0, 1).AddEdge(1, 3, 1).
+		AddEdge(0, 3, 1).
+		MustBuild()
+	got := TopKByDegree(g, 2)
+	if got[0] != 2 || got[1] != 1 {
+		t.Fatalf("TopKByDegree = %v, want [2 1]", got)
+	}
+}
+
+func TestTopKByScoreTieBreak(t *testing.T) {
+	got := TopKByScore([]float64{1, 3, 3, 2}, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("TopKByScore = %v", got)
+	}
+}
+
+func TestTopKClampsToN(t *testing.T) {
+	if got := TopKByScore([]float64{1, 2}, 10); len(got) != 2 {
+		t.Fatalf("TopK returned %d items", len(got))
+	}
+}
+
+func TestSCCOnCycleAndPath(t *testing.T) {
+	if _, count := StronglyConnectedComponents(Cycle(6, 1)); count != 1 {
+		t.Fatalf("cycle SCC count = %d", count)
+	}
+	if _, count := StronglyConnectedComponents(Path(6, 1)); count != 6 {
+		t.Fatalf("path SCC count = %d", count)
+	}
+}
+
+func TestSCCMixed(t *testing.T) {
+	// Two 3-cycles joined by a one-way bridge: 2 components.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(2, 0, 1)
+	b.AddEdge(3, 4, 1).AddEdge(4, 5, 1).AddEdge(5, 3, 1)
+	b.AddEdge(2, 3, 1)
+	comp, count := StronglyConnectedComponents(b.MustBuild())
+	if count != 2 {
+		t.Fatalf("SCC count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("first cycle split across components")
+	}
+	if comp[3] != comp[4] || comp[4] != comp[5] {
+		t.Fatal("second cycle split across components")
+	}
+	if comp[0] == comp[3] {
+		t.Fatal("bridged cycles merged into one SCC")
+	}
+}
+
+func TestLargestSCC(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(2, 0, 1) // 3-cycle
+	b.AddEdge(3, 4, 1).AddEdge(4, 3, 1)                  // 2-cycle
+	b.AddEdge(2, 3, 1).AddEdge(5, 6, 1)
+	got := LargestSCC(b.MustBuild())
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("LargestSCC = %v", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := mustTriangle(t)
+	sub, orig := Subgraph(g, []int32{0, 1})
+	if sub.N() != 2 || sub.M() != 1 {
+		t.Fatalf("subgraph N=%d M=%d", sub.N(), sub.M())
+	}
+	if orig[0] != 0 || orig[1] != 1 {
+		t.Fatalf("orig mapping %v", orig)
+	}
+	_, eids := sub.OutNeighbors(0)
+	if sub.Prob(eids[0]) != 0.5 {
+		t.Fatal("subgraph lost edge probability")
+	}
+}
+
+func TestForwardReachable(t *testing.T) {
+	g := Path(5, 1)
+	if got := ForwardReachable(g, []int32{0}); got != 5 {
+		t.Fatalf("reachable from 0 on path = %d", got)
+	}
+	if got := ForwardReachable(g, []int32{3}); got != 2 {
+		t.Fatalf("reachable from 3 on path = %d", got)
+	}
+	if got := ForwardReachable(g, []int32{0, 3}); got != 5 {
+		t.Fatalf("reachable from {0,3} = %d", got)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := ErdosRenyi(30, 120, rng.New(77))
+	AssignTrivalency(g, rng.New(78))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	for eid := int32(0); eid < int32(g.M()); eid++ {
+		u1, v1 := g.EdgeEndpoints(eid)
+		u2, v2 := g2.EdgeEndpoints(eid)
+		if u1 != u2 || v1 != v2 || g.Prob(eid) != g2.Prob(eid) {
+			t.Fatalf("edge %d mismatch after round trip", eid)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"3\n",
+		"2 1\n0 1\n",
+		"2 2\n0 1 0.5\n",
+		"2 1\n0 1 xyz\n",
+		"2 1\na 1 0.5\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadEdgeList(bytes.NewBufferString(in)); err == nil {
+			t.Fatalf("case %d: malformed input %q accepted", i, in)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsComments(t *testing.T) {
+	in := "# comment\n2 1\n\n# another\n0 1 0.5\n"
+	g, err := ReadEdgeList(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M=%d", g.M())
+	}
+}
+
+// Property: serialization round-trips for arbitrary random graphs.
+func TestQuickEdgeListRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		m := int(mRaw % 40)
+		g := ErdosRenyi(n, m, rng.New(seed))
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		for eid := int32(0); eid < int32(g.M()); eid++ {
+			u1, v1 := g.EdgeEndpoints(eid)
+			u2, v2 := g2.EdgeEndpoints(eid)
+			if u1 != u2 || v1 != v2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(1)
+	src := make([]int32, 100000)
+	dst := make([]int32, 100000)
+	for i := range src {
+		src[i] = int32(r.Intn(10000))
+		dst[i] = int32(r.Intn(10000))
+		if src[i] == dst[i] {
+			dst[i] = (dst[i] + 1) % 10000
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder(10000)
+		for j := range src {
+			bd.AddEdge(src[j], dst[j], 0.1)
+		}
+		bd.MustBuild()
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g := PowerLaw(10000, 10, 2.16, true, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRank(g, 0.85, 20, true)
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	g := PowerLaw(10000, 10, 2.16, true, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StronglyConnectedComponents(g)
+	}
+}

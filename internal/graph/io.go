@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list serialization. The format is the one used by public
+// influence-maximization datasets:
+//
+//	<n> <m>
+//	<src> <dst> <prob>
+//	...
+//
+// Lines starting with '#' are comments and are skipped.
+
+// WriteEdgeList writes g in text edge-list form.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for eid := int32(0); eid < int32(g.M()); eid++ {
+		u, v := g.EdgeEndpoints(eid)
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, v, g.Prob(eid)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list form produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var n, m int
+	headerRead := false
+	var b *Builder
+	edges := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !headerRead {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: header must be \"n m\", got %q", line)
+			}
+			var err error
+			if n, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("graph: bad node count: %v", err)
+			}
+			if m, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("graph: bad edge count: %v", err)
+			}
+			b = NewBuilder(n)
+			headerRead = true
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: edge line must be \"src dst prob\", got %q", line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad src: %v", err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad dst: %v", err)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad prob: %v", err)
+		}
+		b.AddEdge(int32(u), int32(v), p)
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !headerRead {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if edges != m {
+		return nil, fmt.Errorf("graph: header declared %d edges, found %d", m, edges)
+	}
+	return b.Build()
+}

@@ -1,0 +1,170 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"comic/internal/core"
+	"comic/internal/exact"
+	"comic/internal/graph"
+	"comic/internal/rng"
+)
+
+var testGAP = core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.9}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	g := graph.PowerLaw(300, 6, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	e := New(g, testGAP)
+	sa, sb := []int32{0, 1}, []int32{2}
+	var base Result
+	for wi, workers := range []int{1, 2, 3, 7} {
+		e.Workers = workers
+		res := e.Estimate(sa, sb, 500, 99)
+		if wi == 0 {
+			base = res
+			continue
+		}
+		if res.MeanA != base.MeanA || res.MeanB != base.MeanB {
+			t.Fatalf("workers=%d changed the estimate: %+v vs %+v", workers, res, base)
+		}
+		if res.StderrA != base.StderrA {
+			t.Fatalf("workers=%d changed the stderr", workers)
+		}
+	}
+}
+
+func TestEstimateMatchesExact(t *testing.T) {
+	g := graph.ErdosRenyi(5, 5, rng.New(7))
+	graph.AssignUniform(g, 0.6)
+	gap := core.GAP{QA0: 0.4, QAB: 0.9, QB0: 0.5, QBA: 0.8}
+	want, err := exact.New(g, gap).Eval([]int32{0}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, gap)
+	res := e.Estimate([]int32{0}, []int32{1}, 60000, 13)
+	if math.Abs(res.MeanA-want.SigmaA) > 4*res.StderrA+0.01 {
+		t.Fatalf("MC σA = %v ± %v, exact %v", res.MeanA, res.StderrA, want.SigmaA)
+	}
+	if math.Abs(res.MeanB-want.SigmaB) > 4*res.StderrB+0.01 {
+		t.Fatalf("MC σB = %v ± %v, exact %v", res.MeanB, res.StderrB, want.SigmaB)
+	}
+}
+
+func TestZeroRuns(t *testing.T) {
+	g := graph.Path(3, 1)
+	e := New(g, testGAP)
+	if res := e.Estimate([]int32{0}, nil, 0, 1); res.MeanA != 0 || res.Runs != 0 {
+		t.Fatalf("zero runs produced %+v", res)
+	}
+	if m, s := e.BoostPaired([]int32{0}, []int32{1}, 0, 1); m != 0 || s != 0 {
+		t.Fatal("zero-run BoostPaired should return zeros")
+	}
+}
+
+func TestSingleRunNoStderr(t *testing.T) {
+	g := graph.Path(3, 1)
+	e := New(g, core.GAP{QA0: 1, QAB: 1})
+	res := e.Estimate([]int32{0}, nil, 1, 5)
+	if res.MeanA != 3 {
+		t.Fatalf("deterministic path spread %v", res.MeanA)
+	}
+	if res.StderrA != 0 {
+		t.Fatalf("single run must have zero stderr, got %v", res.StderrA)
+	}
+}
+
+func TestSpreadAccessors(t *testing.T) {
+	g := graph.Path(4, 1)
+	e := New(g, core.GAP{QA0: 1, QAB: 1, QB0: 1, QBA: 1})
+	if got := e.SpreadA([]int32{0}, nil, 10, 1); got != 4 {
+		t.Fatalf("SpreadA = %v", got)
+	}
+	if got := e.SpreadB(nil, []int32{2}, 10, 1); got != 2 {
+		t.Fatalf("SpreadB = %v", got)
+	}
+}
+
+func TestBoostMatchesExact(t *testing.T) {
+	// Mutual complementarity: B seeds near the A seed raise A's spread.
+	g := graph.Path(5, 0.9)
+	gap := core.GAP{QA0: 0.2, QAB: 0.9, QB0: 0.9, QBA: 1}
+	sa, sb := []int32{0}, []int32{0}
+	with, err := exact.SigmaA(g, gap, sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := exact.SigmaA(g, gap, sa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := with - without
+	if want <= 0 {
+		t.Fatalf("test instance has no boost (%v)", want)
+	}
+	e := New(g, gap)
+	indep := e.Boost(sa, sb, 60000, 3)
+	paired, stderr := e.BoostPaired(sa, sb, 30000, 4)
+	if math.Abs(indep-want) > 0.05 {
+		t.Fatalf("independent boost %v, want %v", indep, want)
+	}
+	if math.Abs(paired-want) > 4*stderr+0.02 {
+		t.Fatalf("paired boost %v ± %v, want %v", paired, stderr, want)
+	}
+}
+
+func TestPairedBoostVarianceReduction(t *testing.T) {
+	// Ablation (DESIGN.md §6): with common random numbers the boost
+	// estimator's variance per run is far below the independent-runs
+	// variance, which is dominated by world noise.
+	g := graph.PowerLaw(400, 6, 2.16, true, rng.New(9))
+	graph.AssignWeightedCascade(g)
+	gap := core.GAP{QA0: 0.2, QAB: 0.9, QB0: 0.6, QBA: 0.9}
+	e := New(g, gap)
+	sa := []int32{0, 1, 2}
+	sb := []int32{0, 1, 2}
+	const runs = 2000
+	_, pairedStderr := e.BoostPaired(sa, sb, runs, 11)
+	resWith := e.Estimate(sa, sb, runs, 12)
+	resWithout := e.Estimate(sa, nil, runs, 13)
+	indepStderr := math.Sqrt(resWith.StderrA*resWith.StderrA + resWithout.StderrA*resWithout.StderrA)
+	if pairedStderr >= indepStderr {
+		t.Fatalf("paired stderr %v not below independent stderr %v", pairedStderr, indepStderr)
+	}
+}
+
+func TestBoostPairedDeterministic(t *testing.T) {
+	g := graph.ErdosRenyi(50, 200, rng.New(21))
+	graph.AssignUniform(g, 0.3)
+	e := New(g, testGAP)
+	e.Workers = 1
+	m1, _ := e.BoostPaired([]int32{0}, []int32{1}, 200, 31)
+	e.Workers = 4
+	m2, _ := e.BoostPaired([]int32{0}, []int32{1}, 200, 31)
+	if m1 != m2 {
+		t.Fatalf("BoostPaired not worker-invariant: %v vs %v", m1, m2)
+	}
+}
+
+func BenchmarkEstimate10K(b *testing.B) {
+	g := graph.PowerLaw(2000, 8, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	e := New(g, testGAP)
+	sa, sb := []int32{0, 1, 2, 3, 4}, []int32{5, 6, 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Estimate(sa, sb, 10000, uint64(i))
+	}
+}
+
+func BenchmarkBoostPaired(b *testing.B) {
+	g := graph.PowerLaw(2000, 8, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	e := New(g, testGAP)
+	sa, sb := []int32{0, 1, 2, 3, 4}, []int32{5, 6, 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BoostPaired(sa, sb, 1000, uint64(i))
+	}
+}

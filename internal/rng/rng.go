@@ -1,0 +1,163 @@
+// Package rng provides a small, fast, deterministic random number generator
+// used throughout the library.
+//
+// Reproducibility is a first-class requirement for the experiment harness:
+// every simulation, possible world, and RR-set must be regenerable from a
+// single seed regardless of scheduling, so rng exposes a splittable PCG-style
+// generator. Independent streams are derived with Split, which hashes the
+// parent state with a stream index, so parallel workers draw from
+// statistically independent sequences that do not depend on goroutine
+// interleaving.
+package rng
+
+import "math"
+
+// RNG is a PCG-XSH-RR 64/32-inspired generator with a 64-bit state and a
+// 64-bit odd increment selecting the stream. The zero value is NOT usable;
+// construct with New or Split.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMult = 6364136223846793005
+
+// splitMix64 is used for seeding and stream derivation.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the deterministic state derived from seed.
+func (r *RNG) Reseed(seed uint64) {
+	r.state = splitMix64(seed)
+	r.inc = splitMix64(seed^0xda3e39cb94b95bdb) | 1
+	r.Uint64()
+}
+
+// Split derives an independent stream identified by index i. Splitting the
+// same generator state with the same index always yields the same stream,
+// which is what makes parallel Monte-Carlo runs schedule-independent: run j
+// uses Split(j) of the experiment master seed.
+func (r *RNG) Split(i uint64) *RNG {
+	child := &RNG{
+		state: splitMix64(r.state ^ splitMix64(i)),
+		inc:   splitMix64(r.inc^splitMix64(i^0xa0761d6478bd642f)) | 1,
+	}
+	child.Uint64()
+	return child
+}
+
+// NewStream returns the i-th independent stream of the master seed without
+// constructing an intermediate generator.
+func NewStream(seed, i uint64) *RNG {
+	return New(splitMix64(seed) ^ splitMix64(i*0x9e3779b97f4a7c15+1))
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	// Two rounds of PCG-XSH-RR 64/32 glued together.
+	hi := uint64(r.next32())
+	lo := uint64(r.next32())
+	return hi<<32 | lo
+}
+
+func (r *RNG) next32() uint32 {
+	old := r.state
+	r.state = old*pcgMult + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 { return r.next32() }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless method on 64 bits.
+	v := r.Uint64()
+	hi, _ := mul64(v, uint64(n))
+	return int(hi)
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Int31 returns a uniform int32 in [0, n).
+func (r *RNG) Int31(n int32) int32 { return int32(r.Intn(int(n))) }
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int32) {
+	for i := range out {
+		out[i] = int32(i)
+	}
+	r.Shuffle(out)
+}
+
+// Shuffle permutes s uniformly at random (Fisher-Yates).
+func (r *RNG) Shuffle(s []int32) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller; no caching so
+// the draw count stays deterministic and obvious).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Exp returns an exponential variate with rate 1.
+func (r *RNG) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

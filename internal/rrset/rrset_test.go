@@ -1,0 +1,669 @@
+package rrset
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"comic/internal/core"
+	"comic/internal/exact"
+	"comic/internal/graph"
+	"comic/internal/montecarlo"
+	"comic/internal/rng"
+)
+
+// sortedNodes returns a sorted copy of an RR set's nodes.
+func sortedNodes(s *RRSet) []int32 {
+	out := append([]int32(nil), s.Nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func setsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteForceSelfRR computes RR(root) for SelfInfMax by Definition 1: run
+// the deterministic cascade with every singleton A-seed in the world.
+func bruteForceSelfRR(g *graph.Graph, gap core.GAP, w *core.World, seedsB []int32, root int32) []int32 {
+	sim := core.NewSimulator(g, gap)
+	sim.SetWorld(w)
+	var out []int32
+	for u := int32(0); u < int32(g.N()); u++ {
+		sim.Run([]int32{u}, seedsB, nil)
+		if sim.StateOf(root, core.A) == core.Adopted {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// bruteForceCompRR computes RR(root) for CompInfMax by Definition 1: root
+// must flip from not-A-adopted (S_B = ∅) to A-adopted (S_B = {u}).
+func bruteForceCompRR(g *graph.Graph, gap core.GAP, w *core.World, seedsA []int32, root int32) []int32 {
+	sim := core.NewSimulator(g, gap)
+	sim.SetWorld(w)
+	sim.Run(seedsA, nil, nil)
+	if sim.StateOf(root, core.A) == core.Adopted {
+		return nil
+	}
+	var out []int32
+	for u := int32(0); u < int32(g.N()); u++ {
+		sim.Run(seedsA, []int32{u}, nil)
+		if sim.StateOf(root, core.A) == core.Adopted {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func randomGraphWorld(seed uint64, n, m int, p float64) (*graph.Graph, *core.World, *rng.RNG) {
+	r := rng.New(seed)
+	g := graph.ErdosRenyi(n, m, r)
+	graph.AssignUniform(g, p)
+	w := core.SampleWorld(g, r)
+	return g, w, r
+}
+
+func TestICBruteForce(t *testing.T) {
+	// For IC RR sets: u ∈ RR(v) iff v is forward-reachable from u over
+	// live edges.
+	for trial := 0; trial < 40; trial++ {
+		g, w, r := randomGraphWorld(uint64(100+trial), 20, 60, 0.5)
+		gen := NewIC(g)
+		gen.SetWorld(w)
+		root := int32(r.Intn(g.N()))
+		var set RRSet
+		gen.Generate(root, rng.New(1), &set)
+		got := sortedNodes(&set)
+
+		var want []int32
+		sim := core.NewSimulator(g, core.ClassicIC())
+		sim.SetWorld(w)
+		for u := int32(0); u < int32(g.N()); u++ {
+			sim.Run([]int32{u}, nil, nil)
+			if sim.StateOf(root, core.A) == core.Adopted {
+				want = append(want, u)
+			}
+		}
+		if !setsEqual(got, want) {
+			t.Fatalf("trial %d root %d: IC RR %v != brute force %v", trial, root, got, want)
+		}
+	}
+}
+
+func TestSIMBruteForce(t *testing.T) {
+	// RR-SIM must reproduce the Definition 1 set exactly, world by world
+	// (Theorem 7), under one-way complementarity.
+	for trial := 0; trial < 40; trial++ {
+		r := rng.New(uint64(200 + trial))
+		g := graph.ErdosRenyi(20, 60, r)
+		graph.AssignUniform(g, 0.5)
+		qb := r.Float64()
+		gap := core.GAP{QA0: 0.3 * r.Float64(), QAB: 0.5 + 0.5*r.Float64(), QB0: qb, QBA: qb}
+		w := core.SampleWorld(g, r)
+		seedsB := []int32{int32(r.Intn(g.N())), int32(r.Intn(g.N()))}
+		root := int32(r.Intn(g.N()))
+
+		gen, err := NewSIM(g, gap, seedsB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.SetWorld(w)
+		var set RRSet
+		gen.Generate(root, rng.New(1), &set)
+		got := sortedNodes(&set)
+		want := bruteForceSelfRR(g, gap, w, seedsB, root)
+		if !setsEqual(got, want) {
+			t.Fatalf("trial %d root %d gap %+v: RR-SIM %v != brute force %v",
+				trial, root, gap, got, want)
+		}
+	}
+}
+
+func TestSIMPlusMatchesSIMWorldForWorld(t *testing.T) {
+	// Lemma 7: given the same possible world, RR-SIM and RR-SIM+ produce
+	// identical RR sets.
+	for trial := 0; trial < 40; trial++ {
+		r := rng.New(uint64(300 + trial))
+		g := graph.ErdosRenyi(25, 80, r)
+		graph.AssignUniform(g, 0.4)
+		qb := r.Float64()
+		gap := core.GAP{QA0: 0.2, QAB: 0.8, QB0: qb, QBA: qb}
+		w := core.SampleWorld(g, r)
+		seedsB := []int32{int32(r.Intn(g.N()))}
+		root := int32(r.Intn(g.N()))
+
+		sim, err := NewSIM(g, gap, seedsB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plus, err := NewSIMPlus(g, gap, seedsB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetWorld(w)
+		plus.SetWorld(w)
+		var a, b RRSet
+		sim.Generate(root, rng.New(1), &a)
+		plus.Generate(root, rng.New(2), &b)
+		if !setsEqual(sortedNodes(&a), sortedNodes(&b)) {
+			t.Fatalf("trial %d: RR-SIM %v != RR-SIM+ %v", trial, sortedNodes(&a), sortedNodes(&b))
+		}
+		if a.Width != b.Width {
+			t.Fatalf("trial %d: widths differ: %d vs %d", trial, a.Width, b.Width)
+		}
+	}
+}
+
+func TestCIMBruteForce(t *testing.T) {
+	// RR-CIM must reproduce the Definition 1 boost set exactly, world by
+	// world (Theorem 8), when q_{B|A} = 1.
+	for trial := 0; trial < 60; trial++ {
+		r := rng.New(uint64(400 + trial))
+		g := graph.ErdosRenyi(18, 54, r)
+		graph.AssignUniform(g, 0.5)
+		qa0 := 0.4 * r.Float64()
+		gap := core.GAP{QA0: qa0, QAB: qa0 + (1-qa0)*r.Float64(), QB0: r.Float64(), QBA: 1}
+		w := core.SampleWorld(g, r)
+		seedsA := []int32{int32(r.Intn(g.N())), int32(r.Intn(g.N()))}
+		root := int32(r.Intn(g.N()))
+
+		gen, err := NewCIM(g, gap, seedsA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.SetWorld(w)
+		var set RRSet
+		gen.Generate(root, rng.New(1), &set)
+		got := sortedNodes(&set)
+		want := bruteForceCompRR(g, gap, w, seedsA, root)
+		if !setsEqual(got, want) {
+			t.Fatalf("trial %d root %d gap %+v seedsA %v:\nRR-CIM      %v\nbrute force %v",
+				trial, root, gap, seedsA, got, want)
+		}
+	}
+}
+
+func TestCIMFigure3ZigZag(t *testing.T) {
+	// Figure 3: a -> u0 ... u0 <-> u via a B-diffusible forward path and an
+	// AB-diffusible backward path; u is A-potential but not AB-diffusible
+	// and must still enter the RR set (Case 4).
+	// Layout: a(0) -> u0(1) -> u(2) -> v(3), u(2) -> u0 would make a cycle;
+	// instead: u -> x(4) -> u0 gives the B path u ~> u0, and u0 -> u the
+	// A path.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 1) // a -> u0 (A information)
+	b.AddEdge(1, 2, 1) // u0 -> u (A relay back)
+	b.AddEdge(2, 3, 1) // u -> v (root)
+	b.AddEdge(2, 4, 1) // u -> x (B path)
+	b.AddEdge(4, 1, 1) // x -> u0
+	g := b.MustBuild()
+	gap := core.GAP{QA0: 0.2, QAB: 0.8, QB0: 0.5, QBA: 1}
+	w := &core.World{
+		EdgeLive:  []bool{true, true, true, true, true},
+		AlphaA:    make([]float64, 5),
+		AlphaB:    make([]float64, 5),
+		EdgeRank:  make([]float64, 5),
+		SeedFirst: make([]core.Item, 5),
+	}
+	// u0(1): A-suspended (qA0 < α ≤ qAB) and AB-diffusible (αB ≤ qB0).
+	w.AlphaA[1], w.AlphaB[1] = 0.5, 0.3
+	// u(2): A-potential-able (α ≤ qAB) but NOT AB-diffusible (αB > qB0).
+	w.AlphaA[2], w.AlphaB[2] = 0.5, 0.9
+	// x(4): B-diffusible relay.
+	w.AlphaA[4], w.AlphaB[4] = 0.95, 0.3
+	// v(3): adopts A whenever informed.
+	w.AlphaA[3], w.AlphaB[3] = 0.1, 0.9
+	// a(0) is the A-seed.
+	seedsA := []int32{0}
+
+	gen, err := NewCIM(g, gap, seedsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.SetWorld(w)
+	var set RRSet
+	gen.Generate(3, rng.New(1), &set)
+	got := sortedNodes(&set)
+	want := bruteForceCompRR(g, gap, w, seedsA, 3)
+	if !setsEqual(got, want) {
+		t.Fatalf("zig-zag RR %v != brute force %v", got, want)
+	}
+	// u (node 2) must be in the set: seeding B at u triggers the zig-zag.
+	found := false
+	for _, v := range got {
+		if v == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("case-4 node u missing from RR set %v", got)
+	}
+}
+
+func TestSIMActivationEquivalence(t *testing.T) {
+	// Definition 2 with lazy sampling: P(S ∩ RR(v) ≠ ∅) over random worlds
+	// equals P(S activates v), computed exactly.
+	r := rng.New(91)
+	g := graph.ErdosRenyi(6, 7, r)
+	graph.AssignUniform(g, 0.7)
+	gap := core.GAP{QA0: 0.3, QAB: 0.9, QB0: 0.6, QBA: 0.6}
+	seedsB := []int32{0}
+	root := int32(3)
+	S := []int32{1, 5}
+
+	want, err := exact.AdoptionProbability(g, gap, S, seedsB, root, core.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := NewSIM(g, gap, seedsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 60000
+	hits := 0
+	var set RRSet
+	inS := map[int32]bool{1: true, 5: true}
+	for i := 0; i < draws; i++ {
+		gen.Generate(root, rng.NewStream(92, uint64(i)), &set)
+		for _, u := range set.Nodes {
+			if inS[u] {
+				hits++
+				break
+			}
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-want) > 0.012 {
+		t.Fatalf("activation equivalence: RR overlap %v, exact activation %v", got, want)
+	}
+}
+
+func TestCIMActivationEquivalence(t *testing.T) {
+	r := rng.New(93)
+	g := graph.ErdosRenyi(6, 5, r)
+	graph.AssignUniform(g, 0.85)
+	gap := core.GAP{QA0: 0.2, QAB: 0.8, QB0: 0.4, QBA: 1}
+	seedsA := []int32{0}
+	root := int32(4)
+	S := []int32{2, 5}
+
+	with, err := exact.AdoptionProbability(g, gap, seedsA, S, root, core.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := exact.AdoptionProbability(g, gap, seedsA, nil, root, core.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := with - without
+
+	gen, err := NewCIM(g, gap, seedsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 60000
+	hits := 0
+	var set RRSet
+	inS := map[int32]bool{2: true, 5: true}
+	for i := 0; i < draws; i++ {
+		gen.Generate(root, rng.NewStream(94, uint64(i)), &set)
+		for _, u := range set.Nodes {
+			if inS[u] {
+				hits++
+				break
+			}
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-want) > 0.012 {
+		t.Fatalf("activation equivalence: RR overlap %v, exact boost %v", got, want)
+	}
+}
+
+func TestNewSIMRejectsBadGAPs(t *testing.T) {
+	g := graph.Path(3, 1)
+	if _, err := NewSIM(g, core.GAP{QA0: 0.5, QAB: 0.9, QB0: 0.3, QBA: 0.8}, nil); err == nil {
+		t.Fatal("RR-SIM accepted qB0 != qBA")
+	}
+	if _, err := NewSIM(g, core.GAP{QA0: 0.9, QAB: 0.5, QB0: 0.3, QBA: 0.3}, nil); err == nil {
+		t.Fatal("RR-SIM accepted qA0 > qAB")
+	}
+	if _, err := NewSIM(g, core.GAP{QA0: 2, QAB: 0.5, QB0: 0.3, QBA: 0.3}, nil); err == nil {
+		t.Fatal("RR-SIM accepted invalid GAP")
+	}
+}
+
+func TestNewCIMRejectsBadGAPs(t *testing.T) {
+	g := graph.Path(3, 1)
+	if _, err := NewCIM(g, core.GAP{QA0: 0.2, QAB: 0.8, QB0: 0.4, QBA: 0.9}, nil); err == nil {
+		t.Fatal("RR-CIM accepted qBA != 1")
+	}
+	if _, err := NewCIM(g, core.GAP{QA0: 0.9, QAB: 0.5, QB0: 0.4, QBA: 1}, nil); err == nil {
+		t.Fatal("RR-CIM accepted qA0 > qAB")
+	}
+}
+
+func TestSIMEmptySeedsBReducesToThresholdIC(t *testing.T) {
+	// With no B seeds and qA0 = qAB = 1, RR-SIM equals IC RR sets.
+	for trial := 0; trial < 20; trial++ {
+		g, w, r := randomGraphWorld(uint64(500+trial), 15, 40, 0.5)
+		gap := core.GAP{QA0: 1, QAB: 1, QB0: 0.5, QBA: 0.5}
+		gen, err := NewSIM(g, gap, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic := NewIC(g)
+		gen.SetWorld(w)
+		ic.SetWorld(w)
+		root := int32(r.Intn(g.N()))
+		var a, b RRSet
+		gen.Generate(root, rng.New(1), &a)
+		ic.Generate(root, rng.New(2), &b)
+		if !setsEqual(sortedNodes(&a), sortedNodes(&b)) {
+			t.Fatalf("trial %d: SIM-with-empty-B %v != IC %v", trial, sortedNodes(&a), sortedNodes(&b))
+		}
+	}
+}
+
+func TestCIMEmptyForAdoptedRoot(t *testing.T) {
+	// Root that adopts A without B help yields an empty RR set.
+	g := graph.Path(3, 1)
+	gap := core.GAP{QA0: 1, QAB: 1, QB0: 0.5, QBA: 1}
+	gen, err := NewCIM(g, gap, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set RRSet
+	gen.Generate(2, rng.New(3), &set)
+	if len(set.Nodes) != 0 {
+		t.Fatalf("RR set for an always-adopting root: %v", set.Nodes)
+	}
+	if gen.Counters().EmptySets != 1 {
+		t.Fatal("EmptySets counter not incremented")
+	}
+}
+
+func TestCIMEmptyForUnreachableRoot(t *testing.T) {
+	g := graph.Path(3, 1)
+	gap := core.GAP{QA0: 0.5, QAB: 0.9, QB0: 0.5, QBA: 1}
+	gen, err := NewCIM(g, gap, nil) // no A seeds at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set RRSet
+	gen.Generate(1, rng.New(3), &set)
+	if len(set.Nodes) != 0 {
+		t.Fatalf("RR set without any A seed: %v", set.Nodes)
+	}
+}
+
+func TestWidthMatchesInDegrees(t *testing.T) {
+	g := graph.Star(5, 1)
+	gen := NewIC(g)
+	var set RRSet
+	gen.Generate(2, rng.New(1), &set) // leaf: contains leaf + hub
+	want := int64(0)
+	for _, v := range set.Nodes {
+		want += int64(g.InDegree(v))
+	}
+	if set.Width != want {
+		t.Fatalf("width %d, want %d", set.Width, want)
+	}
+}
+
+func TestLambdaFormula(t *testing.T) {
+	n, k := 1000, 10
+	eps, ell := 0.5, 1.0
+	got := Lambda(n, k, eps, ell)
+	want := (8 + 2*eps) * float64(n) *
+		(ell*math.Log(float64(n)) + lnChoose(n, k) + math.Ln2) / (eps * eps)
+	if got != want {
+		t.Fatalf("Lambda = %v, want %v", got, want)
+	}
+	if Lambda(1, 1, 0.5, 1) != 1 {
+		t.Fatal("Lambda must degrade gracefully for n < 2")
+	}
+}
+
+func TestLnChoose(t *testing.T) {
+	if got := lnChoose(5, 2); math.Abs(got-math.Log(10)) > 1e-9 {
+		t.Fatalf("lnChoose(5,2) = %v", got)
+	}
+	if lnChoose(5, 0) != 0 || lnChoose(5, 6) != 0 {
+		t.Fatal("lnChoose edge cases wrong")
+	}
+}
+
+func TestThetaClamping(t *testing.T) {
+	if Theta(100, 10, 0) != 10 {
+		t.Fatal("theta basic division wrong")
+	}
+	if Theta(100, 10, 5) != 5 {
+		t.Fatal("theta max clamp wrong")
+	}
+	if Theta(0.5, 10, 0) != 1 {
+		t.Fatal("theta lower clamp wrong")
+	}
+	if Theta(100, 0.5, 0) != 100 {
+		t.Fatal("theta must clamp KPT below 1")
+	}
+}
+
+func TestEstimateKPTBounds(t *testing.T) {
+	g := graph.PowerLaw(500, 6, 2.16, true, rng.New(7))
+	graph.AssignWeightedCascade(g)
+	gen := NewIC(g)
+	kpt := EstimateKPT(gen, g.M(), 10, 1, 11)
+	if kpt < 1 || kpt > float64(g.N()) {
+		t.Fatalf("KPT = %v outside [1, n]", kpt)
+	}
+}
+
+func TestSelectMaxCoverageHandPicked(t *testing.T) {
+	sets := []RRSet{
+		{Nodes: []int32{0, 1}},
+		{Nodes: []int32{1, 2}},
+		{Nodes: []int32{1}},
+		{Nodes: []int32{3}},
+	}
+	seeds, covered := SelectMaxCoverage(sets, 4, 1)
+	if seeds[0] != 1 || covered != 3 {
+		t.Fatalf("seeds=%v covered=%d, want node 1 covering 3", seeds, covered)
+	}
+	seeds, covered = SelectMaxCoverage(sets, 4, 2)
+	if covered != 4 {
+		t.Fatalf("two seeds should cover all: %v covered=%d", seeds, covered)
+	}
+}
+
+func TestSelectMaxCoverageEmptySets(t *testing.T) {
+	sets := []RRSet{{Nodes: nil}, {Nodes: []int32{2}}}
+	seeds, covered := SelectMaxCoverage(sets, 3, 1)
+	if seeds[0] != 2 || covered != 1 {
+		t.Fatalf("seeds=%v covered=%d", seeds, covered)
+	}
+}
+
+func TestCollectDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.PowerLaw(300, 6, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	gen1 := NewIC(g)
+	sets1 := Collect(gen1, 200, 1, 77)
+	gen2 := NewIC(g)
+	sets2 := Collect(gen2, 200, 4, 77)
+	for i := range sets1 {
+		if !setsEqual(sortedNodes(&sets1[i]), sortedNodes(&sets2[i])) {
+			t.Fatalf("set %d differs between worker counts", i)
+		}
+	}
+	// Counters must be accumulated identically.
+	if gen1.Counters().Sets != gen2.Counters().Sets {
+		t.Fatal("counters differ across worker counts")
+	}
+}
+
+func TestGeneralTIMPicksHubUnderIC(t *testing.T) {
+	g := graph.Star(50, 1)
+	gen := NewIC(g)
+	seeds, st := GeneralTIM(gen, g.M(), 1, Options{FixedTheta: 500}, 3)
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Fatalf("GeneralTIM picked %v, want hub 0", seeds)
+	}
+	if st.Theta != 500 {
+		t.Fatalf("theta = %d", st.Theta)
+	}
+	if st.SpreadEstimate < 45 {
+		t.Fatalf("spread estimate %v too low for a p=1 star", st.SpreadEstimate)
+	}
+}
+
+func TestGeneralTIMSelfInfMaxQuality(t *testing.T) {
+	// On a small instance, GeneralTIM with RR-SIM should find a seed whose
+	// Monte-Carlo spread is within 90% of the best single node's.
+	r := rng.New(55)
+	g := graph.ErdosRenyi(12, 36, r)
+	graph.AssignUniform(g, 0.7)
+	gap := core.GAP{QA0: 0.4, QAB: 0.9, QB0: 0.5, QBA: 0.5}
+	seedsB := []int32{0}
+	gen, err := NewSIM(g, gap, seedsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, _ := GeneralTIM(gen, g.M(), 1, Options{FixedTheta: 4000}, 9)
+
+	est := montecarlo.New(g, gap)
+	evalOne := func(u int32) float64 {
+		return est.SpreadA([]int32{u}, seedsB, 20000, 56)
+	}
+	best := 0.0
+	for u := int32(0); u < int32(g.N()); u++ {
+		if v := evalOne(u); v > best {
+			best = v
+		}
+	}
+	got := evalOne(seeds[0])
+	if got < 0.9*best {
+		t.Fatalf("GeneralTIM seed %d has spread %v, best is %v", seeds[0], got, best)
+	}
+}
+
+func TestGeneralTIMAutoTheta(t *testing.T) {
+	g := graph.PowerLaw(300, 5, 2.16, true, rng.New(5))
+	graph.AssignWeightedCascade(g)
+	gen := NewIC(g)
+	seeds, st := GeneralTIM(gen, g.M(), 5, Options{Epsilon: 1, MaxTheta: 50000}, 7)
+	if len(seeds) != 5 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	if st.KPT < 1 {
+		t.Fatalf("KPT = %v", st.KPT)
+	}
+	if st.Theta <= 0 || st.Theta > 50000 {
+		t.Fatalf("theta = %d", st.Theta)
+	}
+	if st.Lambda <= 0 {
+		t.Fatal("lambda not recorded")
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	g := graph.PowerLaw(200, 6, 2.16, true, rng.New(3))
+	graph.AssignUniform(g, 0.3)
+	gap := core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.5, QBA: 0.5}
+	gen, err := NewSIM(g, gap, []int32{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(gen, 100, 2, 9)
+	c := gen.Counters()
+	if c.Sets != 100 {
+		t.Fatalf("Sets = %d", c.Sets)
+	}
+	if c.EdgesForward == 0 || c.EdgesBackward == 0 {
+		t.Fatalf("exploration counters empty: %+v", c)
+	}
+
+	plus, err := NewSIMPlus(g, gap, []int32{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(plus, 100, 2, 9)
+	cp := plus.Counters()
+	if cp.EdgesBackwardFirst == 0 {
+		t.Fatalf("RR-SIM+ first-pass counter empty: %+v", cp)
+	}
+	// The headline claim of RR-SIM+: less forward work than RR-SIM.
+	if cp.EdgesForward > c.EdgesForward {
+		t.Fatalf("RR-SIM+ forward work %d exceeds RR-SIM's %d", cp.EdgesForward, c.EdgesForward)
+	}
+}
+
+func BenchmarkRRSIM(b *testing.B) {
+	g := graph.PowerLaw(5000, 10, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	gap := core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.5, QBA: 0.5}
+	gen, err := NewSIM(g, gap, []int32{0, 1, 2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var set RRSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rng.NewStream(2, uint64(i))
+		gen.Generate(int32(r.Intn(g.N())), r, &set)
+	}
+}
+
+func BenchmarkRRSIMPlus(b *testing.B) {
+	g := graph.PowerLaw(5000, 10, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	gap := core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.5, QBA: 0.5}
+	gen, err := NewSIMPlus(g, gap, []int32{0, 1, 2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var set RRSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rng.NewStream(2, uint64(i))
+		gen.Generate(int32(r.Intn(g.N())), r, &set)
+	}
+}
+
+func BenchmarkRRCIM(b *testing.B) {
+	g := graph.PowerLaw(5000, 10, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	gap := core.GAP{QA0: 0.1, QAB: 0.9, QB0: 0.5, QBA: 1}
+	gen, err := NewCIM(g, gap, []int32{0, 1, 2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var set RRSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rng.NewStream(2, uint64(i))
+		gen.Generate(int32(r.Intn(g.N())), r, &set)
+	}
+}
+
+func BenchmarkSelectMaxCoverage(b *testing.B) {
+	g := graph.PowerLaw(5000, 10, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	gen := NewIC(g)
+	sets := Collect(gen, 20000, 0, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectMaxCoverage(sets, g.N(), 50)
+	}
+}

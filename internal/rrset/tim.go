@@ -1,0 +1,187 @@
+package rrset
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"comic/internal/rng"
+)
+
+// Options configures GeneralTIM (Algorithm 1).
+type Options struct {
+	// Epsilon is the accuracy/efficiency knob ε of Eq. 3 (paper default 0.5).
+	Epsilon float64
+	// Ell sets the 1 − n^−ℓ success probability (paper default 1).
+	Ell float64
+	// FixedTheta, when positive, bypasses KPT estimation and generates
+	// exactly this many RR sets. Used for controlled benchmarking.
+	FixedTheta int
+	// MaxTheta caps the RR-set budget to bound memory (default 2_000_000).
+	MaxTheta int
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.5
+	}
+	if o.Ell <= 0 {
+		o.Ell = 1
+	}
+	if o.MaxTheta <= 0 {
+		o.MaxTheta = 2_000_000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Stats reports what GeneralTIM did.
+type Stats struct {
+	Theta    int
+	KPT      float64
+	Lambda   float64
+	Coverage float64 // fraction of RR sets covered by the selected seeds
+	// SpreadEstimate is n·Coverage, the RR-based estimate of the objective
+	// (σ_A for SelfInfMax, boost for CompInfMax).
+	SpreadEstimate float64
+	TotalNodes     int64 // Σ |R|
+	TotalWidth     int64 // Σ ω(R)
+	Explored       Counters
+	KPTDuration    time.Duration
+	GenDuration    time.Duration
+	SelectDuration time.Duration
+}
+
+// Collect generates count RR sets in parallel. Set i is always produced
+// from random stream i of seed by a clone of gen, so the output is
+// deterministic and independent of worker count. Exploration counters from
+// all clones are accumulated into gen's.
+func Collect(gen Generator, count int, workers int, seed uint64) []RRSet {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+	sets := make([]RRSet, count)
+	if count == 0 {
+		return sets
+	}
+	n := gen.N()
+	clones := make([]Generator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := gen.Clone()
+			clones[w] = cl
+			for i := w; i < count; i += workers {
+				r := rng.NewStream(seed, uint64(i))
+				root := int32(r.Intn(n))
+				cl.Generate(root, r, &sets[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, cl := range clones {
+		gen.Counters().Add(cl.Counters())
+	}
+	return sets
+}
+
+// SelectMaxCoverage greedily picks k nodes covering the maximum number of
+// RR sets (Algorithm 1 lines 4-8), the standard max-coverage reduction.
+// Returns the seeds and the number of covered sets.
+func SelectMaxCoverage(sets []RRSet, n, k int) ([]int32, int) {
+	// Inverted index: node -> indexes of the sets containing it.
+	degree := make([]int32, n)
+	for i := range sets {
+		for _, v := range sets[i].Nodes {
+			degree[v]++
+		}
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + degree[v]
+	}
+	occ := make([]int32, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i := range sets {
+		for _, v := range sets[i].Nodes {
+			occ[cursor[v]] = int32(i)
+			cursor[v]++
+		}
+	}
+
+	covered := make([]bool, len(sets))
+	count := make([]int32, n)
+	copy(count, degree)
+	seeds := make([]int32, 0, k)
+	totalCovered := 0
+	for len(seeds) < k {
+		best := int32(0)
+		for v := int32(1); v < int32(n); v++ {
+			if count[v] > count[best] {
+				best = v
+			}
+		}
+		seeds = append(seeds, best)
+		for _, si := range occ[offsets[best]:offsets[best+1]] {
+			if covered[si] {
+				continue
+			}
+			covered[si] = true
+			totalCovered++
+			for _, u := range sets[si].Nodes {
+				count[u]--
+			}
+		}
+	}
+	return seeds, totalCovered
+}
+
+// GeneralTIM runs Algorithm 1 end to end: estimate a lower bound of OPT_k
+// via KPT, derive θ from Eq. 3, generate θ RR sets, and select k seeds by
+// greedy max coverage. The generator's RR-set semantics determine the
+// objective: IC for VanillaIC, RR-SIM(+) for SelfInfMax, RR-CIM for
+// CompInfMax.
+func GeneralTIM(gen Generator, m, k int, opts Options, seed uint64) ([]int32, *Stats) {
+	opts = opts.withDefaults()
+	n := gen.N()
+	if k > n {
+		k = n
+	}
+	st := &Stats{}
+
+	theta := opts.FixedTheta
+	if theta <= 0 {
+		t0 := time.Now()
+		st.KPT = EstimateKPT(gen, m, k, opts.Ell, seed^0x5bf03635)
+		st.KPTDuration = time.Since(t0)
+		st.Lambda = Lambda(n, k, opts.Epsilon, opts.Ell)
+		theta = Theta(st.Lambda, st.KPT, opts.MaxTheta)
+	}
+	st.Theta = theta
+
+	t1 := time.Now()
+	sets := Collect(gen, theta, opts.Workers, seed)
+	st.GenDuration = time.Since(t1)
+	for i := range sets {
+		st.TotalNodes += int64(len(sets[i].Nodes))
+		st.TotalWidth += sets[i].Width
+	}
+
+	t2 := time.Now()
+	seeds, covered := SelectMaxCoverage(sets, n, k)
+	st.SelectDuration = time.Since(t2)
+	st.Coverage = float64(covered) / float64(len(sets))
+	st.SpreadEstimate = float64(n) * st.Coverage
+	st.Explored = *gen.Counters()
+	return seeds, st
+}

@@ -1,0 +1,196 @@
+package sandwich
+
+import (
+	"testing"
+
+	"comic/internal/core"
+	"comic/internal/exact"
+	"comic/internal/graph"
+	"comic/internal/rng"
+	"comic/internal/rrset"
+)
+
+func TestSelfBounds(t *testing.T) {
+	gap := core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.9}
+	lower, upper, err := SelfBounds(gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower.QBA != gap.QB0 || lower.QB0 != gap.QB0 {
+		t.Fatalf("lower bound wrong: %+v", lower)
+	}
+	if upper.QB0 != gap.QBA || upper.QBA != gap.QBA {
+		t.Fatalf("upper bound wrong: %+v", upper)
+	}
+	if !lower.BIndifferentToA() || !upper.BIndifferentToA() {
+		t.Fatal("bounds must make B indifferent to A (RR-SIM soundness)")
+	}
+	if _, _, err := SelfBounds(core.GAP{QA0: 0.8, QAB: 0.3}); err == nil {
+		t.Fatal("SelfBounds accepted a non-Q+ GAP")
+	}
+}
+
+func TestCompUpper(t *testing.T) {
+	gap := core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.9}
+	upper, err := CompUpper(gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upper.QBA != 1 || upper.QB0 != gap.QB0 {
+		t.Fatalf("CompUpper wrong: %+v", upper)
+	}
+	if _, err := CompUpper(core.GAP{QA0: 0.8, QAB: 0.3}); err == nil {
+		t.Fatal("CompUpper accepted a non-Q+ GAP")
+	}
+}
+
+// Theorem 10: σ_A is monotone in each GAP within Q+, so the bound instances
+// really do sandwich the original objective. Verified exactly.
+func TestBoundsSandwichSigmaExactly(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		r := rng.New(uint64(700 + trial))
+		g := graph.ErdosRenyi(6, 8, r)
+		graph.AssignUniform(g, 1)
+		qa0 := 0.5 * r.Float64()
+		qb0 := 0.5 * r.Float64()
+		gap := core.GAP{
+			QA0: qa0, QAB: qa0 + (1-qa0)*r.Float64(),
+			QB0: qb0, QBA: qb0 + (1-qb0)*r.Float64(),
+		}
+		lower, upper, err := SelfBounds(gap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, sb := []int32{0}, []int32{1}
+		sLow, err := exact.SigmaA(g, lower, sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sMid, err := exact.SigmaA(g, gap, sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sUp, err := exact.SigmaA(g, upper, sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(sLow <= sMid+1e-9 && sMid <= sUp+1e-9) {
+			t.Fatalf("trial %d: sandwich violated: μ=%v σ=%v ν=%v (gap %+v)",
+				trial, sLow, sMid, sUp, gap)
+		}
+	}
+}
+
+func TestSolveSelfInfMaxIndifferentShortCircuit(t *testing.T) {
+	g := graph.Star(30, 0.8)
+	gap := core.GAP{QA0: 0.5, QAB: 0.9, QB0: 0.6, QBA: 0.6}
+	cfg := NewConfig(1)
+	cfg.TIM = rrset.Options{FixedTheta: 500}
+	cfg.EvalRuns = 500
+	res, err := SolveSelfInfMax(g, gap, []int32{3}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen != "exact" || len(res.Candidates) != 1 {
+		t.Fatalf("indifferent case should short-circuit: %+v", res)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("expected the hub, got %v", res.Seeds)
+	}
+	if res.UpperRatio != 1 {
+		t.Fatalf("exact case must report ratio 1, got %v", res.UpperRatio)
+	}
+}
+
+func TestSolveSelfInfMaxSandwich(t *testing.T) {
+	g := graph.PowerLaw(400, 6, 2.16, true, rng.New(31))
+	graph.AssignWeightedCascade(g)
+	gap := core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.9}
+	cfg := NewConfig(5)
+	cfg.TIM = rrset.Options{FixedTheta: 3000}
+	cfg.EvalRuns = 1000
+	cfg.Seed = 7
+	res, err := SolveSelfInfMax(g, gap, []int32{0, 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 {
+		t.Fatalf("got %d seeds", len(res.Seeds))
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("expected lower+upper candidates, got %d", len(res.Candidates))
+	}
+	// The chosen set must score at least as well as every candidate.
+	for _, c := range res.Candidates {
+		if res.Objective < c.Objective {
+			t.Fatalf("selection broke Eq. 5: chose %v but %s has %v", res.Objective, c.Name, c.Objective)
+		}
+	}
+	if res.UpperRatio <= 0 || res.UpperRatio > 1.1 {
+		t.Fatalf("σ(Sν)/ν(Sν) = %v out of range", res.UpperRatio)
+	}
+}
+
+func TestSolveSelfInfMaxWithGreedy(t *testing.T) {
+	g := graph.Star(20, 1)
+	gap := core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.9}
+	cfg := NewConfig(1)
+	cfg.TIM = rrset.Options{FixedTheta: 300}
+	cfg.EvalRuns = 400
+	cfg.IncludeGreedy = true
+	cfg.GreedyRuns = 100
+	res, err := SolveSelfInfMax(g, gap, []int32{5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("expected 3 candidates with greedy, got %d", len(res.Candidates))
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("every candidate should find the hub, got %v from %s", res.Seeds, res.Chosen)
+	}
+}
+
+func TestSolveCompInfMax(t *testing.T) {
+	// Two chains, A seeded on one: B seeds only help there.
+	b := graph.NewBuilder(40)
+	for i := int32(0); i < 19; i++ {
+		b.AddEdge(i, i+1, 0.9)
+		b.AddEdge(20+i, 21+i, 0.9)
+	}
+	g := b.MustBuild()
+	gap := core.GAP{QA0: 0.2, QAB: 0.9, QB0: 0.7, QBA: 0.9}
+	cfg := NewConfig(2)
+	cfg.TIM = rrset.Options{FixedTheta: 3000}
+	cfg.EvalRuns = 2000
+	cfg.Seed = 13
+	res, err := SolveCompInfMax(g, gap, []int32{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 2 {
+		t.Fatalf("got %d seeds", len(res.Seeds))
+	}
+	for _, s := range res.Seeds {
+		if s >= 20 {
+			t.Fatalf("B seed %d placed on the A-free chain", s)
+		}
+	}
+	if res.Objective <= 0 {
+		t.Fatalf("boost %v not positive", res.Objective)
+	}
+	if res.UpperRatio <= 0 || res.UpperRatio > 1.1 {
+		t.Fatalf("ratio %v out of range", res.UpperRatio)
+	}
+}
+
+func TestSolveRejectsNonQPlus(t *testing.T) {
+	g := graph.Path(3, 1)
+	bad := core.GAP{QA0: 0.9, QAB: 0.2, QB0: 0.8, QBA: 0.1}
+	if _, err := SolveSelfInfMax(g, bad, nil, NewConfig(1)); err == nil {
+		t.Fatal("SolveSelfInfMax accepted Q- GAPs")
+	}
+	if _, err := SolveCompInfMax(g, bad, nil, NewConfig(1)); err == nil {
+		t.Fatal("SolveCompInfMax accepted Q- GAPs")
+	}
+}

@@ -1,0 +1,181 @@
+package seeds
+
+import (
+	"testing"
+
+	"comic/internal/core"
+	"comic/internal/exact"
+	"comic/internal/graph"
+	"comic/internal/rng"
+)
+
+func TestHighDegree(t *testing.T) {
+	g := graph.NewBuilder(4).
+		AddEdge(1, 0, 1).AddEdge(1, 2, 1).AddEdge(1, 3, 1).
+		AddEdge(2, 0, 1).AddEdge(2, 3, 1).
+		MustBuild()
+	got := HighDegree(g, 2)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("HighDegree = %v", got)
+	}
+}
+
+func TestPageRankSeedsPreferHub(t *testing.T) {
+	// The hub of a star is the most influential node; reversed PageRank
+	// must rank it first.
+	g := graph.Star(10, 1)
+	got := PageRank(g, 1)
+	if got[0] != 0 {
+		t.Fatalf("PageRank seed = %v, want hub 0", got)
+	}
+}
+
+func TestRandomSeedsDistinct(t *testing.T) {
+	g := graph.Path(20, 1)
+	got := Random(g, 10, rng.New(5))
+	seen := map[int32]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate seed %d", v)
+		}
+		seen[v] = true
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d seeds", len(got))
+	}
+	if len(Random(g, 50, rng.New(6))) != 20 {
+		t.Fatal("Random must clamp k to n")
+	}
+}
+
+func TestCopying(t *testing.T) {
+	g := graph.Star(6, 1)
+	got := Copying(g, []int32{3, 4, 5}, 2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Copying = %v", got)
+	}
+	// Short opposite set: fill with high-degree nodes (hub 0 first).
+	got = Copying(g, []int32{3}, 3)
+	if len(got) != 3 || got[0] != 3 || got[1] != 0 {
+		t.Fatalf("Copying with fill = %v", got)
+	}
+	// Duplicates in the opposite set collapse.
+	got = Copying(g, []int32{2, 2, 2}, 2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("Copying with duplicates = %v", got)
+	}
+}
+
+// exactSelfObjective builds an exact SelfInfMax objective for tiny graphs.
+func exactSelfObjective(t *testing.T, g *graph.Graph, gap core.GAP, fixedB []int32) Objective {
+	t.Helper()
+	return func(s []int32) float64 {
+		v, err := exact.SigmaA(g, gap, s, fixedB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+}
+
+func TestGreedyMatchesNaive(t *testing.T) {
+	g := graph.ErdosRenyi(6, 7, rng.New(17))
+	graph.AssignUniform(g, 1) // deterministic edges keep the oracle cheap
+	gap := core.GAP{QA0: 0.4, QAB: 0.9, QB0: 0.5, QBA: 0.5}
+	f := exactSelfObjective(t, g, gap, []int32{0})
+	celf := Greedy(g, f, 2, nil)
+	naive := GreedyNaive(g, f, 2, nil)
+	if f(celf) != f(naive) {
+		t.Fatalf("CELF value %v != naive value %v (%v vs %v)", f(celf), f(naive), celf, naive)
+	}
+}
+
+func TestGreedyPicksObviousWinner(t *testing.T) {
+	// Star hub is the unique optimal single seed under IC.
+	g := graph.Star(8, 1)
+	gap := core.ClassicIC()
+	f := exactSelfObjective(t, g, gap, nil)
+	got := Greedy(g, f, 1, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Greedy picked %v, want hub", got)
+	}
+}
+
+func TestGreedyRespectsCandidates(t *testing.T) {
+	g := graph.Star(8, 1)
+	f := exactSelfObjective(t, g, core.ClassicIC(), nil)
+	got := Greedy(g, f, 2, []int32{3, 5})
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	for _, v := range got {
+		if v != 3 && v != 5 {
+			t.Fatalf("Greedy escaped the candidate set: %v", got)
+		}
+	}
+}
+
+func TestGreedyClampsK(t *testing.T) {
+	g := graph.Path(3, 1)
+	f := exactSelfObjective(t, g, core.ClassicIC(), nil)
+	if got := Greedy(g, f, 10, nil); len(got) != 3 {
+		t.Fatalf("Greedy returned %d seeds", len(got))
+	}
+}
+
+func TestMonteCarloObjectives(t *testing.T) {
+	g := graph.Path(4, 1)
+	gap := core.GAP{QA0: 1, QAB: 1, QB0: 1, QBA: 1}
+	self := SelfInfMaxObjective(g, gap, nil, 50, 3)
+	if got := self([]int32{0}); got != 4 {
+		t.Fatalf("self objective = %v, want 4", got)
+	}
+	comp := CompInfMaxObjective(g, gap, []int32{0}, 50, 3)
+	if got := comp(nil); got != 0 {
+		t.Fatalf("empty boost = %v", got)
+	}
+	// qA0=1 means B cannot boost anything.
+	if got := comp([]int32{1}); got != 0 {
+		t.Fatalf("boost with saturated A = %v", got)
+	}
+}
+
+func TestCompObjectivePositiveBoost(t *testing.T) {
+	g := graph.Path(3, 1)
+	gap := core.GAP{QA0: 0, QAB: 1, QB0: 1, QBA: 1}
+	comp := CompInfMaxObjective(g, gap, []int32{0}, 400, 7)
+	// B seeded at the A seed unlocks the whole path deterministically:
+	// without B, spread is 1 (only the seed); with B everyone adopts.
+	if got := comp([]int32{0}); got != 2 {
+		t.Fatalf("boost = %v, want 2", got)
+	}
+}
+
+func TestGreedyCompInfMax(t *testing.T) {
+	// A two-branch graph where only one branch is A-seeded: B seeds are
+	// only useful on the A branch.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1) // A branch
+	b.AddEdge(3, 4, 1).AddEdge(4, 5, 1) // empty branch
+	g := b.MustBuild()
+	gap := core.GAP{QA0: 0, QAB: 1, QB0: 1, QBA: 1}
+	fixedA := []int32{0}
+	f := func(s []int32) float64 {
+		if len(s) == 0 {
+			return 0
+		}
+		with, err := exact.SigmaA(g, gap, fixedA, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := exact.SigmaA(g, gap, fixedA, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return with - without
+	}
+	got := Greedy(g, f, 1, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("CompInfMax greedy picked %v, want 0", got)
+	}
+}

@@ -1,0 +1,127 @@
+// Package stats provides the small statistical and presentation helpers
+// shared by the experiment harness: means, 95% confidence intervals for
+// Bernoulli parameters (used for the learned-GAP tables 5-7), percentage
+// improvements (tables 2-4), and plain-text table rendering.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// BernoulliCI95 returns the half-width of the 95% confidence interval for an
+// estimated Bernoulli parameter q̄ from n samples (§7.2):
+//
+//	1.96 · sqrt(q̄(1-q̄)/n)
+func BernoulliCI95(qbar float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1.96 * math.Sqrt(qbar*(1-qbar)/float64(n))
+}
+
+// PercentImprovement returns 100·(a-b)/b, the improvement of a over b as
+// reported in Tables 2-4. Returns 0 when b is 0.
+func PercentImprovement(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}
+
+// Table is a plain-text table with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with padded columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := range t.Headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a percentage with one decimal (e.g. "12.3%").
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats a float with three decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// CI formats "v ± h" with two decimals, the Tables 5-7 cell format.
+func CI(v, h float64) string { return fmt.Sprintf("%.2f ± %.2f", v, h) }

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("Stddev of singleton must be 0")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.1380899) > 1e-6 {
+		t.Fatalf("Stddev = %v", got)
+	}
+}
+
+func TestBernoulliCI95(t *testing.T) {
+	if BernoulliCI95(0.5, 0) != 0 {
+		t.Fatal("CI with n=0 must be 0")
+	}
+	got := BernoulliCI95(0.5, 100)
+	if math.Abs(got-1.96*0.05) > 1e-12 {
+		t.Fatalf("CI = %v", got)
+	}
+	if BernoulliCI95(0, 100) != 0 || BernoulliCI95(1, 100) != 0 {
+		t.Fatal("degenerate q must give zero CI")
+	}
+}
+
+func TestPercentImprovement(t *testing.T) {
+	if got := PercentImprovement(150, 100); got != 50 {
+		t.Fatalf("improvement = %v", got)
+	}
+	if got := PercentImprovement(80, 100); got != -20 {
+		t.Fatalf("improvement = %v", got)
+	}
+	if PercentImprovement(5, 0) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22222")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatal("missing headers")
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idxHeader := strings.Index(lines[1], "value")
+	idxRow := strings.Index(lines[4], "22222")
+	if idxHeader != idxRow {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idxHeader, idxRow, out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.34) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(12.34))
+	}
+	if F2(1.005) == "" || F3(0.12345) != "0.123" {
+		t.Fatal("float formatters broken")
+	}
+	if CI(0.88, 0.011) != "0.88 ± 0.01" {
+		t.Fatalf("CI = %q", CI(0.88, 0.011))
+	}
+}
