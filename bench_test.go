@@ -7,6 +7,9 @@
 package comic_test
 
 import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"comic"
@@ -224,6 +227,48 @@ func BenchmarkAblationBoostEstimators(b *testing.B) {
 			with := comic.EstimateSpread(d.Graph, d.GAP, seedsA, seedsB, 1000, uint64(i))
 			without := comic.EstimateSpread(d.Graph, d.GAP, seedsA, nil, 1000, uint64(i)+7)
 			_ = with.MeanA - without.MeanA
+		}
+	})
+}
+
+// BenchmarkServeSelfInfMaxColdVsWarm measures the query-serving layer's
+// RR-set index payoff on the Flixster stand-in, at the HTTP layer. "cold"
+// answers every query with a fresh empty index (each query regenerates its
+// RR-set collections, the dominant solver cost); "warm" shares one primed
+// index, so queries skip straight to seed selection and Monte-Carlo
+// evaluation. The seed sets, objectives, and candidates are identical
+// either way (only the per-request elapsedMs field differs).
+func BenchmarkServeSelfInfMaxColdVsWarm(b *testing.B) {
+	d := comic.FlixsterDataset(0.05, 1)
+	body := `{"dataset":"Flixster","k":10,"seedsB":[1,2,3],"fixedTheta":100000,"evalRuns":100,"seed":7}`
+	newHandler := func(b *testing.B) http.Handler {
+		h, err := comic.NewServeHandler(comic.ServeConfig{
+			Datasets: map[string]*comic.Dataset{"Flixster": d},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h
+	}
+	post := func(b *testing.B, h http.Handler) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/selfinfmax", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("solve = %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(b, newHandler(b))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		h := newHandler(b)
+		post(b, h) // prime the index
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h)
 		}
 	})
 }

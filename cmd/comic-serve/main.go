@@ -1,0 +1,131 @@
+// Command comic-serve runs the comic query server: an HTTP JSON API
+// answering Com-IC spread, boost, SelfInfMax and CompInfMax queries over
+// preloaded datasets, with RR-set collections cached and shared across
+// requests.
+//
+// Usage:
+//
+//	comic-serve -addr :8080 -datasets Flixster,Douban-Book -scale 0.1
+//	comic-serve -addr :8080 -graph social=edges.txt -qa0 0.3 -qab 0.8 -qb0 0.4 -qba 0.9
+//
+// Endpoints:
+//
+//	POST /v1/spread      {"dataset":"Flixster","seedsA":[0,1],"seedsB":[2],"runs":10000,"seed":7}
+//	POST /v1/boost       {"dataset":"Flixster","seedsA":[0,1],"seedsB":[2]}
+//	POST /v1/selfinfmax  {"dataset":"Flixster","k":10,"seedsB":[2,3],"seed":7}
+//	POST /v1/compinfmax  {"dataset":"Flixster","k":10,"seedsA":[0,1],"seed":7}
+//	GET  /healthz
+//	GET  /v1/stats
+//
+// Solve responses are deterministic in the request seed and identical to
+// what cmd/comic-seeds prints for the same inputs; repeated queries hit the
+// RR-set index and skip generation. SIGINT/SIGTERM shut down gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"comic"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		datasetList = flag.String("datasets", "Flixster", "comma-separated paper dataset names to serve (Flixster,Douban-Book,Douban-Movie,Last.fm)")
+		scale       = flag.Float64("scale", 0.1, "scale of the synthetic stand-in datasets, in (0,1]")
+		datasetSeed = flag.Uint64("dataset-seed", 1, "seed for synthetic dataset construction")
+		cacheMB     = flag.Int64("cache-mb", 256, "RR-set index budget in MiB (0 = 1024, negative = unbounded)")
+		maxK        = flag.Int("max-k", 500, "largest seed-set size accepted per request")
+		maxRuns     = flag.Int("max-runs", 200000, "largest Monte-Carlo budget accepted per request")
+		maxTheta    = flag.Int("max-theta", 2000000, "RR-set budget cap per request (applies to derived theta too)")
+		maxBuilds   = flag.Int("max-builds", 4, "concurrent RR-set collection builds (negative = unbounded)")
+		qa0         = flag.Float64("qa0", 0.5, "default q_{A|emptyset} for -graph datasets")
+		qab         = flag.Float64("qab", 0.8, "default q_{A|B} for -graph datasets")
+		qb0         = flag.Float64("qb0", 0.5, "default q_{B|emptyset} for -graph datasets")
+		qba         = flag.Float64("qba", 0.8, "default q_{B|A} for -graph datasets")
+	)
+	graphs := map[string]string{}
+	flag.Func("graph", "serve an edge-list graph file as name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		graphs[name] = path
+		return nil
+	})
+	flag.Parse()
+
+	// The Flixster default exists so a bare `comic-serve` serves something;
+	// an operator who passed -graph without -datasets wants only their
+	// graph, not a synthetic stand-in built on the side.
+	datasetsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "datasets" {
+			datasetsSet = true
+		}
+	})
+	if len(graphs) > 0 && !datasetsSet {
+		*datasetList = ""
+	}
+
+	served := map[string]*comic.Dataset{}
+	for _, name := range strings.Split(*datasetList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		d, err := comic.DatasetByName(name, *scale, *datasetSeed)
+		if err != nil {
+			fatal(err)
+		}
+		served[name] = d
+		log.Printf("loaded dataset %s: %d nodes, %d edges (scale %.3g)",
+			name, d.Graph.N(), d.Graph.M(), *scale)
+	}
+	gap := comic.GAP{QA0: *qa0, QAB: *qab, QB0: *qb0, QBA: *qba}
+	for name, path := range graphs {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := comic.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		served[name] = &comic.Dataset{Name: name, Graph: g, GAP: gap, PairName: "flag-provided"}
+		log.Printf("loaded graph %s from %s: %d nodes, %d edges", name, path, g.N(), g.M())
+	}
+	if len(served) == 0 {
+		fatal(fmt.Errorf("nothing to serve: pass -datasets and/or -graph"))
+	}
+
+	cfg := comic.ServeConfig{
+		Datasets:            served,
+		CacheBytes:          *cacheMB << 20,
+		MaxK:                *maxK,
+		MaxRuns:             *maxRuns,
+		MaxTheta:            *maxTheta,
+		MaxConcurrentBuilds: *maxBuilds,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("comic-serve listening on %s (%d datasets, %d MiB RR-index)",
+		*addr, len(served), *cacheMB)
+	if err := comic.Serve(ctx, *addr, cfg); err != nil {
+		fatal(err)
+	}
+	log.Printf("comic-serve: shut down cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "comic-serve: %v\n", err)
+	os.Exit(1)
+}

@@ -26,7 +26,9 @@
 package comic
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"comic/internal/actionlog"
 	"comic/internal/core"
@@ -37,6 +39,7 @@ import (
 	"comic/internal/rng"
 	"comic/internal/sandwich"
 	"comic/internal/seeds"
+	"comic/internal/server"
 )
 
 // Core model types.
@@ -140,6 +143,15 @@ type Options struct {
 	IncludeGreedy bool
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
+	// Index, when non-nil, caches RR-set collections across solves (see
+	// NewRRIndex): repeated solves with identical inputs skip RR-set
+	// generation, the dominant solver cost, and return identical results.
+	Index *RRIndex
+	// GraphID names the graph in Index cache keys, letting solves on
+	// distinct loads of the same graph share entries. When empty, the
+	// graph's pointer identity keys the cache instead — always safe, but
+	// hits then require passing the same *Graph instance.
+	GraphID string
 }
 
 func (o Options) sandwichConfig(k int) sandwich.Config {
@@ -160,6 +172,10 @@ func (o Options) sandwichConfig(k int) sandwich.Config {
 	}
 	cfg.IncludeGreedy = o.IncludeGreedy
 	cfg.TIM.Workers = o.Workers
+	if o.Index != nil {
+		cfg.Collections = o.Index
+		cfg.GraphID = o.GraphID
+	}
 	return cfg
 }
 
@@ -245,6 +261,62 @@ func DoubanMovieDataset(scale float64, seed uint64) *Dataset {
 
 // LastFMDataset returns the Last.fm stand-in.
 func LastFMDataset(scale float64, seed uint64) *Dataset { return datasets.LastFM(scale, seed) }
+
+// DatasetByName builds one of the four paper datasets by its Table 1 name
+// ("Flixster", "Douban-Book", "Douban-Movie", "Last.fm").
+func DatasetByName(name string, scale float64, seed uint64) (*Dataset, error) {
+	return datasets.ByName(name, scale, seed)
+}
+
+// DatasetNames lists the four paper dataset names in Table 1 order.
+func DatasetNames() []string { return datasets.Names() }
+
+// Query serving (cmd/comic-serve). The serving layer amortizes RR-set
+// generation — the dominant cost of SelfInfMax/CompInfMax — behind a
+// shared, concurrency-safe index so that repeated queries on a loaded
+// dataset skip straight to seed selection.
+
+// RRIndex is a cache of RR-set collections keyed by everything that
+// determines their content (graph, generator kind, GAP, opposite seeds, k,
+// budget, master seed). It is safe for concurrent use, deduplicates
+// concurrent identical builds singleflight-style, and evicts
+// least-recently-used collections beyond its byte budget. Plug one into
+// Options.Index to share RR sets across solves, or let the HTTP server
+// manage one internally.
+type RRIndex = server.Index
+
+// RRIndexStats is a snapshot of an RRIndex's hit/miss/eviction counters
+// and occupancy.
+type RRIndexStats = server.IndexStats
+
+// ServeConfig configures the query-serving layer: the datasets served, the
+// RR-index byte budget, and per-request validation limits.
+type ServeConfig = server.Config
+
+// NewRRIndex returns an empty RR-set index bounded to approximately
+// maxBytes of resident RR-set data (<= 0 means unbounded).
+func NewRRIndex(maxBytes int64) *RRIndex { return server.NewIndex(maxBytes) }
+
+// NewServeHandler returns an http.Handler exposing the comic v1 JSON API
+// (/v1/spread, /v1/boost, /v1/selfinfmax, /v1/compinfmax, /healthz,
+// /v1/stats) over the configured datasets. Solve responses are
+// deterministic in the request's master seed and identical to the offline
+// cmd/comic-seeds tool, warm or cold.
+func NewServeHandler(cfg ServeConfig) (http.Handler, error) {
+	s, err := server.New(cfg)
+	if err != nil {
+		// An explicit nil: returning the typed-nil *server.Server would
+		// give callers a non-nil http.Handler interface that panics on use.
+		return nil, err
+	}
+	return s, nil
+}
+
+// Serve runs the query server on addr until ctx is canceled, then shuts
+// down gracefully, draining in-flight requests.
+func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
+	return server.Serve(ctx, addr, cfg)
+}
 
 // PowerLawGraph generates a Chung-Lu power-law graph (exponent, avgDeg) with
 // weighted-cascade edge probabilities, the substrate of the paper's

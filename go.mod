@@ -1,0 +1,3 @@
+module comic
+
+go 1.24

@@ -59,6 +59,9 @@ func NewCIM(g *graph.Graph, gap core.GAP, seedsA []int32) (*CIM, error) {
 	if gap.QBA != 1 {
 		return nil, fmt.Errorf("rrset: RR-CIM requires q_B|A = 1 (Theorem 8), got %v", gap.QBA)
 	}
+	if err := checkSeedRange(seedsA, g.N()); err != nil {
+		return nil, err
+	}
 	n := g.N()
 	return &CIM{
 		s:          newSampler(g),

@@ -513,6 +513,26 @@ func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func TestSelectMaxCoverageDistinctSeedsWhenSaturated(t *testing.T) {
+	// With fewer sets than seeds requested, coverage saturates early; the
+	// filler seeds must still be distinct nodes, never repeats.
+	sets := []RRSet{{Root: 3, Nodes: []int32{3}}, {Root: 3, Nodes: []int32{3}}}
+	seeds, covered := SelectMaxCoverage(sets, 10, 5)
+	if covered != 2 {
+		t.Fatalf("covered = %d, want 2", covered)
+	}
+	if len(seeds) != 5 || seeds[0] != 3 {
+		t.Fatalf("seeds = %v, want 5 seeds led by node 3", seeds)
+	}
+	seen := map[int32]bool{}
+	for _, v := range seeds {
+		if seen[v] {
+			t.Fatalf("seeds = %v contain duplicate node %d", seeds, v)
+		}
+		seen[v] = true
+	}
+}
+
 func TestGeneralTIMPicksHubUnderIC(t *testing.T) {
 	g := graph.Star(50, 1)
 	gen := NewIC(g)

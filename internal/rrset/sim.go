@@ -36,6 +36,9 @@ func NewSIM(g *graph.Graph, gap core.GAP, seedsB []int32) (*SIM, error) {
 	if gap.QA0 > gap.QAB {
 		return nil, fmt.Errorf("rrset: RR-SIM requires q_A|∅ ≤ q_A|B, got %v > %v", gap.QA0, gap.QAB)
 	}
+	if err := checkSeedRange(seedsB, g.N()); err != nil {
+		return nil, err
+	}
 	return &SIM{
 		s:        newSampler(g),
 		gap:      gap,

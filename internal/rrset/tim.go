@@ -94,9 +94,11 @@ func Collect(gen Generator, count int, workers int, seed uint64) []RRSet {
 	return sets
 }
 
-// SelectMaxCoverage greedily picks k nodes covering the maximum number of
-// RR sets (Algorithm 1 lines 4-8), the standard max-coverage reduction.
-// Returns the seeds and the number of covered sets.
+// SelectMaxCoverage greedily picks k distinct nodes covering the maximum
+// number of RR sets (Algorithm 1 lines 4-8), the standard max-coverage
+// reduction. Returns the seeds and the number of covered sets. If every
+// set is covered before k seeds are chosen, the remainder are arbitrary
+// distinct nodes (zero marginal gain) so the result always has k seeds.
 func SelectMaxCoverage(sets []RRSet, n, k int) ([]int32, int) {
 	// Inverted index: node -> indexes of the sets containing it.
 	degree := make([]int32, n)
@@ -105,12 +107,14 @@ func SelectMaxCoverage(sets []RRSet, n, k int) ([]int32, int) {
 			degree[v]++
 		}
 	}
-	offsets := make([]int32, n+1)
+	// Offsets are int64: total node occurrences across a 2M-set collection
+	// can exceed 2^31 on large graphs.
+	offsets := make([]int64, n+1)
 	for v := 0; v < n; v++ {
-		offsets[v+1] = offsets[v] + degree[v]
+		offsets[v+1] = offsets[v] + int64(degree[v])
 	}
 	occ := make([]int32, offsets[n])
-	cursor := make([]int32, n)
+	cursor := make([]int64, n)
 	copy(cursor, offsets[:n])
 	for i := range sets {
 		for _, v := range sets[i].Nodes {
@@ -122,15 +126,23 @@ func SelectMaxCoverage(sets []RRSet, n, k int) ([]int32, int) {
 	covered := make([]bool, len(sets))
 	count := make([]int32, n)
 	copy(count, degree)
+	chosen := make([]bool, n)
 	seeds := make([]int32, 0, k)
 	totalCovered := 0
 	for len(seeds) < k {
-		best := int32(0)
-		for v := int32(1); v < int32(n); v++ {
-			if count[v] > count[best] {
+		best := int32(-1)
+		for v := int32(0); v < int32(n); v++ {
+			if chosen[v] {
+				continue
+			}
+			if best < 0 || count[v] > count[best] {
 				best = v
 			}
 		}
+		if best < 0 {
+			break // k > n; callers clamp, but stay safe
+		}
+		chosen[best] = true
 		seeds = append(seeds, best)
 		for _, si := range occ[offsets[best]:offsets[best+1]] {
 			if covered[si] {
@@ -150,38 +162,9 @@ func SelectMaxCoverage(sets []RRSet, n, k int) ([]int32, int) {
 // via KPT, derive θ from Eq. 3, generate θ RR sets, and select k seeds by
 // greedy max coverage. The generator's RR-set semantics determine the
 // objective: IC for VanillaIC, RR-SIM(+) for SelfInfMax, RR-CIM for
-// CompInfMax.
+// CompInfMax. It is exactly BuildCollection followed by SelectSeeds; use
+// those directly to reuse the collection across queries.
 func GeneralTIM(gen Generator, m, k int, opts Options, seed uint64) ([]int32, *Stats) {
-	opts = opts.withDefaults()
-	n := gen.N()
-	if k > n {
-		k = n
-	}
-	st := &Stats{}
-
-	theta := opts.FixedTheta
-	if theta <= 0 {
-		t0 := time.Now()
-		st.KPT = EstimateKPT(gen, m, k, opts.Ell, seed^0x5bf03635)
-		st.KPTDuration = time.Since(t0)
-		st.Lambda = Lambda(n, k, opts.Epsilon, opts.Ell)
-		theta = Theta(st.Lambda, st.KPT, opts.MaxTheta)
-	}
-	st.Theta = theta
-
-	t1 := time.Now()
-	sets := Collect(gen, theta, opts.Workers, seed)
-	st.GenDuration = time.Since(t1)
-	for i := range sets {
-		st.TotalNodes += int64(len(sets[i].Nodes))
-		st.TotalWidth += sets[i].Width
-	}
-
-	t2 := time.Now()
-	seeds, covered := SelectMaxCoverage(sets, n, k)
-	st.SelectDuration = time.Since(t2)
-	st.Coverage = float64(covered) / float64(len(sets))
-	st.SpreadEstimate = float64(n) * st.Coverage
-	st.Explored = *gen.Counters()
-	return seeds, st
+	col := BuildCollection(gen, m, k, opts, seed)
+	return SelectSeeds(col, gen.N(), k)
 }

@@ -65,6 +65,17 @@ type Config struct {
 	IncludeGreedy bool
 	// GreedyRuns is the MC budget per greedy evaluation (default 200).
 	GreedyRuns int
+	// Collections, when non-nil, supplies the RR-set collections of the
+	// bound subproblems (typically a shared cache such as
+	// internal/server.Index). nil builds each collection directly. The
+	// selected seeds are identical either way; only where the RR sets
+	// come from changes.
+	Collections rrset.CollectionProvider
+	// GraphID names the graph in collection cache keys. Empty falls back
+	// to graph pointer identity (collision-free, but cache hits then
+	// require the same *graph.Graph instance). Ignored when Collections
+	// is nil.
+	GraphID string
 }
 
 // NewConfig returns a Config with the paper's defaults.
@@ -112,11 +123,27 @@ func pickBest(cands []Candidate) ([]int32, float64, string) {
 	return c.Seeds, c.Objective, c.Name
 }
 
-func newSelfGen(g *graph.Graph, gap core.GAP, seedsB []int32, usePlus bool) (rrset.Generator, error) {
-	if usePlus {
-		return rrset.NewSIMPlus(g, gap, seedsB)
+// selfKind maps the UseSIMPlus switch to the RR-SIM variant to request.
+func (c Config) selfKind() rrset.Kind {
+	if c.UseSIMPlus {
+		return rrset.KindSIMPlus
 	}
-	return rrset.NewSIM(g, gap, seedsB)
+	return rrset.KindSIM
+}
+
+// collection resolves one bound subproblem's RR-set collection through the
+// configured provider (or a direct build when none is set).
+func (c Config) collection(g *graph.Graph, kind rrset.Kind, gap core.GAP, opposite []int32, seed uint64) (*rrset.Collection, error) {
+	return rrset.Obtain(c.Collections, rrset.CollectionRequest{
+		GraphID:  c.GraphID,
+		Graph:    g,
+		Kind:     kind,
+		GAP:      gap,
+		Opposite: opposite,
+		K:        c.K,
+		Opts:     c.TIM,
+		Seed:     seed,
+	})
 }
 
 // SolveSelfInfMax solves Problem 1 (SelfInfMax) under general mutual
@@ -135,11 +162,11 @@ func SolveSelfInfMax(g *graph.Graph, gap core.GAP, seedsB []int32, cfg Config) (
 
 	res := &Result{}
 	if gap.BIndifferentToA() {
-		gen, err := newSelfGen(g, gap, seedsB, cfg.UseSIMPlus)
+		col, err := cfg.collection(g, cfg.selfKind(), gap, seedsB, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		sel, st := rrset.GeneralTIM(gen, g.M(), cfg.K, cfg.TIM, cfg.Seed)
+		sel, st := rrset.SelectSeeds(col, g.N(), cfg.K)
 		c := Candidate{Name: "exact", Seeds: sel, Objective: evalObjective(sel), Stats: st}
 		res.Candidates = []Candidate{c}
 		res.Seeds, res.Objective, res.Chosen = c.Seeds, c.Objective, c.Name
@@ -151,16 +178,16 @@ func SolveSelfInfMax(g *graph.Graph, gap core.GAP, seedsB []int32, cfg Config) (
 	if err != nil {
 		return nil, err
 	}
-	lowerGen, err := newSelfGen(g, lowerGAP, seedsB, cfg.UseSIMPlus)
+	lowerCol, err := cfg.collection(g, cfg.selfKind(), lowerGAP, seedsB, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	upperGen, err := newSelfGen(g, upperGAP, seedsB, cfg.UseSIMPlus)
+	upperCol, err := cfg.collection(g, cfg.selfKind(), upperGAP, seedsB, cfg.Seed+1)
 	if err != nil {
 		return nil, err
 	}
-	lowerSeeds, lowerStats := rrset.GeneralTIM(lowerGen, g.M(), cfg.K, cfg.TIM, cfg.Seed)
-	upperSeeds, upperStats := rrset.GeneralTIM(upperGen, g.M(), cfg.K, cfg.TIM, cfg.Seed+1)
+	lowerSeeds, lowerStats := rrset.SelectSeeds(lowerCol, g.N(), cfg.K)
+	upperSeeds, upperStats := rrset.SelectSeeds(upperCol, g.N(), cfg.K)
 
 	res.Candidates = []Candidate{
 		{Name: "lower", Seeds: lowerSeeds, Objective: evalObjective(lowerSeeds), Stats: lowerStats},
@@ -205,11 +232,11 @@ func SolveCompInfMax(g *graph.Graph, gap core.GAP, seedsA []int32, cfg Config) (
 	if err != nil {
 		return nil, err
 	}
-	gen, err := rrset.NewCIM(g, upperGAP, seedsA)
+	col, err := cfg.collection(g, rrset.KindCIM, upperGAP, seedsA, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	upperSeeds, upperStats := rrset.GeneralTIM(gen, g.M(), cfg.K, cfg.TIM, cfg.Seed)
+	upperSeeds, upperStats := rrset.SelectSeeds(col, g.N(), cfg.K)
 
 	res := &Result{Candidates: []Candidate{
 		{Name: "upper", Seeds: upperSeeds, Objective: evalBoost(upperSeeds), Stats: upperStats},

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"comic/internal/graph"
+	"comic/internal/rrset"
+)
+
+// Index is a concurrency-safe cache of RR-set collections, the core of the
+// query-serving layer. Collections are keyed by everything that determines
+// their content (graph, generator kind, GAP, opposite seeds, k, TIM budget,
+// master seed — see rrset.CollectionRequest.Key), so a cached collection is
+// byte-identical to what a fresh solve would generate and caching never
+// changes query results, only their latency.
+//
+// Three mechanisms bound and deduplicate the work:
+//
+//   - hits return the resident collection without any generation;
+//   - concurrent identical misses are collapsed singleflight-style — one
+//     goroutine builds, the rest wait on the same result;
+//   - resident collections are bounded by an approximate byte budget with
+//     least-recently-used eviction.
+//
+// An Index implements rrset.CollectionProvider and can be plugged into any
+// solver via sandwich.Config.Collections (or comic.Options.Index).
+type Index struct {
+	maxBytes int64
+	sem      chan struct{} // non-nil: bounds concurrent builds (SetBuildLimit)
+
+	mu       sync.Mutex
+	bytes    int64
+	entries  map[string]*list.Element // key -> element whose Value is *indexEntry
+	lru      *list.List               // front = most recently used
+	inflight map[string]*flight
+	stats    IndexStats
+}
+
+// indexEntry is one resident collection. It retains the graph the
+// collection was drawn on: keys may embed the graph's pointer identity
+// (empty GraphID), so the graph must stay reachable — and its address
+// unrecyclable — for as long as the entry is resident.
+type indexEntry struct {
+	key   string
+	col   *rrset.Collection
+	graph *graph.Graph
+	bytes int64
+}
+
+// flight is one in-progress build that concurrent identical requests wait on.
+type flight struct {
+	done chan struct{}
+	col  *rrset.Collection
+	err  error
+}
+
+// IndexStats is a point-in-time snapshot of cache behavior, served by
+// /v1/stats.
+type IndexStats struct {
+	// Hits counts requests answered from a resident collection.
+	Hits int64 `json:"hits"`
+	// Misses counts requests that built a new collection.
+	Misses int64 `json:"misses"`
+	// DedupWaits counts requests that piggybacked on another request's
+	// in-flight build instead of building their own copy.
+	DedupWaits int64 `json:"dedupWaits"`
+	// Evictions counts collections dropped to stay under the byte budget.
+	Evictions int64 `json:"evictions"`
+	// ResidentCollections and ResidentBytes describe current occupancy.
+	ResidentCollections int   `json:"residentCollections"`
+	ResidentBytes       int64 `json:"residentBytes"`
+	// MaxBytes is the configured budget (0 = unbounded).
+	MaxBytes int64 `json:"maxBytes"`
+	// BuildTime is the cumulative wall time spent generating collections
+	// on misses.
+	BuildTime time.Duration `json:"buildTimeNs"`
+}
+
+// NewIndex returns an empty index bounded to approximately maxBytes of
+// resident RR-set data. maxBytes <= 0 means unbounded.
+func NewIndex(maxBytes int64) *Index {
+	return &Index{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Collection returns the collection for req, building it at most once per
+// distinct key no matter how many goroutines ask concurrently. Errors are
+// not cached; a later identical request retries the build.
+func (x *Index) Collection(req rrset.CollectionRequest) (*rrset.Collection, error) {
+	key := req.Key()
+
+	x.mu.Lock()
+	if el, ok := x.entries[key]; ok {
+		e := el.Value.(*indexEntry)
+		// Sharing entries across Graph instances is legitimate (same
+		// logical graph reloaded under one GraphID), but a GraphID reused
+		// for a *different* graph would silently serve wrong RR sets.
+		// Same logical graph implies same size; different size proves
+		// misuse, so fail loudly instead.
+		if e.graph != req.Graph && (e.graph.N() != req.Graph.N() || e.graph.M() != req.Graph.M()) {
+			x.mu.Unlock()
+			return nil, fmt.Errorf("server: GraphID %q reused for a different graph (%d nodes/%d edges cached vs %d/%d requested)",
+				req.GraphID, e.graph.N(), e.graph.M(), req.Graph.N(), req.Graph.M())
+		}
+		x.lru.MoveToFront(el)
+		x.stats.Hits++
+		col := e.col
+		x.mu.Unlock()
+		return col, nil
+	}
+	if f, ok := x.inflight[key]; ok {
+		x.stats.DedupWaits++
+		x.mu.Unlock()
+		<-f.done
+		return f.col, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	x.inflight[key] = f
+	x.stats.Misses++
+	x.mu.Unlock()
+
+	if sem := x.sem; sem != nil {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+	}
+	t0 := time.Now()
+	col, err := buildSafely(req)
+	f.col, f.err = col, err
+	close(f.done)
+
+	x.mu.Lock()
+	delete(x.inflight, key)
+	x.stats.BuildTime += time.Since(t0)
+	if err == nil {
+		x.insertLocked(key, col, req.Graph)
+	}
+	x.mu.Unlock()
+	return col, err
+}
+
+// ErrBuildPanic wraps a panic recovered from an RR-set collection build.
+// Handlers map it to 500: it marks a server-side defect, not a bad request.
+var ErrBuildPanic = errors.New("server: RR-set collection build panicked")
+
+// buildSafely converts a panicking build into an error. Without this a
+// panic would unwind past the close(f.done) above, leaving a poisoned
+// flight registered forever: every later identical request would block on
+// its done channel.
+func buildSafely(req rrset.CollectionRequest) (col *rrset.Collection, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrBuildPanic, r)
+		}
+	}()
+	return req.Build()
+}
+
+// insertLocked adds a built collection and evicts from the cold end until
+// the budget holds again. The newest collection is never evicted, so a
+// single collection larger than the whole budget still serves its own
+// request (and becomes the next eviction victim).
+func (x *Index) insertLocked(key string, col *rrset.Collection, g *graph.Graph) {
+	if _, ok := x.entries[key]; ok {
+		return // a racing build of the same key already landed
+	}
+	e := &indexEntry{key: key, col: col, graph: g, bytes: col.Bytes()}
+	x.entries[key] = x.lru.PushFront(e)
+	x.bytes += e.bytes
+	for x.maxBytes > 0 && x.bytes > x.maxBytes && x.lru.Len() > 1 {
+		back := x.lru.Back()
+		victim := back.Value.(*indexEntry)
+		x.lru.Remove(back)
+		delete(x.entries, victim.key)
+		x.bytes -= victim.bytes
+		x.stats.Evictions++
+	}
+}
+
+// SetBuildLimit bounds the number of collection builds that may run
+// concurrently; n <= 0 removes the bound. The byte budget only covers
+// resident collections — each in-flight build can hold up to θ RR sets
+// before the budget ever sees them, so distinct concurrent queries (cache
+// keys include client-controlled fields) are otherwise an unbounded
+// memory and CPU vector. Call before the index is shared across
+// goroutines; the setting itself is not synchronized.
+func (x *Index) SetBuildLimit(n int) {
+	if n <= 0 {
+		x.sem = nil
+		return
+	}
+	x.sem = make(chan struct{}, n)
+}
+
+// Stats returns a snapshot of the cache counters and occupancy.
+func (x *Index) Stats() IndexStats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	st := x.stats
+	st.ResidentCollections = x.lru.Len()
+	st.ResidentBytes = x.bytes
+	st.MaxBytes = x.maxBytes
+	return st
+}
+
+// Len reports the number of resident collections.
+func (x *Index) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.lru.Len()
+}

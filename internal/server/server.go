@@ -1,0 +1,583 @@
+// Package server implements the comic query-serving layer: a JSON-over-HTTP
+// API that answers Com-IC spread, boost, SelfInfMax and CompInfMax queries
+// over a set of preloaded datasets, amortizing RR-set generation — the
+// dominant cost of the TIM-style solvers — behind a shared Index cache.
+//
+// Endpoints (all request/response bodies are JSON):
+//
+//	POST /v1/spread      Monte-Carlo σ_A and σ_B for given seed sets
+//	POST /v1/boost       paired-world CompInfMax objective estimate
+//	POST /v1/selfinfmax  Problem 1 solve (RR-SIM+ + sandwich approximation)
+//	POST /v1/compinfmax  Problem 2 solve (RR-CIM on the q_{B|A}→1 bound)
+//	GET  /healthz        liveness probe
+//	GET  /v1/stats       cache and request counters, dataset inventory
+//
+// Determinism: a solve request with master seed s returns exactly the seed
+// set the offline cmd/comic-seeds tool prints for the same graph, GAPs,
+// opposite seeds and budget parameters — whether the RR-set collections
+// come out of the cache (warm) or are generated on the fly (cold). The
+// cache can therefore be introduced, sized, or flushed without changing any
+// response body, only latencies.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"comic/internal/core"
+	"comic/internal/datasets"
+	"comic/internal/montecarlo"
+	"comic/internal/sandwich"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Datasets maps the names accepted in request bodies to the networks
+	// (with their default GAPs) the server answers queries on. Required.
+	Datasets map[string]*datasets.Dataset
+	// CacheBytes bounds the RR-set index (approximate resident bytes).
+	// 0 means the 1 GiB default — cache keys include client-controlled
+	// fields (seed, GAP, opposite seeds), so an unbounded index is a
+	// remote memory-growth vector. Negative means explicitly unbounded.
+	CacheBytes int64
+	// MaxConcurrentBuilds bounds how many RR-set collection builds may
+	// run at once; queued builds wait their turn. The cache byte budget
+	// covers only resident collections, so without this bound N
+	// concurrent distinct queries hold N full collections in flight.
+	// 0 means the default of 4; negative means unbounded.
+	MaxConcurrentBuilds int
+	// MaxK caps the per-request seed-set size (default 500).
+	MaxK int
+	// MaxRuns caps per-request Monte-Carlo budgets (default 200000).
+	MaxRuns int
+	// MaxTheta caps per-request RR-set budgets (default 2000000).
+	MaxTheta int
+	// Workers bounds solver parallelism per request (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 1 << 30
+	}
+	if c.MaxConcurrentBuilds == 0 {
+		c.MaxConcurrentBuilds = 4
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 500
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 200000
+	}
+	if c.MaxTheta <= 0 {
+		c.MaxTheta = 2_000_000
+	}
+	return c
+}
+
+// Server answers comic queries over HTTP. Create one with New; it
+// implements http.Handler and is safe for concurrent use.
+type Server struct {
+	cfg     Config
+	index   *Index
+	mux     *http.ServeMux
+	started time.Time
+
+	nSpread, nBoost, nSelf, nComp, nErrors atomic.Int64
+}
+
+// New validates cfg and returns a ready-to-serve Server with an empty
+// RR-set index.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Datasets) == 0 {
+		return nil, errors.New("server: Config.Datasets must name at least one dataset")
+	}
+	for name, d := range cfg.Datasets {
+		if d == nil || d.Graph == nil {
+			return nil, fmt.Errorf("server: dataset %q has no graph", name)
+		}
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		index:   NewIndex(cfg.CacheBytes),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.index.SetBuildLimit(cfg.MaxConcurrentBuilds)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/spread", s.handleSpread)
+	s.mux.HandleFunc("/v1/boost", s.handleBoost)
+	s.mux.HandleFunc("/v1/selfinfmax", s.handleSolve("self"))
+	s.mux.HandleFunc("/v1/compinfmax", s.handleSolve("comp"))
+	return s, nil
+}
+
+// ServeHTTP dispatches to the v1 API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Index exposes the server's RR-set cache (for stats or for sharing with
+// in-process solves).
+func (s *Server) Index() *Index { return s.index }
+
+// Serve builds a Server from cfg and runs it on addr until ctx is canceled,
+// then shuts down gracefully, draining in-flight requests for up to ten
+// seconds. It returns http.ErrServerClosed-free: nil on clean shutdown.
+func Serve(ctx context.Context, addr string, cfg Config) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, l, cfg)
+}
+
+// ServeListener is Serve on an already-bound listener, for callers that
+// need to know the port before serving (e.g. addr ":0" in tests). It takes
+// ownership of l.
+func ServeListener(ctx context.Context, l net.Listener, cfg Config) error {
+	s, err := New(cfg)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// --- request/response payloads ---
+
+// gapPayload is the wire form of a GAP; absent → the dataset's learned GAP.
+type gapPayload struct {
+	QA0 float64 `json:"qa0"`
+	QAB float64 `json:"qab"`
+	QB0 float64 `json:"qb0"`
+	QBA float64 `json:"qba"`
+}
+
+func (p *gapPayload) toGAP() core.GAP {
+	return core.GAP{QA0: p.QA0, QAB: p.QAB, QB0: p.QB0, QBA: p.QBA}
+}
+
+// estimateRequest is the body of /v1/spread and /v1/boost.
+type estimateRequest struct {
+	Dataset string      `json:"dataset"`
+	GAP     *gapPayload `json:"gap,omitempty"`
+	SeedsA  []int32     `json:"seedsA,omitempty"`
+	SeedsB  []int32     `json:"seedsB,omitempty"`
+	Runs    int         `json:"runs,omitempty"`
+	Seed    *uint64     `json:"seed,omitempty"`
+}
+
+// spreadResponse is the body returned by /v1/spread.
+type spreadResponse struct {
+	Dataset   string  `json:"dataset"`
+	MeanA     float64 `json:"meanA"`
+	StderrA   float64 `json:"stderrA"`
+	MeanB     float64 `json:"meanB"`
+	StderrB   float64 `json:"stderrB"`
+	Runs      int     `json:"runs"`
+	Seed      uint64  `json:"seed"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// boostResponse is the body returned by /v1/boost.
+type boostResponse struct {
+	Dataset   string  `json:"dataset"`
+	Boost     float64 `json:"boost"`
+	Stderr    float64 `json:"stderr"`
+	Runs      int     `json:"runs"`
+	Seed      uint64  `json:"seed"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// solveRequest is the body of /v1/selfinfmax (uses SeedsB as the fixed
+// opposite set) and /v1/compinfmax (uses SeedsA).
+type solveRequest struct {
+	Dataset    string      `json:"dataset"`
+	GAP        *gapPayload `json:"gap,omitempty"`
+	K          int         `json:"k"`
+	SeedsA     []int32     `json:"seedsA,omitempty"`
+	SeedsB     []int32     `json:"seedsB,omitempty"`
+	Epsilon    float64     `json:"epsilon,omitempty"`
+	FixedTheta int         `json:"fixedTheta,omitempty"`
+	MaxTheta   int         `json:"maxTheta,omitempty"`
+	EvalRuns   int         `json:"evalRuns,omitempty"`
+	Seed       *uint64     `json:"seed,omitempty"`
+}
+
+// solveCandidate is one sandwich candidate in a solveResponse.
+type solveCandidate struct {
+	Name      string  `json:"name"`
+	Seeds     []int32 `json:"seeds"`
+	Objective float64 `json:"objective"`
+	Theta     int     `json:"theta,omitempty"`
+}
+
+// solveResponse is the body returned by the solve endpoints.
+type solveResponse struct {
+	Dataset    string           `json:"dataset"`
+	Problem    string           `json:"problem"`
+	K          int              `json:"k"`
+	Seed       uint64           `json:"seed"`
+	Seeds      []int32          `json:"seeds"`
+	Objective  float64          `json:"objective"`
+	Chosen     string           `json:"chosen"`
+	UpperRatio float64          `json:"upperRatio,omitempty"`
+	Candidates []solveCandidate `json:"candidates"`
+	ElapsedMs  float64          `json:"elapsedMs"`
+}
+
+// statsResponse is the body returned by /v1/stats.
+type statsResponse struct {
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Index         IndexStats       `json:"index"`
+	Requests      map[string]int64 `json:"requests"`
+	Datasets      []datasetInfo    `json:"datasets"`
+}
+
+// datasetInfo describes one served dataset in /v1/stats and /healthz.
+type datasetInfo struct {
+	Name  string     `json:"name"`
+	Nodes int        `json:"nodes"`
+	Edges int        `json:"edges"`
+	GAP   gapPayload `json:"gap"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+		"datasets":      s.datasetNames(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	infos := make([]datasetInfo, 0, len(s.cfg.Datasets))
+	for name, d := range s.cfg.Datasets {
+		infos = append(infos, datasetInfo{
+			Name:  name,
+			Nodes: d.Graph.N(),
+			Edges: d.Graph.M(),
+			GAP:   gapPayload{QA0: d.GAP.QA0, QAB: d.GAP.QAB, QB0: d.GAP.QB0, QBA: d.GAP.QBA},
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Index:         s.index.Stats(),
+		Requests: map[string]int64{
+			"spread":     s.nSpread.Load(),
+			"boost":      s.nBoost.Load(),
+			"selfinfmax": s.nSelf.Load(),
+			"compinfmax": s.nComp.Load(),
+			"errors":     s.nErrors.Load(),
+		},
+		Datasets: infos,
+	})
+}
+
+func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
+	s.nSpread.Add(1)
+	req, d, gap, ok := s.decodeEstimate(w, r)
+	if !ok {
+		return
+	}
+	t0 := time.Now()
+	est := montecarlo.New(d.Graph, gap)
+	est.Workers = s.cfg.Workers
+	res := est.Estimate(req.SeedsA, req.SeedsB, req.Runs, *req.Seed)
+	writeJSON(w, http.StatusOK, spreadResponse{
+		Dataset: req.Dataset,
+		MeanA:   res.MeanA, StderrA: res.StderrA,
+		MeanB: res.MeanB, StderrB: res.StderrB,
+		Runs: res.Runs, Seed: *req.Seed,
+		ElapsedMs: msSince(t0),
+	})
+}
+
+func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
+	s.nBoost.Add(1)
+	req, d, gap, ok := s.decodeEstimate(w, r)
+	if !ok {
+		return
+	}
+	if len(req.SeedsB) == 0 {
+		s.httpError(w, http.StatusBadRequest, "boost requires a non-empty seedsB")
+		return
+	}
+	t0 := time.Now()
+	est := montecarlo.New(d.Graph, gap)
+	est.Workers = s.cfg.Workers
+	mean, stderr := est.BoostPaired(req.SeedsA, req.SeedsB, req.Runs, *req.Seed)
+	writeJSON(w, http.StatusOK, boostResponse{
+		Dataset: req.Dataset,
+		Boost:   mean, Stderr: stderr,
+		Runs: req.Runs, Seed: *req.Seed,
+		ElapsedMs: msSince(t0),
+	})
+}
+
+// decodeEstimate parses and validates the shared body of the two
+// Monte-Carlo endpoints, filling in defaults (runs 10000, seed 1).
+func (s *Server) decodeEstimate(w http.ResponseWriter, r *http.Request) (*estimateRequest, *datasets.Dataset, core.GAP, bool) {
+	var req estimateRequest
+	if !s.decodeBody(w, r, &req) {
+		return nil, nil, core.GAP{}, false
+	}
+	d, ok := s.lookupDataset(w, req.Dataset)
+	if !ok {
+		return nil, nil, core.GAP{}, false
+	}
+	gap := d.GAP
+	if req.GAP != nil {
+		gap = req.GAP.toGAP()
+	}
+	if err := gap.Validate(); err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return nil, nil, core.GAP{}, false
+	}
+	if req.Runs <= 0 {
+		// The default is clamped to the cap; only explicit client values
+		// above it are rejected.
+		req.Runs = min(10000, s.cfg.MaxRuns)
+	}
+	if req.Runs > s.cfg.MaxRuns {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("runs %d exceeds limit %d", req.Runs, s.cfg.MaxRuns))
+		return nil, nil, core.GAP{}, false
+	}
+	if req.Seed == nil {
+		one := uint64(1)
+		req.Seed = &one
+	}
+	if !s.checkSeeds(w, d, req.SeedsA, "seedsA") || !s.checkSeeds(w, d, req.SeedsB, "seedsB") {
+		return nil, nil, core.GAP{}, false
+	}
+	return &req, d, gap, true
+}
+
+// handleSolve returns the handler for one of the two seed-selection
+// problems. The solver configuration mirrors cmd/comic-seeds exactly
+// (epsilon 0.5, 10000 evaluation runs, seed 1 by default), so a warm cache
+// answer selects the same seed sets and objectives as the offline tool.
+func (s *Server) handleSolve(problem string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if problem == "self" {
+			s.nSelf.Add(1)
+		} else {
+			s.nComp.Add(1)
+		}
+		var req solveRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		d, ok := s.lookupDataset(w, req.Dataset)
+		if !ok {
+			return
+		}
+		gap := d.GAP
+		if req.GAP != nil {
+			gap = req.GAP.toGAP()
+		}
+		if err := gap.Validate(); err != nil {
+			s.httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.K <= 0 || req.K > s.cfg.MaxK {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1,%d], got %d", s.cfg.MaxK, req.K))
+			return
+		}
+		if req.FixedTheta > s.cfg.MaxTheta || req.MaxTheta > s.cfg.MaxTheta {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("theta budget exceeds limit %d", s.cfg.MaxTheta))
+			return
+		}
+		if req.EvalRuns <= 0 {
+			// Make the 10000-run solver default explicit so the cap below
+			// governs it too (clamped, like the spread default).
+			req.EvalRuns = min(10000, s.cfg.MaxRuns)
+		}
+		if req.EvalRuns > s.cfg.MaxRuns {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("evalRuns %d exceeds limit %d", req.EvalRuns, s.cfg.MaxRuns))
+			return
+		}
+		var opposite []int32
+		switch problem {
+		case "self":
+			if len(req.SeedsA) > 0 {
+				s.httpError(w, http.StatusBadRequest, "selfinfmax selects the A-seeds; pass the fixed B-seeds as seedsB")
+				return
+			}
+			opposite = req.SeedsB
+		case "comp":
+			if len(req.SeedsB) > 0 {
+				s.httpError(w, http.StatusBadRequest, "compinfmax selects the B-seeds; pass the fixed A-seeds as seedsA")
+				return
+			}
+			opposite = req.SeedsA
+		}
+		if !s.checkSeeds(w, d, opposite, "opposite seeds") {
+			return
+		}
+
+		cfg := sandwich.NewConfig(req.K)
+		if req.Epsilon > 0 {
+			cfg.TIM.Epsilon = req.Epsilon
+		}
+		cfg.TIM.FixedTheta = req.FixedTheta
+		cfg.TIM.MaxTheta = s.cfg.MaxTheta // operator cap applies to derived theta too
+		if req.MaxTheta > 0 {
+			cfg.TIM.MaxTheta = req.MaxTheta
+		}
+		if req.EvalRuns > 0 {
+			cfg.EvalRuns = req.EvalRuns
+		}
+		cfg.Seed = 1
+		if req.Seed != nil {
+			cfg.Seed = *req.Seed
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = 1
+		}
+		cfg.TIM.Workers = s.cfg.Workers
+		cfg.Collections = s.index
+		cfg.GraphID = req.Dataset
+
+		t0 := time.Now()
+		var res *sandwich.Result
+		var err error
+		if problem == "self" {
+			res, err = sandwich.SolveSelfInfMax(d.Graph, gap, opposite, cfg)
+		} else {
+			res, err = sandwich.SolveCompInfMax(d.Graph, gap, opposite, cfg)
+		}
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrBuildPanic) {
+				code = http.StatusInternalServerError
+			}
+			s.httpError(w, code, err.Error())
+			return
+		}
+		out := solveResponse{
+			Dataset:    req.Dataset,
+			Problem:    problem,
+			K:          req.K,
+			Seed:       cfg.Seed,
+			Seeds:      res.Seeds,
+			Objective:  res.Objective,
+			Chosen:     res.Chosen,
+			UpperRatio: res.UpperRatio,
+			ElapsedMs:  msSince(t0),
+		}
+		for _, c := range res.Candidates {
+			sc := solveCandidate{Name: c.Name, Seeds: c.Seeds, Objective: c.Objective}
+			if c.Stats != nil {
+				sc.Theta = c.Stats.Theta
+			}
+			out.Candidates = append(out.Candidates, sc)
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// --- shared plumbing ---
+
+// decodeBody enforces POST + JSON with unknown fields rejected.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) lookupDataset(w http.ResponseWriter, name string) (*datasets.Dataset, bool) {
+	d, ok := s.cfg.Datasets[name]
+	if !ok {
+		s.httpError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown dataset %q (have %v)", name, s.datasetNames()))
+		return nil, false
+	}
+	return d, true
+}
+
+func (s *Server) checkSeeds(w http.ResponseWriter, d *datasets.Dataset, seeds []int32, what string) bool {
+	n := int32(d.Graph.N())
+	for _, v := range seeds {
+		if v < 0 || v >= n {
+			s.httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("%s: node %d out of range [0,%d)", what, v, n))
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) datasetNames() []string {
+	names := make([]string, 0, len(s.cfg.Datasets))
+	for name := range s.cfg.Datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
+	s.nErrors.Add(1)
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
