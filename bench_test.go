@@ -240,7 +240,13 @@ func BenchmarkAblationBoostEstimators(b *testing.B) {
 // either way (only the per-request elapsedMs field differs).
 func BenchmarkServeSelfInfMaxColdVsWarm(b *testing.B) {
 	d := comic.FlixsterDataset(0.05, 1)
-	body := `{"dataset":"Flixster","k":10,"seedsB":[1,2,3],"fixedTheta":100000,"evalRuns":100,"seed":7}`
+	// Two request shapes: the first pins θ (no KPT estimation, generation
+	// dominates), "derived" takes the default ε-driven path where KPT
+	// estimation precedes generation — the shape real cache misses have.
+	bodies := []struct{ prefix, body string }{
+		{"", `{"dataset":"Flixster","k":10,"seedsB":[1,2,3],"fixedTheta":100000,"evalRuns":100,"seed":7}`},
+		{"derived-", `{"dataset":"Flixster","k":10,"seedsB":[1,2,3],"maxTheta":100000,"evalRuns":100,"seed":7}`},
+	}
 	newHandler := func(b *testing.B) http.Handler {
 		h, err := comic.NewServeHandler(comic.ServeConfig{
 			Datasets: map[string]*comic.Dataset{"Flixster": d},
@@ -250,7 +256,7 @@ func BenchmarkServeSelfInfMaxColdVsWarm(b *testing.B) {
 		}
 		return h
 	}
-	post := func(b *testing.B, h http.Handler) {
+	post := func(b *testing.B, h http.Handler, body string) {
 		req := httptest.NewRequest(http.MethodPost, "/v1/selfinfmax", strings.NewReader(body))
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
@@ -258,19 +264,65 @@ func BenchmarkServeSelfInfMaxColdVsWarm(b *testing.B) {
 			b.Fatalf("solve = %d %s", rec.Code, rec.Body.String())
 		}
 	}
-	b.Run("cold", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			post(b, newHandler(b))
+	for _, bc := range bodies {
+		prefix, body := bc.prefix, bc.body
+		b.Run(prefix+"cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				post(b, newHandler(b), body)
+			}
+		})
+		b.Run(prefix+"warm", func(b *testing.B) {
+			h := newHandler(b)
+			post(b, h, body) // prime the index
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, h, body)
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateKPT measures the KPT estimation phase — the sequential
+// prefix of every cold ε-driven solve until this PR — across worker counts.
+// The estimate itself is bitwise identical for every worker count.
+func BenchmarkEstimateKPT(b *testing.B) {
+	d := comic.FlixsterDataset(0.05, 1)
+	gap := comic.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.5, QBA: 0.5}
+	seedsB := comic.HighDegreeSeeds(d.Graph, 10)
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := "workers-max"
+		if workers == 1 {
+			name = "workers-1"
 		}
-	})
-	b.Run("warm", func(b *testing.B) {
-		h := newHandler(b)
-		post(b, h) // prime the index
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			post(b, h)
-		}
-	})
+		b.Run(name, func(b *testing.B) {
+			gen, err := rrset.NewSIMPlus(d.Graph, gap, seedsB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rrset.EstimateKPT(gen, d.Graph.M(), 50, 1, uint64(i), workers)
+			}
+		})
+	}
+}
+
+// BenchmarkSelectSeeds measures the selection half of a warm solve: CELF
+// lazy-greedy max coverage over a prebuilt arena-backed collection.
+func BenchmarkSelectSeeds(b *testing.B) {
+	d := comic.FlixsterDataset(0.05, 1)
+	gap := comic.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.5, QBA: 0.5}
+	seedsB := comic.HighDegreeSeeds(d.Graph, 10)
+	gen, err := rrset.NewSIMPlus(d.Graph, gap, seedsB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := rrset.BuildCollection(gen, d.Graph.M(), 50, rrset.Options{FixedTheta: 100000}, 7)
+	b.ReportMetric(float64(col.Bytes()), "collection-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rrset.SelectSeeds(col, d.Graph.N(), 50)
+	}
 }
 
 // BenchmarkEndToEndSelfInfMax measures the full public-API solve path.

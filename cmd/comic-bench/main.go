@@ -1,31 +1,43 @@
-// Command comic-bench regenerates the paper's tables and figures.
+// Command comic-bench regenerates the paper's tables and figures, and
+// benchmarks the serving-path solve.
 //
 // Usage:
 //
 //	comic-bench -exp table2 -scale 0.05
 //	comic-bench -exp all -scale 0.05 -mc 2000
 //	comic-bench -exp fig7b -scale 0.02
+//	comic-bench -exp selfinfmax -scale 0.02 -json BENCH_selfinfmax.json
 //
 // Experiment ids: table1, table2, table3, table4, table5-7, table8, fig4,
-// fig5, fig6, fig7a, fig7b, fig8, all. At -scale 1 the datasets match the
-// paper's Table 1 sizes (slow on a laptop); the default 0.05 reproduces the
-// shapes in minutes.
+// fig5, fig6, fig7a, fig7b, fig8, selfinfmax, all. At -scale 1 the datasets
+// match the paper's Table 1 sizes (slow on a laptop); the default 0.05
+// reproduces the shapes in minutes.
+//
+// The selfinfmax experiment times one cold and one warm SelfInfMax solve
+// against a shared RR-set index and, with -json FILE, writes a
+// machine-readable record (θ, KPT/generation/selection durations, resident
+// collection bytes, cold/warm ns per solve) so the serving path's
+// performance trajectory can be tracked PR-over-PR; CI runs it as a smoke
+// test on the small synthetic graph.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"comic"
 	"comic/internal/experiments"
 	"comic/internal/stats"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (table1..table8, fig4..fig8, all)")
+		exp        = flag.String("exp", "all", "experiment id (table1..table8, fig4..fig8, selfinfmax, all)")
 		scale      = flag.Float64("scale", 0.05, "dataset scale in (0, 1]")
 		seed       = flag.Uint64("seed", 42, "master random seed")
 		mcRuns     = flag.Int("mc", 2000, "Monte-Carlo evaluation runs per seed set")
@@ -35,6 +47,7 @@ func main() {
 		fixedTheta = flag.Int("theta", 0, "fixed RR-set budget (0 = epsilon-driven)")
 		greedy     = flag.Bool("greedy", false, "include the Monte-Carlo Greedy baseline (slow)")
 		dsets      = flag.String("datasets", "", "comma-separated dataset subset (default all)")
+		jsonOut    = flag.String("json", "", "write the selfinfmax benchmark record to this file")
 	)
 	flag.Parse()
 
@@ -50,6 +63,19 @@ func main() {
 	}
 	if *dsets != "" {
 		cfg.DatasetNames = strings.Split(*dsets, ",")
+	}
+
+	if *exp == "selfinfmax" {
+		rec, err := runSelfInfMaxBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: selfinfmax: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.render(os.Stdout, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: selfinfmax: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := []string{*exp}
@@ -73,6 +99,132 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// benchRecord is the machine-readable output of the selfinfmax experiment:
+// one line of the serving path's performance trajectory, written as
+// BENCH_selfinfmax.json by CI so regressions show up PR-over-PR.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Dataset    string  `json:"dataset"`
+	Scale      float64 `json:"scale"`
+	K          int     `json:"k"`
+	Seed       uint64  `json:"seed"`
+	Epsilon    float64 `json:"epsilon"`
+	FixedTheta int     `json:"fixedTheta,omitempty"`
+	// Theta sums the RR-set budgets over the sandwich candidates; the
+	// phase durations sum the same way (a non-B-indifferent GAP needs a
+	// lower and an upper collection).
+	Theta    int   `json:"theta"`
+	KPTNs    int64 `json:"kptNs"`
+	GenNs    int64 `json:"genNs"`
+	SelectNs int64 `json:"selectNs"`
+	// CollectionBytes is the exact resident size of the built collections
+	// (Collection.Bytes over the shared index).
+	CollectionBytes int64 `json:"collectionBytes"`
+	// ColdNs is one solve against an empty index (build + select + MC
+	// evaluation); WarmNs is the same solve answered from the warm index.
+	ColdNs int64   `json:"coldNs"`
+	WarmNs int64   `json:"warmNs"`
+	Seeds  []int32 `json:"seeds"`
+}
+
+// runSelfInfMaxBench times one cold and one warm SelfInfMax solve through
+// the RR-set index, mirroring what the query server does per request.
+func runSelfInfMaxBench(cfg experiments.Config) (*benchRecord, error) {
+	name := "Flixster"
+	if len(cfg.DatasetNames) > 0 {
+		name = cfg.DatasetNames[0]
+	}
+	d, err := comic.DatasetByName(name, cfg.Scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 10
+	}
+	oppSize := cfg.OppositeSize
+	if oppSize <= 0 {
+		oppSize = 10
+	}
+	mc := cfg.MCRuns
+	if mc <= 0 {
+		mc = 1000
+	}
+	seedsB := comic.HighDegreeSeeds(d.Graph, oppSize)
+
+	idx := comic.NewRRIndex(0)
+	opts := comic.Options{
+		Epsilon:    cfg.Epsilon,
+		FixedTheta: cfg.FixedTheta,
+		MaxTheta:   cfg.MaxTheta,
+		EvalRuns:   mc,
+		Seed:       cfg.Seed,
+		Index:      idx,
+		GraphID:    name,
+	}
+	t0 := time.Now()
+	res, err := comic.SelfInfMax(d.Graph, d.GAP, seedsB, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	coldNs := time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	warmRes, err := comic.SelfInfMax(d.Graph, d.GAP, seedsB, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	warmNs := time.Since(t1).Nanoseconds()
+	for i, c := range warmRes.Candidates {
+		if res.Candidates[i].Name != c.Name || fmt.Sprint(res.Candidates[i].Seeds) != fmt.Sprint(c.Seeds) {
+			return nil, fmt.Errorf("warm candidate %q diverged from cold", c.Name)
+		}
+	}
+
+	rec := &benchRecord{
+		Experiment: "selfinfmax",
+		Dataset:    name,
+		Scale:      cfg.Scale,
+		K:          k,
+		Seed:       cfg.Seed,
+		Epsilon:    cfg.Epsilon,
+		FixedTheta: cfg.FixedTheta,
+		ColdNs:     coldNs,
+		WarmNs:     warmNs,
+		Seeds:      res.Seeds,
+	}
+	for _, c := range res.Candidates {
+		if c.Stats == nil {
+			continue
+		}
+		rec.Theta += c.Stats.Theta
+		rec.KPTNs += c.Stats.KPTDuration.Nanoseconds()
+		rec.GenNs += c.Stats.GenDuration.Nanoseconds()
+		rec.SelectNs += c.Stats.SelectDuration.Nanoseconds()
+	}
+	rec.CollectionBytes = idx.Stats().ResidentBytes
+	return rec, nil
+}
+
+// render prints a human-readable summary and, when jsonPath is non-empty,
+// writes the record there as indented JSON.
+func (r *benchRecord) render(w io.Writer, jsonPath string) error {
+	fmt.Fprintf(w, "selfinfmax benchmark: %s scale %g, k=%d, seed %d\n", r.Dataset, r.Scale, r.K, r.Seed)
+	fmt.Fprintf(w, "  theta %d across candidates; kpt %v, gen %v, select %v\n",
+		r.Theta, time.Duration(r.KPTNs), time.Duration(r.GenNs), time.Duration(r.SelectNs))
+	fmt.Fprintf(w, "  resident collections: %d bytes (exact)\n", r.CollectionBytes)
+	fmt.Fprintf(w, "  cold solve %v, warm solve %v (%.1fx)\n",
+		time.Duration(r.ColdNs), time.Duration(r.WarmNs), float64(r.ColdNs)/float64(r.WarmNs))
+	fmt.Fprintf(w, "  seeds %v\n", r.Seeds)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
 }
 
 func run(id string, cfg experiments.Config) ([]*stats.Table, error) {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"comic/internal/experiments"
@@ -58,5 +61,47 @@ func TestRunFig4(t *testing.T) {
 func TestRunUnknownID(t *testing.T) {
 	if _, err := run("table99", tinyConfig()); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestSelfInfMaxBenchRecord(t *testing.T) {
+	cfg := tinyConfig()
+	rec, err := runSelfInfMaxBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Theta <= 0 || rec.ColdNs <= 0 || rec.WarmNs <= 0 || rec.GenNs <= 0 {
+		t.Fatalf("benchmark record has empty measurements: %+v", rec)
+	}
+	if rec.CollectionBytes <= 0 {
+		t.Fatalf("collectionBytes = %d, want > 0", rec.CollectionBytes)
+	}
+	if len(rec.Seeds) != cfg.K {
+		t.Fatalf("got %d seeds, want %d", len(rec.Seeds), cfg.K)
+	}
+	// FixedTheta was set, so no KPT phase ran.
+	if rec.KPTNs != 0 {
+		t.Fatalf("kptNs = %d with FixedTheta set, want 0", rec.KPTNs)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_selfinfmax.json")
+	var buf bytes.Buffer
+	if err := rec.render(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("render printed nothing")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("bad JSON in %s: %v", path, err)
+	}
+	if back.Experiment != "selfinfmax" || back.Theta != rec.Theta ||
+		back.ColdNs != rec.ColdNs || back.CollectionBytes != rec.CollectionBytes {
+		t.Fatalf("round-tripped record differs: %+v vs %+v", back, *rec)
 	}
 }

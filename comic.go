@@ -293,8 +293,9 @@ type RRIndexStats = server.IndexStats
 // RR-index byte budget, and per-request validation limits.
 type ServeConfig = server.Config
 
-// NewRRIndex returns an empty RR-set index bounded to approximately
-// maxBytes of resident RR-set data (<= 0 means unbounded).
+// NewRRIndex returns an empty RR-set index bounded to maxBytes of resident
+// RR-set data — exact: collections are arena-backed and report their true
+// footprint (<= 0 means unbounded).
 func NewRRIndex(maxBytes int64) *RRIndex { return server.NewIndex(maxBytes) }
 
 // NewServeHandler returns an http.Handler exposing the comic v1 JSON API

@@ -60,7 +60,16 @@ func (r *RNG) Split(i uint64) *RNG {
 // NewStream returns the i-th independent stream of the master seed without
 // constructing an intermediate generator.
 func NewStream(seed, i uint64) *RNG {
-	return New(splitMix64(seed) ^ splitMix64(i*0x9e3779b97f4a7c15+1))
+	r := &RNG{}
+	r.ReseedStream(seed, i)
+	return r
+}
+
+// ReseedStream resets r to exactly the state NewStream(seed, i) constructs,
+// letting hot loops reuse one generator across streams instead of
+// allocating a fresh RNG per stream (one per RR set during generation).
+func (r *RNG) ReseedStream(seed, i uint64) {
+	r.Reseed(splitMix64(seed) ^ splitMix64(i*0x9e3779b97f4a7c15+1))
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

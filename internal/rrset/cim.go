@@ -144,9 +144,11 @@ func (c *CIM) forwardLabel() {
 			c.queue = append(c.queue, v)
 		}
 	}
-	for len(c.queue) > 0 {
-		u := c.queue[0]
-		c.queue = c.queue[1:]
+	// Head-index BFS here and in every queue below: popping via
+	// queue = queue[1:] would strand capacity and reallocate the queue on
+	// every generation (see IC.Generate).
+	for head := 0; head < len(c.queue); head++ {
+		u := c.queue[head]
 		lu := c.labelOf(u)
 		to, eids := g.OutNeighbors(u)
 		for i := range to {
@@ -194,9 +196,8 @@ func (c *CIM) secondaryBackwardB(u int32, out *RRSet) {
 	g := c.s.g
 	c.squeue = append(c.squeue[:0], u)
 	c.svisited.mark(u)
-	for len(c.squeue) > 0 {
-		x := c.squeue[0]
-		c.squeue = c.squeue[1:]
+	for head := 0; head < len(c.squeue); head++ {
+		x := c.squeue[head]
 		from, eids := g.InNeighbors(x)
 		for i := range from {
 			w := from[i]
@@ -226,9 +227,8 @@ func (c *CIM) case4(u int32) bool {
 	c.sf.reset()
 	c.squeue = append(c.squeue[:0], u)
 	c.sf.mark(u)
-	for len(c.squeue) > 0 {
-		x := c.squeue[0]
-		c.squeue = c.squeue[1:]
+	for head := 0; head < len(c.squeue); head++ {
+		x := c.squeue[head]
 		to, eids := g.OutNeighbors(x)
 		for i := range to {
 			y := to[i]
@@ -249,9 +249,8 @@ func (c *CIM) case4(u int32) bool {
 	c.squeue = append(c.squeue[:0], u)
 	c.sb.mark(u)
 	found := false
-	for len(c.squeue) > 0 && !found {
-		x := c.squeue[0]
-		c.squeue = c.squeue[1:]
+	for head := 0; head < len(c.squeue) && !found; head++ {
+		x := c.squeue[head]
 		from, eids := g.InNeighbors(x)
 		for i := range from {
 			w := from[i]
@@ -300,9 +299,8 @@ func (c *CIM) Generate(root int32, r *rng.RNG, out *RRSet) {
 	c.inR.reset()
 	c.queue = append(c.queue[:0], root)
 	c.pvisited.mark(root)
-	for len(c.queue) > 0 {
-		u := c.queue[0]
-		c.queue = c.queue[1:]
+	for head := 0; head < len(c.queue); head++ {
+		u := c.queue[head]
 		switch c.labelOf(u) {
 		case lblSuspended:
 			c.addR(out, u)

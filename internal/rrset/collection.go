@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"time"
+	"unsafe"
 
 	"comic/internal/core"
 	"comic/internal/graph"
@@ -28,38 +29,75 @@ const (
 // Collection is an immutable batch of RR sets together with the statistics
 // of its generation: the expensive, reusable half of GeneralTIM. A
 // Collection built once may be shared freely across goroutines — nothing in
-// this package mutates Sets after BuildCollection returns.
+// this package mutates it after BuildCollection returns.
+//
+// The sets live in a flat arena: one shared node buffer plus per-set
+// offsets, roots and widths, instead of θ separately allocated slices. That
+// keeps generation garbage to O(workers) buffers, makes Bytes exact (every
+// backing array is reachable from here and sized len == cap), and gives
+// selection cache-friendly sequential scans. Access sets through Len,
+// NodesOf, Root, Width, or the Set view — the arena layout is not part of
+// the API.
 type Collection struct {
-	// Sets holds the Theta generated RR sets.
-	Sets []RRSet
+	offsets []int64 // set i's nodes are nodes[offsets[i]:offsets[i+1]]
+	nodes   []int32 // node arena, exactly TotalNodes long
+	roots   []int32
+	widths  []int64
+
 	// Theta is the RR-set budget that was generated (Eq. 3, or FixedTheta).
 	Theta int
 	// KPT is the estimated lower bound of OPT_k (0 when FixedTheta was set).
 	KPT float64
 	// Lambda is λ of Eq. 3 (0 when FixedTheta was set).
 	Lambda float64
-	// TotalNodes is Σ |R| over Sets; TotalWidth is Σ ω(R).
+	// TotalNodes is Σ |R| over the sets; TotalWidth is Σ ω(R).
 	TotalNodes, TotalWidth int64
-	// Explored aggregates edge-exploration counters from generation.
-	Explored Counters
+	// Explored aggregates edge-exploration counters from θ-generation only;
+	// ExploredKPT holds the KPT estimation phase's counters separately, so
+	// Explored matches the paper's per-phase EPT quantities (Lemmas 6, 8).
+	Explored    Counters
+	ExploredKPT Counters
 	// KPTDuration and GenDuration record where generation time went.
 	KPTDuration, GenDuration time.Duration
 }
 
-// rrSetBytes is the approximate fixed overhead of one RRSet (root, width,
-// slice header) used by Bytes.
-const rrSetBytes = 40
+// Len returns the number of RR sets in the collection (== Theta).
+func (c *Collection) Len() int { return len(c.roots) }
 
-// Bytes estimates the resident memory of the collection, the quantity an
-// LRU cache budgets against.
+// NodesOf returns set i's nodes as a view into the shared arena. The slice
+// must not be mutated or appended to.
+func (c *Collection) NodesOf(i int) []int32 {
+	return c.nodes[c.offsets[i]:c.offsets[i+1]:c.offsets[i+1]]
+}
+
+// Root returns set i's root node.
+func (c *Collection) Root(i int) int32 { return c.roots[i] }
+
+// Width returns ω(R_i), the number of edges pointing into set i's nodes.
+func (c *Collection) Width(i int) int64 { return c.widths[i] }
+
+// Set returns an RRSet view of set i. Nodes aliases the shared arena and
+// must not be mutated.
+func (c *Collection) Set(i int) RRSet {
+	return RRSet{Root: c.roots[i], Nodes: c.NodesOf(i), Width: c.widths[i]}
+}
+
+// Bytes returns the exact resident memory of the collection — the struct
+// plus its four backing arrays, all allocated with len == cap — the
+// quantity an LRU cache budgets against. (The runtime rounds each backing
+// array up to an allocation size class; for the multi-megabyte arenas the
+// cache holds, that rounding is page-granular and far below 1%.)
 func (c *Collection) Bytes() int64 {
-	return int64(len(c.Sets))*rrSetBytes + 4*c.TotalNodes
+	return int64(unsafe.Sizeof(*c)) +
+		8*int64(cap(c.offsets)) + 4*int64(cap(c.nodes)) +
+		4*int64(cap(c.roots)) + 8*int64(cap(c.widths))
 }
 
 // BuildCollection runs the generation half of GeneralTIM (Algorithm 1 lines
-// 1-3): estimate KPT, derive θ from Eq. 3 (unless opts.FixedTheta is set),
-// and generate θ RR sets in parallel. The result is deterministic in
-// (generator configuration, k, opts, seed) and independent of opts.Workers.
+// 1-3): estimate KPT in parallel, derive θ from Eq. 3 (unless
+// opts.FixedTheta is set), and generate θ RR sets in parallel into the
+// collection's arena. The result is deterministic in (generator
+// configuration, k, opts, seed) and independent of opts.Workers.
 func BuildCollection(gen Generator, m, k int, opts Options, seed uint64) *Collection {
 	opts = opts.withDefaults()
 	n := gen.N()
@@ -71,27 +109,33 @@ func BuildCollection(gen Generator, m, k int, opts Options, seed uint64) *Collec
 	theta := opts.FixedTheta
 	if theta <= 0 {
 		t0 := time.Now()
-		col.KPT = EstimateKPT(gen, m, k, opts.Ell, seed^0x5bf03635)
+		col.KPT = EstimateKPT(gen, m, k, opts.Ell, seed^0x5bf03635, opts.Workers)
 		col.KPTDuration = time.Since(t0)
 		col.Lambda = Lambda(n, k, opts.Epsilon, opts.Ell)
 		theta = Theta(col.Lambda, col.KPT, opts.MaxTheta)
+		// Snapshot the probing counters now so the generation phase below
+		// can be reported separately (gen keeps accumulating into the same
+		// Counters across both phases).
+		col.ExploredKPT = *gen.Counters()
 	}
 	col.Theta = theta
 
 	t1 := time.Now()
-	col.Sets = Collect(gen, theta, opts.Workers, seed)
+	col.offsets, col.nodes, col.roots, col.widths = collectFlat(gen, theta, opts.Workers, seed)
 	col.GenDuration = time.Since(t1)
-	for i := range col.Sets {
-		col.TotalNodes += int64(len(col.Sets[i].Nodes))
-		col.TotalWidth += col.Sets[i].Width
+	col.TotalNodes = int64(len(col.nodes))
+	for _, w := range col.widths {
+		col.TotalWidth += w
 	}
 	col.Explored = *gen.Counters()
+	col.Explored.Sub(&col.ExploredKPT)
 	return col
 }
 
-// SelectSeeds runs the selection half of GeneralTIM (greedy max coverage,
-// Algorithm 1 lines 4-8) over a prebuilt collection. It never mutates col,
-// so many queries may select from one shared collection concurrently.
+// SelectSeeds runs the selection half of GeneralTIM (CELF lazy-greedy max
+// coverage, Algorithm 1 lines 4-8) over a prebuilt collection. It never
+// mutates col, so many queries may select from one shared collection
+// concurrently.
 func SelectSeeds(col *Collection, n, k int) ([]int32, *Stats) {
 	if k > n {
 		k = n
@@ -103,14 +147,15 @@ func SelectSeeds(col *Collection, n, k int) ([]int32, *Stats) {
 		TotalNodes:  col.TotalNodes,
 		TotalWidth:  col.TotalWidth,
 		Explored:    col.Explored,
+		ExploredKPT: col.ExploredKPT,
 		KPTDuration: col.KPTDuration,
 		GenDuration: col.GenDuration,
 	}
 	t := time.Now()
-	seeds, covered := SelectMaxCoverage(col.Sets, n, k)
+	seeds, covered := selectMaxCoverageFlat(col.offsets, col.nodes, n, k)
 	st.SelectDuration = time.Since(t)
-	if len(col.Sets) > 0 {
-		st.Coverage = float64(covered) / float64(len(col.Sets))
+	if col.Len() > 0 {
+		st.Coverage = float64(covered) / float64(col.Len())
 	}
 	st.SpreadEstimate = float64(n) * st.Coverage
 	return seeds, st

@@ -39,11 +39,14 @@ func (ic *IC) Generate(root int32, r *rng.RNG, out *RRSet) {
 	ic.s.begin(r)
 	ic.visited.reset()
 	out.Reset(root)
+	// BFS with a head index rather than popping via queue = queue[1:]:
+	// re-slicing would strand the backing array's capacity behind the head,
+	// forcing every generation to grow a fresh queue (the generators are
+	// reused across θ sets, so retained capacity amortizes to zero allocs).
 	ic.queue = append(ic.queue[:0], root)
 	ic.visited.mark(root)
-	for len(ic.queue) > 0 {
-		u := ic.queue[0]
-		ic.queue = ic.queue[1:]
+	for head := 0; head < len(ic.queue); head++ {
+		u := ic.queue[head]
 		addNode(g, out, u)
 		from, eids := g.InNeighbors(u)
 		for i := range from {

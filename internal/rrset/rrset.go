@@ -56,6 +56,18 @@ func (c *Counters) Add(other *Counters) {
 	c.EmptySets += other.EmptySets
 }
 
+// Sub removes other from c. BuildCollection uses it to separate the
+// generation phase's counters from the KPT-probing snapshot taken earlier
+// on the same accumulating generator.
+func (c *Counters) Sub(other *Counters) {
+	c.EdgesForward -= other.EdgesForward
+	c.EdgesBackward -= other.EdgesBackward
+	c.EdgesBackwardFirst -= other.EdgesBackwardFirst
+	c.EdgesSecondary -= other.EdgesSecondary
+	c.Sets -= other.Sets
+	c.EmptySets -= other.EmptySets
+}
+
 // Generator produces random RR sets per Definition 1. Implementations are
 // not safe for concurrent use; Clone gives each worker its own instance.
 type Generator interface {
@@ -81,9 +93,12 @@ type sampler struct {
 	world *core.World
 	r     *rng.RNG
 
-	epoch   uint32
-	eState  []uint8
-	eStamp  []uint32
+	epoch uint32
+	// eMemo packs each edge's memo word as epoch<<2 | state (state 1 live,
+	// 2 blocked): the stamp check and the state read in edgeLive — the
+	// hottest loads in RR-set generation — touch one cache line, not two
+	// parallel arrays.
+	eMemo   []uint32
 	alA     []float64
 	alAStmp []uint32
 	alB     []float64
@@ -93,8 +108,7 @@ type sampler struct {
 func newSampler(g *graph.Graph) sampler {
 	return sampler{
 		g:       g,
-		eState:  make([]uint8, g.M()),
-		eStamp:  make([]uint32, g.M()),
+		eMemo:   make([]uint32, g.M()),
 		alA:     make([]float64, g.N()),
 		alAStmp: make([]uint32, g.N()),
 		alB:     make([]float64, g.N()),
@@ -106,9 +120,9 @@ func newSampler(g *graph.Graph) sampler {
 func (s *sampler) begin(r *rng.RNG) {
 	s.r = r
 	s.epoch++
-	if s.epoch == 0 {
-		for i := range s.eStamp {
-			s.eStamp[i] = 0
+	if s.epoch == 1<<30 { // eMemo keeps 30 epoch bits; wrap and reset
+		for i := range s.eMemo {
+			s.eMemo[i] = 0
 		}
 		for i := range s.alAStmp {
 			s.alAStmp[i] = 0
@@ -122,15 +136,16 @@ func (s *sampler) edgeLive(eid int32) bool {
 	if s.world != nil {
 		return s.world.EdgeLive[eid]
 	}
-	if s.eStamp[eid] != s.epoch {
-		s.eStamp[eid] = s.epoch
+	w := s.eMemo[eid]
+	if w>>2 != s.epoch {
 		if s.r.Bernoulli(s.g.Prob(eid)) {
-			s.eState[eid] = 1
+			w = s.epoch<<2 | 1
 		} else {
-			s.eState[eid] = 2
+			w = s.epoch<<2 | 2
 		}
+		s.eMemo[eid] = w
 	}
-	return s.eState[eid] == 1
+	return w&3 == 1
 }
 
 func (s *sampler) alphaA(v int32) float64 {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"testing"
+	"unsafe"
 
 	"comic/internal/core"
 	"comic/internal/exact"
@@ -464,9 +465,38 @@ func TestEstimateKPTBounds(t *testing.T) {
 	g := graph.PowerLaw(500, 6, 2.16, true, rng.New(7))
 	graph.AssignWeightedCascade(g)
 	gen := NewIC(g)
-	kpt := EstimateKPT(gen, g.M(), 10, 1, 11)
+	kpt := EstimateKPT(gen, g.M(), 10, 1, 11, 1)
 	if kpt < 1 || kpt > float64(g.N()) {
 		t.Fatalf("KPT = %v outside [1, n]", kpt)
+	}
+}
+
+func TestEstimateKPTWorkerIndependence(t *testing.T) {
+	// The KPT estimate is a float sum over probe sets; it must be bitwise
+	// identical for every worker count (probe j always draws stream j, and
+	// κ values are accumulated in probe order).
+	g := graph.PowerLaw(500, 6, 2.16, true, rng.New(7))
+	graph.AssignWeightedCascade(g)
+	gap := core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.5, QBA: 0.5}
+	newGen := func() Generator {
+		gen, err := NewSIMPlus(g, gap, []int32{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gen
+	}
+	gen1 := newGen()
+	ref := EstimateKPT(gen1, g.M(), 10, 1, 11, 1)
+	for _, workers := range []int{2, 3, 8} {
+		genW := newGen()
+		if got := EstimateKPT(genW, g.M(), 10, 1, 11, workers); got != ref {
+			t.Fatalf("workers=%d: KPT %v != single-worker %v", workers, got, ref)
+		}
+		// Probing counters must also be worker-count independent.
+		if *genW.Counters() != *gen1.Counters() {
+			t.Fatalf("workers=%d: counters %+v != single-worker %+v",
+				workers, *genW.Counters(), *gen1.Counters())
+		}
 	}
 }
 
@@ -530,6 +560,146 @@ func TestSelectMaxCoverageDistinctSeedsWhenSaturated(t *testing.T) {
 			t.Fatalf("seeds = %v contain duplicate node %d", seeds, v)
 		}
 		seen[v] = true
+	}
+}
+
+func TestSelectMaxCoverageMatchesScan(t *testing.T) {
+	// The CELF lazy-greedy must reproduce the retained eager argmax scan
+	// seed-for-seed on randomized instances — including heavy ties, which
+	// small node ranges with duplicated sets force constantly.
+	for trial := 0; trial < 200; trial++ {
+		r := rng.New(uint64(9000 + trial))
+		n := 2 + r.Intn(30)
+		numSets := r.Intn(40)
+		sets := make([]RRSet, numSets)
+		for i := range sets {
+			sz := r.Intn(5)
+			for j := 0; j < sz; j++ {
+				sets[i].Nodes = append(sets[i].Nodes, int32(r.Intn(n)))
+			}
+			if r.Intn(4) == 0 && i > 0 {
+				// Duplicate an earlier set wholesale: guaranteed gain ties.
+				sets[i].Nodes = append([]int32(nil), sets[i-1].Nodes...)
+			}
+		}
+		k := 1 + r.Intn(n+2) // sometimes k > n: both must clamp identically
+		wantSeeds, wantCov := selectMaxCoverageScan(sets, n, min(k, n))
+		gotSeeds, gotCov := SelectMaxCoverage(sets, n, min(k, n))
+		if !setsEqual(gotSeeds, wantSeeds) || gotCov != wantCov {
+			t.Fatalf("trial %d (n=%d, sets=%d, k=%d):\nCELF %v cov %d\nscan %v cov %d",
+				trial, n, numSets, k, gotSeeds, gotCov, wantSeeds, wantCov)
+		}
+	}
+}
+
+func TestSelectMaxCoverageTieBreaksByLowestID(t *testing.T) {
+	// Three nodes covering the same two sets: the scan always picked the
+	// lowest id first; the CELF heap must do the same.
+	sets := []RRSet{
+		{Nodes: []int32{5, 3, 7}},
+		{Nodes: []int32{7, 5, 3}},
+	}
+	seeds, covered := SelectMaxCoverage(sets, 9, 3)
+	if covered != 2 {
+		t.Fatalf("covered = %d, want 2", covered)
+	}
+	// First pick: tie at gain 2 between {3,5,7} -> 3. Then every count is
+	// 0 and the filler must be the lowest-id unchosen nodes: 0, 1.
+	want := []int32{3, 0, 1}
+	if !setsEqual(seeds, want) {
+		t.Fatalf("seeds = %v, want %v", seeds, want)
+	}
+}
+
+func TestBuildCollectionArenaMatchesCollect(t *testing.T) {
+	// The flat arena must hold exactly the sets Collect produces, set for
+	// set and node for node, for any worker count.
+	g := graph.PowerLaw(300, 6, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	want := Collect(NewIC(g), 250, 1, 77)
+	for _, workers := range []int{1, 4} {
+		col := BuildCollection(NewIC(g), g.M(), 5, Options{FixedTheta: 250, Workers: workers}, 77)
+		if col.Len() != len(want) {
+			t.Fatalf("workers=%d: Len = %d, want %d", workers, col.Len(), len(want))
+		}
+		for i := range want {
+			got := col.Set(i)
+			if got.Root != want[i].Root || got.Width != want[i].Width {
+				t.Fatalf("workers=%d set %d: root/width (%d,%d) != (%d,%d)",
+					workers, i, got.Root, got.Width, want[i].Root, want[i].Width)
+			}
+			if !setsEqual(got.Nodes, want[i].Nodes) {
+				t.Fatalf("workers=%d set %d: nodes %v != %v", workers, i, got.Nodes, want[i].Nodes)
+			}
+		}
+	}
+}
+
+func TestCollectionBytesExact(t *testing.T) {
+	g := graph.PowerLaw(300, 6, 2.16, true, rng.New(1))
+	graph.AssignWeightedCascade(g)
+	col := BuildCollection(NewIC(g), g.M(), 5, Options{FixedTheta: 500}, 9)
+
+	// Compute the expected footprint from quantities independent of the
+	// Bytes() implementation: θ fixes the offsets/roots/widths lengths and
+	// the per-set node counts (via the accessors) fix the arena length.
+	// Element sizes are taken from the types, not hard-coded like Bytes().
+	theta := int64(col.Len())
+	var totalNodes int64
+	for i := 0; i < col.Len(); i++ {
+		totalNodes += int64(len(col.NodesOf(i)))
+	}
+	var n32 int32
+	var n64 int64
+	measured := int64(unsafe.Sizeof(*col)) +
+		(theta+1)*int64(unsafe.Sizeof(n64)) + // offsets
+		totalNodes*int64(unsafe.Sizeof(n32)) + // node arena
+		theta*int64(unsafe.Sizeof(n32)) + // roots
+		theta*int64(unsafe.Sizeof(n64)) // widths
+	if got := col.Bytes(); got != measured {
+		t.Fatalf("Bytes() = %d, measured arena footprint %d", got, measured)
+	}
+	// The backing arrays must be allocated exactly (len == cap): a grown
+	// append slack would make the accounting an estimate again.
+	if cap(col.nodes) != len(col.nodes) || cap(col.offsets) != len(col.offsets) ||
+		cap(col.roots) != len(col.roots) || cap(col.widths) != len(col.widths) {
+		t.Fatalf("arena slack: nodes %d/%d offsets %d/%d roots %d/%d widths %d/%d",
+			len(col.nodes), cap(col.nodes), len(col.offsets), cap(col.offsets),
+			len(col.roots), cap(col.roots), len(col.widths), cap(col.widths))
+	}
+	if col.TotalNodes != int64(len(col.nodes)) {
+		t.Fatalf("TotalNodes %d != arena length %d", col.TotalNodes, len(col.nodes))
+	}
+}
+
+func TestBuildCollectionSeparatesKPTFromGeneration(t *testing.T) {
+	// Explored must cover θ-generation only and ExploredKPT the probing
+	// phase only: conflating them inflated the paper's EPT quantities.
+	g := graph.PowerLaw(300, 5, 2.16, true, rng.New(5))
+	graph.AssignWeightedCascade(g)
+	gen := NewIC(g)
+	col := BuildCollection(gen, g.M(), 5, Options{Epsilon: 1, MaxTheta: 50000}, 7)
+	if col.ExploredKPT.Sets == 0 {
+		t.Fatal("KPT probing ran but ExploredKPT is empty")
+	}
+	if col.Explored.Sets != int64(col.Theta) {
+		t.Fatalf("Explored.Sets = %d, want exactly theta = %d (no KPT probes)",
+			col.Explored.Sets, col.Theta)
+	}
+	// The two phases must sum to everything the generator accumulated.
+	total := col.Explored
+	total.Add(&col.ExploredKPT)
+	if total != *gen.Counters() {
+		t.Fatalf("Explored + ExploredKPT = %+v != generator total %+v", total, *gen.Counters())
+	}
+
+	// With FixedTheta there is no probing phase at all.
+	fixed := BuildCollection(NewIC(g), g.M(), 5, Options{FixedTheta: 100}, 7)
+	if fixed.ExploredKPT != (Counters{}) {
+		t.Fatalf("FixedTheta build has ExploredKPT = %+v, want zero", fixed.ExploredKPT)
+	}
+	if fixed.Explored.Sets != 100 {
+		t.Fatalf("FixedTheta Explored.Sets = %d, want 100", fixed.Explored.Sets)
 	}
 }
 

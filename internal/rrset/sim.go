@@ -79,9 +79,10 @@ func (s *SIM) forwardLabelB() {
 		}
 	}
 	g := s.s.g
-	for len(s.queue) > 0 {
-		u := s.queue[0]
-		s.queue = s.queue[1:]
+	// Head-index BFS: popping via queue = queue[1:] would strand capacity
+	// and reallocate the queue on every generation (see IC.Generate).
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
 		to, eids := g.OutNeighbors(u)
 		for i := range to {
 			v := to[i]
@@ -116,9 +117,8 @@ func (s *SIM) Generate(root int32, r *rng.RNG, out *RRSet) {
 	s.visited.reset()
 	s.queue = append(s.queue[:0], root)
 	s.visited.mark(root)
-	for len(s.queue) > 0 {
-		u := s.queue[0]
-		s.queue = s.queue[1:]
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
 		addNode(g, out, u)
 		if !s.relaysA(u) {
 			// u can become A-adopted only as a seed itself; its

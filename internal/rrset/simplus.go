@@ -65,12 +65,14 @@ func (s *SIMPlus) Generate(root int32, r *rng.RNG, out *RRSet) {
 	// First backward BFS: T1 = all nodes with a live path to the root.
 	// Following Algorithm 3 line 6, edges into already-visited nodes are
 	// not tested here; the second pass samples them on demand.
+	// All three passes walk their queues with a head index: popping via
+	// queue = queue[1:] would strand capacity and reallocate the queue on
+	// every generation (see IC.Generate).
 	s.t1.reset()
 	s.queue = append(s.queue[:0], root)
 	s.t1.mark(root)
-	for len(s.queue) > 0 {
-		u := s.queue[0]
-		s.queue = s.queue[1:]
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
 		from, eids := g.InNeighbors(u)
 		for i := range from {
 			if s.t1.has(from[i]) {
@@ -95,9 +97,8 @@ func (s *SIMPlus) Generate(root int32, r *rng.RNG, out *RRSet) {
 			s.queue = append(s.queue, v)
 		}
 	}
-	for len(s.queue) > 0 {
-		u := s.queue[0]
-		s.queue = s.queue[1:]
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
 		to, eids := g.OutNeighbors(u)
 		for i := range to {
 			v := to[i]
@@ -117,9 +118,8 @@ func (s *SIMPlus) Generate(root int32, r *rng.RNG, out *RRSet) {
 	s.visited.reset()
 	s.queue = append(s.queue[:0], root)
 	s.visited.mark(root)
-	for len(s.queue) > 0 {
-		u := s.queue[0]
-		s.queue = s.queue[1:]
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
 		addNode(g, out, u)
 		var relays bool
 		if s.bAdopted.has(u) {

@@ -2,6 +2,8 @@ package rrset
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"comic/internal/rng"
 )
@@ -35,25 +37,78 @@ func lnChoose(n, k int) float64 {
 // a generic RR-set generator: KPT lower-bounds OPT_k with high probability
 // using the estimator κ(R) = 1 − (1 − ω(R)/m)^k over geometrically growing
 // batches. Returns at least 1.
-func EstimateKPT(gen Generator, m, k int, ell float64, seed uint64) float64 {
+//
+// Probes run on up to `workers` generator clones (default GOMAXPROCS), with
+// probe j of the whole estimation always drawing random stream j of seed and
+// the κ values accumulated in probe order, so the estimate is bitwise
+// identical for every worker count. Exploration counters from all clones are
+// folded into gen's.
+func EstimateKPT(gen Generator, m, k int, ell float64, seed uint64, workers int) float64 {
 	n := gen.N()
 	if n < 2 || m == 0 {
 		return 1
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	log2n := math.Log2(float64(n))
-	var set RRSet
 	batchBase := 6*ell*math.Log(float64(n)) + 6*math.Log(log2n)
-	streamIdx := uint64(0)
+
+	type probeWorker struct {
+		gen Generator
+		set RRSet
+		r   rng.RNG
+	}
+	pws := make([]*probeWorker, 1, workers)
+	pws[0] = &probeWorker{gen: gen.Clone()}
+	defer func() {
+		for _, pw := range pws {
+			gen.Counters().Add(pw.gen.Counters())
+		}
+	}()
+	// probe draws stream `stream` and stores κ(R) of the sampled set.
+	probe := func(pw *probeWorker, stream uint64, out *float64) {
+		pw.r.ReseedStream(seed, stream)
+		root := int32(pw.r.Intn(n))
+		pw.gen.Generate(root, &pw.r, &pw.set)
+		*out = 1 - math.Pow(1-float64(pw.set.Width)/float64(m), float64(k))
+	}
+
+	var kappas []float64
+	streamBase := uint64(0)
 	for i := 1; i < int(log2n); i++ {
 		ci := int(math.Ceil(batchBase * math.Pow(2, float64(i))))
+		if cap(kappas) < ci {
+			kappas = make([]float64, ci)
+		}
+		kappas = kappas[:ci]
+		if w := min(workers, ci); w <= 1 {
+			for j := 0; j < ci; j++ {
+				probe(pws[0], streamBase+uint64(j), &kappas[j])
+			}
+		} else {
+			for len(pws) < w {
+				pws = append(pws, &probeWorker{gen: gen.Clone()})
+			}
+			var wg sync.WaitGroup
+			for wi := 0; wi < w; wi++ {
+				wg.Add(1)
+				go func(wi int) {
+					defer wg.Done()
+					pw := pws[wi]
+					for j := wi; j < ci; j += w {
+						probe(pw, streamBase+uint64(j), &kappas[j])
+					}
+				}(wi)
+			}
+			wg.Wait()
+		}
+		streamBase += uint64(ci)
+		// Sum in probe order: float addition is order-dependent, and the
+		// estimate must not depend on the worker count.
 		sum := 0.0
-		for j := 0; j < ci; j++ {
-			r := rng.NewStream(seed, streamIdx)
-			streamIdx++
-			root := int32(r.Intn(n))
-			gen.Generate(root, r, &set)
-			kappa := 1 - math.Pow(1-float64(set.Width)/float64(m), float64(k))
-			sum += kappa
+		for _, kp := range kappas {
+			sum += kp
 		}
 		if sum/float64(ci) > 1/math.Pow(2, float64(i)) {
 			return math.Max(1, float64(n)*sum/(2*float64(ci)))

@@ -50,7 +50,11 @@ type Stats struct {
 	SpreadEstimate float64
 	TotalNodes     int64 // Σ |R|
 	TotalWidth     int64 // Σ ω(R)
+	// Explored covers θ-generation only; ExploredKPT covers the KPT probing
+	// phase. Keeping them apart is what makes Explored comparable to the
+	// paper's EPT quantities (Lemmas 6 and 8), which are per-generated-set.
 	Explored       Counters
+	ExploredKPT    Counters
 	KPTDuration    time.Duration
 	GenDuration    time.Duration
 	SelectDuration time.Duration
@@ -60,6 +64,10 @@ type Stats struct {
 // from random stream i of seed by a clone of gen, so the output is
 // deterministic and independent of worker count. Exploration counters from
 // all clones are accumulated into gen's.
+//
+// Each returned RRSet owns its Nodes slice; BuildCollection instead packs
+// the same sets into one flat arena (see Collection) and is what the
+// serving path uses.
 func Collect(gen Generator, count int, workers int, seed uint64) []RRSet {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -80,10 +88,11 @@ func Collect(gen Generator, count int, workers int, seed uint64) []RRSet {
 			defer wg.Done()
 			cl := gen.Clone()
 			clones[w] = cl
+			var r rng.RNG
 			for i := w; i < count; i += workers {
-				r := rng.NewStream(seed, uint64(i))
+				r.ReseedStream(seed, uint64(i))
 				root := int32(r.Intn(n))
-				cl.Generate(root, r, &sets[i])
+				cl.Generate(root, &r, &sets[i])
 			}
 		}(w)
 	}
@@ -94,21 +103,213 @@ func Collect(gen Generator, count int, workers int, seed uint64) []RRSet {
 	return sets
 }
 
+// collectFlat generates count RR sets directly into flat arena form: one
+// shared node buffer plus per-set offsets, roots and widths. Set i is
+// produced from random stream i of seed, exactly as Collect, so the packed
+// sets are node-for-node identical to Collect's — only the memory layout
+// differs. Generation allocates O(workers) growable buffers instead of one
+// Nodes slice per set, and the final arena is sized exactly (len == cap),
+// which is what lets Collection.Bytes account cache memory exactly.
+func collectFlat(gen Generator, count, workers int, seed uint64) (offsets []int64, nodes, roots []int32, widths []int64) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+	offsets = make([]int64, count+1)
+	roots = make([]int32, count)
+	widths = make([]int64, count)
+	if count == 0 {
+		return offsets, nil, roots, widths
+	}
+	n := gen.N()
+	clones := make([]Generator, workers)
+	bufs := make([][]int32, workers)
+	lens := make([]int32, count) // disjoint strided writes, no races
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := gen.Clone()
+			clones[w] = cl
+			var buf []int32
+			var set RRSet
+			var r rng.RNG
+			for i := w; i < count; i += workers {
+				r.ReseedStream(seed, uint64(i))
+				root := int32(r.Intn(n))
+				cl.Generate(root, &r, &set)
+				lens[i] = int32(len(set.Nodes))
+				roots[i] = set.Root
+				widths[i] = set.Width
+				buf = append(buf, set.Nodes...)
+			}
+			bufs[w] = buf
+		}(w)
+	}
+	wg.Wait()
+	for _, cl := range clones {
+		gen.Counters().Add(cl.Counters())
+	}
+	for i := 0; i < count; i++ {
+		offsets[i+1] = offsets[i] + int64(lens[i])
+	}
+	nodes = make([]int32, offsets[count])
+	// Scatter each worker's buffer to the arena; worker w's buffer holds
+	// sets w, w+workers, ... contiguously in generation order.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := bufs[w]
+			pos := 0
+			for i := w; i < count; i += workers {
+				pos += copy(nodes[offsets[i]:offsets[i+1]], buf[pos:])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return offsets, nodes, roots, widths
+}
+
 // SelectMaxCoverage greedily picks k distinct nodes covering the maximum
 // number of RR sets (Algorithm 1 lines 4-8), the standard max-coverage
-// reduction. Returns the seeds and the number of covered sets. If every
-// set is covered before k seeds are chosen, the remainder are arbitrary
-// distinct nodes (zero marginal gain) so the result always has k seeds.
+// reduction, using CELF-style lazy evaluation. Returns the seeds and the
+// number of covered sets. If every set is covered before k seeds are
+// chosen, the remainder are the lowest-id unchosen nodes (zero marginal
+// gain) so the result always has k seeds.
 func SelectMaxCoverage(sets []RRSet, n, k int) ([]int32, int) {
-	// Inverted index: node -> indexes of the sets containing it.
+	offsets := make([]int64, len(sets)+1)
+	total := 0
+	for i := range sets {
+		total += len(sets[i].Nodes)
+		offsets[i+1] = int64(total)
+	}
+	nodes := make([]int32, 0, total)
+	for i := range sets {
+		nodes = append(nodes, sets[i].Nodes...)
+	}
+	return selectMaxCoverageFlat(offsets, nodes, n, k)
+}
+
+// lazyKey packs one CELF priority-queue entry into a uint64 that orders by
+// (cached marginal gain descending, node id ascending): the gain fills the
+// high 32 bits and the bitwise complement of the node id the low 32, so the
+// numerically largest key is the highest-gain, lowest-id entry — the same
+// node the full argmax scan this queue replaced would have picked, ties
+// included.
+func lazyKey(gain int32, node int32) uint64 {
+	return uint64(uint32(gain))<<32 | uint64(^uint32(node))
+}
+
+func lazyGain(key uint64) int32 { return int32(uint32(key >> 32)) }
+func lazyNode(key uint64) int32 { return int32(^uint32(key)) }
+
+// selectMaxCoverageFlat is the CELF lazy-greedy core over RR sets in flat
+// arena form (set i's nodes are nodes[offsets[i]:offsets[i+1]]).
+//
+// Marginal gains only shrink as sets become covered (coverage counts are
+// monotone decreasing), so a popped entry whose cached gain is still current
+// is the true argmax and stale entries just get their key refreshed and
+// sifted back — the classic CELF argument, specialized to integer coverage
+// counts. Output is identical to the eager argmax scan by construction;
+// TestSelectMaxCoverageMatchesScan pins this against the retained scan
+// implementation.
+func selectMaxCoverageFlat(offsets []int64, nodes []int32, n, k int) ([]int32, int) {
+	numSets := len(offsets) - 1
+	// Inverted index: node -> indexes of the sets containing it. Offsets are
+	// int64: total node occurrences across a 2M-set collection can exceed
+	// 2^31 on large graphs.
+	degree := make([]int32, n)
+	for _, v := range nodes {
+		degree[v]++
+	}
+	idxOff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		idxOff[v+1] = idxOff[v] + int64(degree[v])
+	}
+	occ := make([]int32, idxOff[n])
+	cursor := make([]int64, n)
+	copy(cursor, idxOff[:n])
+	for i := 0; i < numSets; i++ {
+		for _, v := range nodes[offsets[i]:offsets[i+1]] {
+			occ[cursor[v]] = int32(i)
+			cursor[v]++
+		}
+	}
+
+	covered := make([]bool, numSets)
+	count := make([]int32, n)
+	copy(count, degree)
+
+	// Binary max-heap of lazyKeys, one entry per node, O(n) heapify.
+	heap := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		heap[v] = lazyKey(count[v], int32(v))
+	}
+	size := n
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= size {
+				return
+			}
+			m := l
+			if r := l + 1; r < size && heap[r] > heap[l] {
+				m = r
+			}
+			if heap[i] >= heap[m] {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+
+	seeds := make([]int32, 0, k)
+	totalCovered := 0
+	for len(seeds) < k && size > 0 {
+		v := lazyNode(heap[0])
+		if cur := count[v]; cur != lazyGain(heap[0]) {
+			// Stale cached gain: refresh in place and re-sift.
+			heap[0] = lazyKey(cur, v)
+			siftDown(0)
+			continue
+		}
+		seeds = append(seeds, v)
+		size--
+		heap[0] = heap[size]
+		siftDown(0)
+		for _, si := range occ[idxOff[v]:idxOff[v+1]] {
+			if covered[si] {
+				continue
+			}
+			covered[si] = true
+			totalCovered++
+			for _, u := range nodes[offsets[si]:offsets[si+1]] {
+				count[u]--
+			}
+		}
+	}
+	return seeds, totalCovered
+}
+
+// selectMaxCoverageScan is the pre-CELF eager implementation: a full argmax
+// scan over all n nodes per selected seed. Retained as the reference oracle
+// for TestSelectMaxCoverageMatchesScan; SelectMaxCoverage must match it
+// seed-for-seed, ties included (lowest node id wins).
+func selectMaxCoverageScan(sets []RRSet, n, k int) ([]int32, int) {
 	degree := make([]int32, n)
 	for i := range sets {
 		for _, v := range sets[i].Nodes {
 			degree[v]++
 		}
 	}
-	// Offsets are int64: total node occurrences across a 2M-set collection
-	// can exceed 2^31 on large graphs.
 	offsets := make([]int64, n+1)
 	for v := 0; v < n; v++ {
 		offsets[v+1] = offsets[v] + int64(degree[v])

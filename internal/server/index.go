@@ -23,8 +23,10 @@ import (
 //   - hits return the resident collection without any generation;
 //   - concurrent identical misses are collapsed singleflight-style — one
 //     goroutine builds, the rest wait on the same result;
-//   - resident collections are bounded by an approximate byte budget with
-//     least-recently-used eviction.
+//   - resident collections are bounded by a byte budget with
+//     least-recently-used eviction. Collections are arena-backed and
+//     report their exact resident size (rrset.Collection.Bytes), so the
+//     budget is a real bound, not an estimate.
 //
 // An Index implements rrset.CollectionProvider and can be plugged into any
 // solver via sandwich.Config.Collections (or comic.Options.Index).
@@ -51,11 +53,14 @@ type indexEntry struct {
 	bytes int64
 }
 
-// flight is one in-progress build that concurrent identical requests wait on.
+// flight is one in-progress build that concurrent identical requests wait
+// on. It carries the builder's graph so waiters get the same GraphID-reuse
+// guard as the resident-entry hit path.
 type flight struct {
-	done chan struct{}
-	col  *rrset.Collection
-	err  error
+	done  chan struct{}
+	graph *graph.Graph
+	col   *rrset.Collection
+	err   error
 }
 
 // IndexStats is a point-in-time snapshot of cache behavior, served by
@@ -80,8 +85,8 @@ type IndexStats struct {
 	BuildTime time.Duration `json:"buildTimeNs"`
 }
 
-// NewIndex returns an empty index bounded to approximately maxBytes of
-// resident RR-set data. maxBytes <= 0 means unbounded.
+// NewIndex returns an empty index bounded to maxBytes of resident RR-set
+// data (exact arena accounting). maxBytes <= 0 means unbounded.
 func NewIndex(maxBytes int64) *Index {
 	return &Index{
 		maxBytes: maxBytes,
@@ -100,15 +105,9 @@ func (x *Index) Collection(req rrset.CollectionRequest) (*rrset.Collection, erro
 	x.mu.Lock()
 	if el, ok := x.entries[key]; ok {
 		e := el.Value.(*indexEntry)
-		// Sharing entries across Graph instances is legitimate (same
-		// logical graph reloaded under one GraphID), but a GraphID reused
-		// for a *different* graph would silently serve wrong RR sets.
-		// Same logical graph implies same size; different size proves
-		// misuse, so fail loudly instead.
-		if e.graph != req.Graph && (e.graph.N() != req.Graph.N() || e.graph.M() != req.Graph.M()) {
+		if err := graphReuseError(e.graph, req); err != nil {
 			x.mu.Unlock()
-			return nil, fmt.Errorf("server: GraphID %q reused for a different graph (%d nodes/%d edges cached vs %d/%d requested)",
-				req.GraphID, e.graph.N(), e.graph.M(), req.Graph.N(), req.Graph.M())
+			return nil, err
 		}
 		x.lru.MoveToFront(el)
 		x.stats.Hits++
@@ -117,12 +116,19 @@ func (x *Index) Collection(req rrset.CollectionRequest) (*rrset.Collection, erro
 		return col, nil
 	}
 	if f, ok := x.inflight[key]; ok {
+		// A waiter piggybacking on another request's build needs the same
+		// misuse guard as a hit: the in-flight collection is being drawn on
+		// the builder's graph, which must be the waiter's graph too.
+		if err := graphReuseError(f.graph, req); err != nil {
+			x.mu.Unlock()
+			return nil, err
+		}
 		x.stats.DedupWaits++
 		x.mu.Unlock()
 		<-f.done
 		return f.col, f.err
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), graph: req.Graph}
 	x.inflight[key] = f
 	x.stats.Misses++
 	x.mu.Unlock()
@@ -144,6 +150,25 @@ func (x *Index) Collection(req rrset.CollectionRequest) (*rrset.Collection, erro
 	}
 	x.mu.Unlock()
 	return col, err
+}
+
+// graphReuseError reports whether serving a collection drawn on `cached`
+// for req would cross graphs. Sharing across Graph instances is legitimate
+// (same logical graph reloaded under one GraphID), but a GraphID reused for
+// a *different* graph would silently serve wrong RR sets. Same logical
+// graph implies same size; different size proves misuse, so fail loudly.
+func graphReuseError(cached *graph.Graph, req rrset.CollectionRequest) error {
+	if cached == req.Graph {
+		return nil
+	}
+	if cached == nil || req.Graph == nil {
+		return fmt.Errorf("server: GraphID %q reused across a nil and a non-nil graph", req.GraphID)
+	}
+	if cached.N() != req.Graph.N() || cached.M() != req.Graph.M() {
+		return fmt.Errorf("server: GraphID %q reused for a different graph (%d nodes/%d edges cached vs %d/%d requested)",
+			req.GraphID, cached.N(), cached.M(), req.Graph.N(), req.Graph.M())
+	}
+	return nil
 }
 
 // ErrBuildPanic wraps a panic recovered from an RR-set collection build.

@@ -148,9 +148,9 @@ func TestIndexEmptyGraphIDKeysByInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range c2.Sets {
-		if c2.Sets[i].Root >= int32(g2.N()) {
-			t.Fatalf("collection served for g2 contains node %d from g1", c2.Sets[i].Root)
+	for i := 0; i < c2.Len(); i++ {
+		if c2.Root(i) >= int32(g2.N()) {
+			t.Fatalf("collection served for g2 contains node %d from g1", c2.Root(i))
 		}
 	}
 	if st := idx.Stats(); st.Misses != 2 || st.Hits != 0 {
@@ -173,6 +173,60 @@ func TestIndexDetectsGraphIDMisuse(t *testing.T) {
 	r2 := testRequest(g2, 7, 100) // same GraphID "test", same params
 	if _, err := idx.Collection(r2); err == nil {
 		t.Fatal("want an error for a GraphID reused across different graphs, got a silent hit")
+	}
+}
+
+func TestIndexDedupWaitDetectsGraphIDMisuse(t *testing.T) {
+	// A waiter piggybacking on an in-flight build must get the same
+	// GraphID-reuse guard as a cache hit: if the build in progress is for a
+	// *different* graph under the same GraphID, the waiter must get an
+	// error, not that graph's collection. Register the flight by hand so
+	// the in-flight window is deterministic rather than a race against a
+	// real build.
+	g1 := testGraph(t)
+	g2 := graph.PowerLaw(300, 4, 2.16, true, rng.New(2))
+	graph.AssignWeightedCascade(g2)
+
+	idx := NewIndex(0)
+	r2 := testRequest(g2, 7, 100) // same GraphID "test", same parameters
+	idx.mu.Lock()
+	idx.inflight[r2.Key()] = &flight{done: make(chan struct{}), graph: g1}
+	idx.mu.Unlock()
+
+	// The flight's done channel never closes: the call below must error on
+	// the mismatch check before ever blocking on it.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := idx.Collection(r2)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("want an error for a dedup wait on a different graph's build, got its collection")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiter blocked on the mismatched flight instead of failing fast")
+	}
+	if st := idx.Stats(); st.DedupWaits != 0 {
+		t.Fatalf("dedupWaits = %d, want 0: the mismatched request must not count as a wait", st.DedupWaits)
+	}
+
+	// Same graph instance (or a same-size reload) still piggybacks
+	// normally: r1 shares r2's key (same GraphID and parameters), so the
+	// registered flight serves it once resolved.
+	r1 := testRequest(g1, 7, 100)
+	idx.mu.Lock()
+	f := idx.inflight[r1.Key()]
+	idx.mu.Unlock()
+	f.col = &rrset.Collection{}
+	close(f.done)
+	col, err := idx.Collection(r1)
+	if err != nil || col != f.col {
+		t.Fatalf("matching-graph waiter got (%v, %v), want the flight's collection", col, err)
+	}
+	if st := idx.Stats(); st.DedupWaits != 1 {
+		t.Fatalf("dedupWaits = %d, want 1", st.DedupWaits)
 	}
 }
 
@@ -257,8 +311,13 @@ func TestIndexDeterministicContent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(c1.Sets, c2.Sets) {
-		t.Fatal("identical requests built different collections")
+	if c1.Len() != c2.Len() {
+		t.Fatal("identical requests built different collection sizes")
+	}
+	for i := 0; i < c1.Len(); i++ {
+		if !reflect.DeepEqual(c1.Set(i), c2.Set(i)) {
+			t.Fatalf("identical requests built different collections (set %d)", i)
+		}
 	}
 }
 

@@ -42,7 +42,7 @@ type Config struct {
 	// Datasets maps the names accepted in request bodies to the networks
 	// (with their default GAPs) the server answers queries on. Required.
 	Datasets map[string]*datasets.Dataset
-	// CacheBytes bounds the RR-set index (approximate resident bytes).
+	// CacheBytes bounds the RR-set index (exact resident bytes).
 	// 0 means the 1 GiB default — cache keys include client-controlled
 	// fields (seed, GAP, opposite seeds), so an unbounded index is a
 	// remote memory-growth vector. Negative means explicitly unbounded.
@@ -468,12 +468,12 @@ func (s *Server) handleSolve(problem string) http.HandlerFunc {
 		if req.EvalRuns > 0 {
 			cfg.EvalRuns = req.EvalRuns
 		}
+		// Default seed 1 only when the field is absent: an explicit
+		// "seed": 0 is a legitimate master seed and must round-trip, the
+		// same determinism contract /v1/spread and /v1/boost honor.
 		cfg.Seed = 1
 		if req.Seed != nil {
 			cfg.Seed = *req.Seed
-		}
-		if cfg.Seed == 0 {
-			cfg.Seed = 1
 		}
 		cfg.TIM.Workers = s.cfg.Workers
 		cfg.Collections = s.index

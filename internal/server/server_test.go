@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"comic"
+	"comic/internal/sandwich"
 	"comic/internal/server"
 )
 
@@ -226,6 +227,62 @@ func TestCompInfMaxDeterminism(t *testing.T) {
 	}
 	if st := s.Index().Stats(); st.Misses != 1 || st.Hits != 1 {
 		t.Fatalf("index stats = %+v, want 1 miss / 1 hit", st)
+	}
+}
+
+func TestSolveHonorsExplicitSeedZero(t *testing.T) {
+	// An explicit "seed": 0 is a legitimate master seed: it must round-trip
+	// in the response and drive the solve, exactly as /v1/spread treats it —
+	// not be silently rewritten to the default 1.
+	d := testDataset(t)
+	s := newTestServer(t, d)
+	type seeded struct {
+		solveResp
+		Seed uint64 `json:"seed"`
+	}
+	post := func(body string) seeded {
+		var got seeded
+		if rec := do(t, s, http.MethodPost, "/v1/selfinfmax", body, &got); rec.Code != http.StatusOK {
+			t.Fatalf("solve = %d %q", rec.Code, rec.Body.String())
+		}
+		return got
+	}
+	zero := post(`{"dataset":"Flixster","k":3,"seedsB":[1],"fixedTheta":1500,"evalRuns":300,"seed":0}`)
+	if zero.Seed != 0 {
+		t.Fatalf("explicit seed 0 came back as %d", zero.Seed)
+	}
+	// Seed 0 must actually drive the solve: the response must match the
+	// solver invoked directly with master seed 0. (The comic.Options facade
+	// treats 0 as "unset", so go through sandwich.Config, which doesn't.)
+	cfg := sandwich.NewConfig(3)
+	cfg.TIM.FixedTheta = 1500
+	cfg.TIM.MaxTheta = 2_000_000
+	cfg.EvalRuns = 300
+	cfg.Seed = 0
+	offline, err := sandwich.SolveSelfInfMax(d.Graph, d.GAP, []int32{1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(offline.Seeds, zero.Seeds) || offline.Objective != zero.Objective {
+		t.Fatalf("seed-0 server solve %+v != seed-0 direct solve (%v, %v)",
+			zero.solveResp, offline.Seeds, offline.Objective)
+	}
+
+	one := post(`{"dataset":"Flixster","k":3,"seedsB":[1],"fixedTheta":1500,"evalRuns":300,"seed":1}`)
+	if one.Seed != 1 {
+		t.Fatalf("seed 1 came back as %d", one.Seed)
+	}
+	absent := post(`{"dataset":"Flixster","k":3,"seedsB":[1],"fixedTheta":1500,"evalRuns":300}`)
+	if absent.Seed != 1 {
+		t.Fatalf("absent seed defaulted to %d, want 1", absent.Seed)
+	}
+	if !reflect.DeepEqual(absent.Seeds, one.Seeds) || absent.Objective != one.Objective {
+		t.Fatalf("absent-seed solve %+v != explicit seed-1 solve %+v", absent.solveResp, one.solveResp)
+	}
+	// Different master seeds draw different RR-set collections; the index
+	// must key them apart (4 distinct misses: 0 and 1, lower+upper each).
+	if st := s.Index().Stats(); st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (seed 0 and seed 1 keyed separately)", st.Misses)
 	}
 }
 
