@@ -7,11 +7,12 @@
 //	comic-bench -exp all -scale 0.05 -mc 2000
 //	comic-bench -exp fig7b -scale 0.02
 //	comic-bench -exp selfinfmax -scale 0.02 -json BENCH_selfinfmax.json
+//	comic-bench -exp batch -scale 0.02 -json BENCH_batch.json
 //
 // Experiment ids: table1, table2, table3, table4, table5-7, table8, fig4,
-// fig5, fig6, fig7a, fig7b, fig8, selfinfmax, all. At -scale 1 the datasets
-// match the paper's Table 1 sizes (slow on a laptop); the default 0.05
-// reproduces the shapes in minutes.
+// fig5, fig6, fig7a, fig7b, fig8, selfinfmax, batch, all. At -scale 1 the
+// datasets match the paper's Table 1 sizes (slow on a laptop); the default
+// 0.05 reproduces the shapes in minutes.
 //
 // The selfinfmax experiment times one cold and one warm SelfInfMax solve
 // against a shared RR-set index and, with -json FILE, writes a
@@ -19,6 +20,12 @@
 // collection bytes, cold/warm ns per solve) so the serving path's
 // performance trajectory can be tracked PR-over-PR; CI runs it as a smoke
 // test on the small synthetic graph.
+//
+// The batch experiment runs a SelfInfMax k-sweep (k = 1..K, the shape of
+// the paper's §7.3 seed-budget experiments) through POST /v1/batch and as
+// K sequential requests, verifying both return identical seeds and
+// recording the wall-time and build/hit amortization; CI runs it alongside
+// the selfinfmax record.
 package main
 
 import (
@@ -37,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (table1..table8, fig4..fig8, selfinfmax, all)")
+		exp        = flag.String("exp", "all", "experiment id (table1..table8, fig4..fig8, selfinfmax, batch, all)")
 		scale      = flag.Float64("scale", 0.05, "dataset scale in (0, 1]")
 		seed       = flag.Uint64("seed", 42, "master random seed")
 		mcRuns     = flag.Int("mc", 2000, "Monte-Carlo evaluation runs per seed set")
@@ -73,6 +80,18 @@ func main() {
 		}
 		if err := rec.render(os.Stdout, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "comic-bench: selfinfmax: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "batch" {
+		rec, err := runBatchBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: batch: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.render(os.Stdout, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: batch: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -64,6 +64,45 @@ func TestRunUnknownID(t *testing.T) {
 	}
 }
 
+func TestBatchBenchRecord(t *testing.T) {
+	cfg := tinyConfig()
+	rec, err := runBatchBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BatchNs <= 0 || rec.SequentialNs <= 0 {
+		t.Fatalf("benchmark record has empty measurements: %+v", rec)
+	}
+	// The B-indifferent k-sweep contract: exactly one build, the other
+	// k−1 queries answered warm — on both execution paths.
+	if rec.BatchBuilds != 1 || rec.BatchHits != int64(rec.SweepK-1) {
+		t.Fatalf("batch sweep = %d builds / %d hits, want 1 / %d", rec.BatchBuilds, rec.BatchHits, rec.SweepK-1)
+	}
+	if rec.SequentialBuilds != 1 || rec.SequentialHits != int64(rec.SweepK-1) {
+		t.Fatalf("sequential sweep = %d builds / %d hits, want 1 / %d", rec.SequentialBuilds, rec.SequentialHits, rec.SweepK-1)
+	}
+	if len(rec.Seeds) != rec.SweepK {
+		t.Fatalf("got %d seeds, want %d", len(rec.Seeds), rec.SweepK)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_batch.json")
+	var buf bytes.Buffer
+	if err := rec.render(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back batchBenchRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("bad JSON in %s: %v", path, err)
+	}
+	if back.Experiment != "batch" || back.BatchNs != rec.BatchNs || back.SweepK != rec.SweepK {
+		t.Fatalf("round-tripped record differs: %+v vs %+v", back, *rec)
+	}
+}
+
 func TestSelfInfMaxBenchRecord(t *testing.T) {
 	cfg := tinyConfig()
 	rec, err := runSelfInfMaxBench(cfg)

@@ -10,16 +10,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/spread      {"dataset":"Flixster","seedsA":[0,1],"seedsB":[2],"runs":10000,"seed":7}
-//	POST /v1/boost       {"dataset":"Flixster","seedsA":[0,1],"seedsB":[2]}
-//	POST /v1/selfinfmax  {"dataset":"Flixster","k":10,"seedsB":[2,3],"seed":7}
-//	POST /v1/compinfmax  {"dataset":"Flixster","k":10,"seedsA":[0,1],"seed":7}
-//	GET  /healthz
-//	GET  /v1/stats
+//	POST   /v1/spread        {"dataset":"Flixster","seedsA":[0,1],"seedsB":[2],"runs":10000,"seed":7}
+//	POST   /v1/boost         {"dataset":"Flixster","seedsA":[0,1],"seedsB":[2]}
+//	POST   /v1/selfinfmax    {"dataset":"Flixster","k":10,"seedsB":[2,3],"seed":7}
+//	POST   /v1/compinfmax    {"dataset":"Flixster","k":10,"seedsA":[0,1],"seed":7}
+//	POST   /v1/batch         {"queries":[{"op":"selfinfmax",...},...]}
+//	POST   /v1/jobs          same body as /v1/batch, executed asynchronously
+//	GET    /v1/jobs[/{id}]   poll job status/result; DELETE cancels/discards
+//	POST   /v1/graphs        {"name":"mine","edgeList":"n m\n...","gap":{...}}
+//	GET    /v1/graphs[/{n}]  inventory; DELETE retires a graph
+//	GET    /healthz
+//	GET    /v1/stats
 //
 // Solve responses are deterministic in the request seed and identical to
-// what cmd/comic-seeds prints for the same inputs; repeated queries hit the
-// RR-set index and skip generation. SIGINT/SIGTERM shut down gracefully.
+// what cmd/comic-seeds prints for the same inputs — whether the query comes
+// alone, in a batch, or through a job; repeated queries hit the RR-set
+// index and skip generation. SIGINT/SIGTERM shut down gracefully.
 package main
 
 import (
@@ -46,6 +52,13 @@ func main() {
 		maxRuns     = flag.Int("max-runs", 200000, "largest Monte-Carlo budget accepted per request")
 		maxTheta    = flag.Int("max-theta", 2000000, "RR-set budget cap per request (applies to derived theta too)")
 		maxBuilds   = flag.Int("max-builds", 4, "concurrent RR-set collection builds (negative = unbounded)")
+		maxBatch    = flag.Int("max-batch", 256, "largest query count accepted per /v1/batch request or job")
+		maxJobs     = flag.Int("max-jobs", 2, "async job worker-pool size")
+		maxQueued   = flag.Int("max-queued-jobs", 64, "jobs waiting for a worker before submissions get 429")
+		retainJobs  = flag.Int("retain-jobs", 256, "finished jobs kept for /v1/jobs/{id} polling")
+		maxGraphs   = flag.Int("max-graphs", 64, "registered graph limit, /v1/graphs uploads included")
+		maxUploadMB = flag.Int64("max-upload-mb", 32, "largest /v1/graphs upload body in MiB")
+		maxUploadN  = flag.Int("max-upload-nodes", 2_000_000, "largest node count accepted in an uploaded edge list")
 		qa0         = flag.Float64("qa0", 0.5, "default q_{A|emptyset} for -graph datasets")
 		qab         = flag.Float64("qab", 0.8, "default q_{A|B} for -graph datasets")
 		qb0         = flag.Float64("qb0", 0.5, "default q_{B|emptyset} for -graph datasets")
@@ -114,6 +127,13 @@ func main() {
 		MaxRuns:             *maxRuns,
 		MaxTheta:            *maxTheta,
 		MaxConcurrentBuilds: *maxBuilds,
+		MaxBatch:            *maxBatch,
+		MaxJobs:             *maxJobs,
+		MaxQueuedJobs:       *maxQueued,
+		RetainedJobs:        *retainJobs,
+		MaxGraphs:           *maxGraphs,
+		MaxUploadBytes:      *maxUploadMB << 20,
+		MaxUploadNodes:      *maxUploadN,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

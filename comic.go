@@ -289,9 +289,27 @@ type RRIndex = server.Index
 // and occupancy.
 type RRIndexStats = server.IndexStats
 
-// ServeConfig configures the query-serving layer: the datasets served, the
-// RR-index byte budget, and per-request validation limits.
+// ServeConfig configures the query-serving layer: the datasets served (the
+// pre-registered graph-registry entries), the RR-index byte budget,
+// per-request validation limits, the /v1/batch size cap, the async job
+// worker pool (MaxJobs, MaxQueuedJobs, RetainedJobs), and the /v1/graphs
+// upload limits (MaxGraphs, MaxUploadBytes).
 type ServeConfig = server.Config
+
+// Server is the query-serving layer: an http.Handler exposing the comic v1
+// JSON API over a dynamic graph registry, with batched (/v1/batch) and
+// asynchronous (/v1/jobs) query execution on top of the shared RR-set
+// index. Beyond serving HTTP it supports in-process graph management:
+// RegisterGraph and UnregisterGraph mirror the POST and DELETE /v1/graphs
+// endpoints, and GraphNames lists the registry. Call Close when discarding
+// a Server that isn't managed by Serve, to stop its job workers.
+type Server = server.Server
+
+// NewServer validates cfg and returns a ready-to-serve query server with
+// the configured datasets pre-registered. Use it instead of
+// NewServeHandler when you need the management surface (RegisterGraph,
+// UnregisterGraph, Index, Close) alongside http.Handler.
+func NewServer(cfg ServeConfig) (*Server, error) { return server.New(cfg) }
 
 // NewRRIndex returns an empty RR-set index bounded to maxBytes of resident
 // RR-set data — exact: collections are arena-backed and report their true
@@ -299,10 +317,11 @@ type ServeConfig = server.Config
 func NewRRIndex(maxBytes int64) *RRIndex { return server.NewIndex(maxBytes) }
 
 // NewServeHandler returns an http.Handler exposing the comic v1 JSON API
-// (/v1/spread, /v1/boost, /v1/selfinfmax, /v1/compinfmax, /healthz,
-// /v1/stats) over the configured datasets. Solve responses are
-// deterministic in the request's master seed and identical to the offline
-// cmd/comic-seeds tool, warm or cold.
+// (/v1/spread, /v1/boost, /v1/selfinfmax, /v1/compinfmax, /v1/batch,
+// /v1/jobs, /v1/graphs, /healthz, /v1/stats) over the configured datasets.
+// Solve responses are deterministic in the request's master seed and
+// identical to the offline cmd/comic-seeds tool — warm or cold, alone or
+// inside a batch or job.
 func NewServeHandler(cfg ServeConfig) (http.Handler, error) {
 	s, err := server.New(cfg)
 	if err != nil {

@@ -72,6 +72,38 @@ func ExampleNewMultiGAPTable() {
 	// Output: 32
 }
 
+// ExampleNewServer_registerGraph manages the query server's graph registry
+// in-process: RegisterGraph mirrors a POST /v1/graphs upload (the graph
+// serves queries immediately), UnregisterGraph mirrors DELETE (new queries
+// 404 and the graph's cached RR-set collections are dropped).
+func ExampleNewServer_registerGraph() {
+	s, err := comic.NewServer(comic.ServeConfig{
+		Datasets: map[string]*comic.Dataset{"Flixster": comic.FlixsterDataset(0.02, 1)},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Close()
+
+	b := comic.NewGraphBuilder(3)
+	b.AddEdge(0, 1, 0.9).AddEdge(1, 2, 0.9)
+	mine := &comic.Dataset{
+		Name:  "mine",
+		Graph: b.MustBuild(),
+		GAP:   comic.GAP{QA0: 0.6, QAB: 0.9, QB0: 0.6, QBA: 0.9},
+	}
+	if err := s.RegisterGraph("mine", mine); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(s.GraphNames())
+	fmt.Println(s.UnregisterGraph("mine"), s.GraphNames())
+	// Output:
+	// [Flixster mine]
+	// true [Flixster]
+}
+
 // ExampleNewRRIndex shares RR-set collections across solves: the second
 // SelfInfMax call with identical inputs hits the index (2 hits, one per
 // sandwich bound instance), skips RR-set generation entirely, and returns

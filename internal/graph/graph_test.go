@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -433,6 +434,45 @@ func TestReadEdgeListErrors(t *testing.T) {
 		if _, err := ReadEdgeList(bytes.NewBufferString(in)); err == nil {
 			t.Fatalf("case %d: malformed input %q accepted", i, in)
 		}
+	}
+}
+
+// TestReadEdgeListValidation pins parse-time validation of untrusted edge
+// lists: out-of-range endpoints, self-loops, and non-finite or out-of-range
+// probabilities are rejected with the offending line number in the error —
+// the fields used to flow straight to AddEdge, deferring range errors to
+// Build (no line numbers) and accepting NaN probabilities outright.
+func TestReadEdgeListValidation(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"src out of range", "2 1\n5 1 0.5\n", "line 2: src 5 out of range [0,2)"},
+		{"negative src", "2 1\n-1 1 0.5\n", "line 2: src -1 out of range [0,2)"},
+		{"dst out of range", "3 2\n0 1 0.5\n1 9 0.5\n", "line 3: dst 9 out of range [0,3)"},
+		{"self loop", "2 1\n1 1 0.5\n", "line 2: self-loop at node 1"},
+		{"NaN prob", "2 1\n0 1 NaN\n", "line 2: probability NaN outside [0,1]"},
+		{"negative prob", "2 1\n0 1 -0.25\n", "line 2: probability -0.25 outside [0,1]"},
+		{"prob above one", "2 1\n0 1 1.5\n", "line 2: probability 1.5 outside [0,1]"},
+		{"infinite prob", "2 1\n0 1 Inf\n", "line 2: probability +Inf outside [0,1]"},
+		{"negative node count", "-2 1\n", "line 1: negative node count"},
+		{"negative edge count", "2 -1\n", "line 1: negative edge count"},
+		{"too many edges", "2 1\n0 1 0.5\n1 0 0.5\n", "line 3: more edges than the 1 declared"},
+		{"comment shifts line numbers", "# c\n2 1\n\n0 5 0.5\n", "line 4: dst 5 out of range [0,2)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(bytes.NewBufferString(tc.in))
+			if err == nil {
+				t.Fatalf("input %q accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+	// Boundary probabilities 0 and 1 remain valid.
+	if _, err := ReadEdgeList(bytes.NewBufferString("3 2\n0 1 0\n1 2 1\n")); err != nil {
+		t.Fatalf("boundary probabilities rejected: %v", err)
 	}
 }
 

@@ -33,14 +33,32 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 }
 
 // ReadEdgeList parses the text edge-list form produced by WriteEdgeList.
+//
+// Every field is validated at parse time — endpoints must lie in [0, n),
+// self-loops are rejected, and probabilities must be finite values in
+// [0, 1] (NaN and ±Inf are rejected) — with the offending line number in
+// the error. The input may come from untrusted clients (the server's
+// /v1/graphs upload endpoint feeds request bodies straight in), so nothing
+// is deferred to Build, whose errors cannot name a line. Untrusted callers
+// should use ReadEdgeListLimit: the declared node count alone drives CSR
+// allocation, so a tiny body can otherwise demand gigabytes.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimit(r, 0)
+}
+
+// ReadEdgeListLimit is ReadEdgeList with an upper bound on the declared
+// node count, checked before anything is allocated. maxNodes <= 0 means
+// unbounded (trusted input).
+func ReadEdgeListLimit(r io.Reader, maxNodes int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	var n, m int
 	headerRead := false
 	var b *Builder
 	edges := 0
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -48,33 +66,58 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		fields := strings.Fields(line)
 		if !headerRead {
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: header must be \"n m\", got %q", line)
+				return nil, fmt.Errorf("graph: line %d: header must be \"n m\", got %q", lineNo, line)
 			}
 			var err error
 			if n, err = strconv.Atoi(fields[0]); err != nil {
-				return nil, fmt.Errorf("graph: bad node count: %v", err)
+				return nil, fmt.Errorf("graph: line %d: bad node count: %v", lineNo, err)
 			}
 			if m, err = strconv.Atoi(fields[1]); err != nil {
-				return nil, fmt.Errorf("graph: bad edge count: %v", err)
+				return nil, fmt.Errorf("graph: line %d: bad edge count: %v", lineNo, err)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative node count %d", lineNo, n)
+			}
+			if m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative edge count %d", lineNo, m)
+			}
+			if maxNodes > 0 && n > maxNodes {
+				return nil, fmt.Errorf("graph: line %d: node count %d exceeds limit %d", lineNo, n, maxNodes)
 			}
 			b = NewBuilder(n)
 			headerRead = true
 			continue
 		}
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("graph: edge line must be \"src dst prob\", got %q", line)
+			return nil, fmt.Errorf("graph: line %d: edge line must be \"src dst prob\", got %q", lineNo, line)
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad src: %v", err)
+			return nil, fmt.Errorf("graph: line %d: bad src: %v", lineNo, err)
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad dst: %v", err)
+			return nil, fmt.Errorf("graph: line %d: bad dst: %v", lineNo, err)
 		}
 		p, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad prob: %v", err)
+			return nil, fmt.Errorf("graph: line %d: bad prob: %v", lineNo, err)
+		}
+		if u < 0 || u >= int64(n) {
+			return nil, fmt.Errorf("graph: line %d: src %d out of range [0,%d)", lineNo, u, n)
+		}
+		if v < 0 || v >= int64(n) {
+			return nil, fmt.Errorf("graph: line %d: dst %d out of range [0,%d)", lineNo, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self-loop at node %d", lineNo, u)
+		}
+		// NaN fails every comparison, so test the valid range positively.
+		if !(p >= 0 && p <= 1) {
+			return nil, fmt.Errorf("graph: line %d: probability %v outside [0,1]", lineNo, p)
+		}
+		if edges >= m {
+			return nil, fmt.Errorf("graph: line %d: more edges than the %d declared in the header", lineNo, m)
 		}
 		b.AddEdge(int32(u), int32(v), p)
 		edges++

@@ -38,6 +38,79 @@ type Result struct {
 	Runs             int
 }
 
+// shiftedAcc accumulates first and second moments of integer-valued samples
+// (adoption counts, paired-run differences) around a shift equal to the
+// accumulator's first sample. Because samples, shifts, and therefore every
+// stored quantity are integers representable in float64, accumulation and
+// merging are exact (below 2^53), which gives two properties at once:
+//
+//   - merging per-worker accumulators is independent of how samples were
+//     partitioned across workers, so estimates stay bit-for-bit identical
+//     for every worker count; and
+//   - the variance formula subtracts quantities of the order of the
+//     *centered* second moment, not the raw one. The naive Σx² − n·mean²
+//     form catastrophically cancels when mean² ≫ variance (large spreads
+//     with small noise): the subtraction of two ~n·mean² terms leaves only
+//     rounding error, which can come out ≤ 0 and report a standard error
+//     of exactly 0 for an estimate that does have noise.
+type shiftedAcc struct {
+	n     int64
+	shift float64 // first sample; all moments are relative to it
+	sum   float64 // Σ (x − shift)
+	sum2  float64 // Σ (x − shift)²
+}
+
+// add folds one sample into the accumulator.
+func (a *shiftedAcc) add(x float64) {
+	if a.n == 0 {
+		a.shift = x
+	}
+	d := x - a.shift
+	a.n++
+	a.sum += d
+	a.sum2 += d * d
+}
+
+// merge folds b into a, re-expressing b's moments around a's shift. All
+// terms are sums and products of integers, so the merge is exact and the
+// result does not depend on how samples were split between a and b.
+func (a *shiftedAcc) merge(b shiftedAcc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	dk := b.shift - a.shift
+	a.sum2 += b.sum2 + 2*dk*b.sum + float64(b.n)*dk*dk
+	a.sum += b.sum + float64(b.n)*dk
+	a.n += b.n
+}
+
+// mean returns the sample mean. shift·n + sum reconstructs the exact
+// integer Σx, so the result is identical to a direct (exact) summation.
+func (a *shiftedAcc) mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return (a.shift*float64(a.n) + a.sum) / float64(a.n)
+}
+
+// stderr returns the standard error of the mean from the unbiased sample
+// variance (Σd² − (Σd)²/n)/(n−1), computed on shifted values where no
+// catastrophic cancellation can occur: both terms are of the order of the
+// centered second moment. The clamp to 0 only absorbs the final division's
+// last-ulp rounding, not a sign flip from cancellation.
+func (a *shiftedAcc) stderr() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	n := float64(a.n)
+	v := (a.sum2 - a.sum*a.sum/n) / (n - 1)
+	return math.Sqrt(math.Max(v, 0) / n)
+}
+
 func (e *Estimator) workers() int {
 	if e.Workers > 0 {
 		return e.Workers
@@ -56,10 +129,7 @@ func (e *Estimator) Estimate(seedsA, seedsB []int32, runs int, seed uint64) Resu
 	if w > runs {
 		w = runs
 	}
-	type acc struct {
-		sumA, sumB   float64
-		sumA2, sumB2 float64
-	}
+	type acc struct{ a, b shiftedAcc }
 	accs := make([]acc, w)
 	var wg sync.WaitGroup
 	for wi := 0; wi < w; wi++ {
@@ -70,35 +140,22 @@ func (e *Estimator) Estimate(seedsA, seedsB []int32, runs int, seed uint64) Resu
 			a := &accs[wi]
 			for i := wi; i < runs; i += w {
 				ca, cb := sim.Run(seedsA, seedsB, rng.NewStream(seed, uint64(i)))
-				fa, fb := float64(ca), float64(cb)
-				a.sumA += fa
-				a.sumB += fb
-				a.sumA2 += fa * fa
-				a.sumB2 += fb * fb
+				a.a.add(float64(ca))
+				a.b.add(float64(cb))
 			}
 		}(wi)
 	}
 	wg.Wait()
-	var t acc
+	var tA, tB shiftedAcc
 	for _, a := range accs {
-		t.sumA += a.sumA
-		t.sumB += a.sumB
-		t.sumA2 += a.sumA2
-		t.sumB2 += a.sumB2
+		tA.merge(a.a)
+		tB.merge(a.b)
 	}
-	n := float64(runs)
-	res := Result{
-		MeanA: t.sumA / n,
-		MeanB: t.sumB / n,
-		Runs:  runs,
+	return Result{
+		MeanA: tA.mean(), StderrA: tA.stderr(),
+		MeanB: tB.mean(), StderrB: tB.stderr(),
+		Runs: runs,
 	}
-	if runs > 1 {
-		varA := (t.sumA2 - n*res.MeanA*res.MeanA) / (n - 1)
-		varB := (t.sumB2 - n*res.MeanB*res.MeanB) / (n - 1)
-		res.StderrA = math.Sqrt(math.Max(varA, 0) / n)
-		res.StderrB = math.Sqrt(math.Max(varB, 0) / n)
-	}
-	return res
 }
 
 // SpreadA returns the estimated σ_A(seedsA, seedsB).
@@ -132,8 +189,7 @@ func (e *Estimator) BoostPaired(seedsA, seedsB []int32, runs int, seed uint64) (
 	if w > runs {
 		w = runs
 	}
-	type acc struct{ sum, sum2 float64 }
-	accs := make([]acc, w)
+	accs := make([]shiftedAcc, w)
 	var wg sync.WaitGroup
 	for wi := 0; wi < w; wi++ {
 		wg.Add(1)
@@ -146,24 +202,15 @@ func (e *Estimator) BoostPaired(seedsA, seedsB []int32, runs int, seed uint64) (
 				sim.SetWorld(world)
 				withB, _ := sim.Run(seedsA, seedsB, nil)
 				withoutB, _ := sim.Run(seedsA, nil, nil)
-				d := float64(withB - withoutB)
-				a.sum += d
-				a.sum2 += d * d
+				a.add(float64(withB - withoutB))
 			}
 			sim.SetWorld(nil)
 		}(wi)
 	}
 	wg.Wait()
-	var sum, sum2 float64
+	var t shiftedAcc
 	for _, a := range accs {
-		sum += a.sum
-		sum2 += a.sum2
+		t.merge(a)
 	}
-	n := float64(runs)
-	mean = sum / n
-	if runs > 1 {
-		v := (sum2 - n*mean*mean) / (n - 1)
-		stderr = math.Sqrt(math.Max(v, 0) / n)
-	}
-	return mean, stderr
+	return t.mean(), t.stderr()
 }

@@ -147,6 +147,90 @@ func TestBoostPairedDeterministic(t *testing.T) {
 	}
 }
 
+// TestShiftedAccLargeMagnitude is the regression test for the variance
+// numerics: with samples of magnitude ~1e8 and variance ~0.25, the naive
+// Σx² − n·mean² form cancels catastrophically — the difference of two
+// ~1e20 terms is pure rounding noise, which max(var, 0) then masks as a
+// standard error of exactly 0. The shifted accumulator must recover the
+// true variance to full precision.
+func TestShiftedAccLargeMagnitude(t *testing.T) {
+	const base = 1e8
+	const n = 10000
+	var a shiftedAcc
+	var sum, sum2 float64 // the old accumulation, replicated as the foil
+	for i := 0; i < n; i++ {
+		x := base + float64(i%2) // alternating base, base+1: variance 0.25…ish
+		a.add(x)
+		sum += x
+		sum2 += x * x
+	}
+	naiveMean := sum / n
+	naiveVar := (sum2 - n*naiveMean*naiveMean) / (n - 1)
+	if naiveVar > 0.1 {
+		t.Fatalf("naive variance %v did not cancel; the regression foil is miscalibrated", naiveVar)
+	}
+	wantVar := 0.25 * float64(n) / float64(n-1) // Σ(x−x̄)² = n/4 exactly here
+	gotVar := a.stderr() * a.stderr() * n
+	if math.Abs(gotVar-wantVar) > 1e-9*wantVar {
+		t.Fatalf("shifted variance = %v, want %v", gotVar, wantVar)
+	}
+	if a.mean() != naiveMean {
+		// Means are exact integer sums either way; they must agree bitwise.
+		t.Fatalf("shifted mean %v != direct mean %v", a.mean(), naiveMean)
+	}
+}
+
+// TestShiftedAccMergePartitionInvariance pins the worker-independence claim:
+// merging per-worker accumulators yields bit-identical moments no matter how
+// the sample stream was partitioned, because every merge step is exact
+// integer arithmetic in float64.
+func TestShiftedAccMergePartitionInvariance(t *testing.T) {
+	r := rng.New(5)
+	samples := make([]float64, 997)
+	for i := range samples {
+		samples[i] = float64(1e7 + r.Intn(1000))
+	}
+	var ref shiftedAcc
+	for _, x := range samples {
+		ref.add(x)
+	}
+	for _, workers := range []int{2, 3, 7, 64} {
+		accs := make([]shiftedAcc, workers)
+		for i, x := range samples {
+			accs[i%workers].add(x)
+		}
+		var merged shiftedAcc
+		for _, a := range accs {
+			merged.merge(a)
+		}
+		if merged.mean() != ref.mean() || merged.stderr() != ref.stderr() {
+			t.Fatalf("partition into %d workers changed the moments: mean %v/%v stderr %v/%v",
+				workers, merged.mean(), ref.mean(), merged.stderr(), ref.stderr())
+		}
+	}
+}
+
+// TestEstimateStderrNonzeroWithLargeCounts drives the fix end to end: a
+// near-deterministic cascade over a large clique-free star (spread ≈ n with
+// one coin-flip leaf) must report a small positive standard error, not 0.
+func TestEstimateStderrNonzeroWithLargeCounts(t *testing.T) {
+	const leaves = 4000
+	b := graph.NewBuilder(leaves + 2)
+	for i := 1; i <= leaves; i++ {
+		b.AddEdge(0, int32(i), 1) // deterministic bulk of the spread
+	}
+	b.AddEdge(0, leaves+1, 0.5) // the only stochastic node
+	g := b.MustBuild()
+	e := New(g, core.GAP{QA0: 1, QAB: 1, QB0: 1, QBA: 1})
+	res := e.Estimate([]int32{0}, nil, 2000, 3)
+	if res.MeanA < leaves || res.MeanA > leaves+2 {
+		t.Fatalf("star spread = %v, want ≈%d", res.MeanA, leaves+1)
+	}
+	if res.StderrA <= 0 || res.StderrA > 0.05 {
+		t.Fatalf("stderr = %v, want small but strictly positive (≈0.011)", res.StderrA)
+	}
+}
+
 func BenchmarkEstimate10K(b *testing.B) {
 	g := graph.PowerLaw(2000, 8, 2.16, true, rng.New(1))
 	graph.AssignWeightedCascade(g)

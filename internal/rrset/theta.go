@@ -17,6 +17,17 @@ func Lambda(n, k int, eps, ell float64) float64 {
 	if n < 2 {
 		return 1
 	}
+	// Clamp k into [0, n]: C(n, k) is undefined outside it, and lnChoose's
+	// silent 0 for k > n would understate λ relative to the intended
+	// "select everything" budget. Callers reject or clamp k > n themselves
+	// (the server with a 400, BuildCollection by clamping), so this only
+	// guards direct library misuse.
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
 	return (8 + 2*eps) * float64(n) *
 		(ell*math.Log(float64(n)) + lnChoose(n, k) + math.Ln2) / (eps * eps)
 }

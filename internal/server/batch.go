@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// batchQuery is one operation inside a /v1/batch request or an async job:
+// the union of the single-query request bodies plus an "op" discriminator.
+// Fields that don't belong to the chosen op must be left at their zero
+// value (a spread query with "k", or a solve with "runs", is rejected —
+// silently ignoring them would hide client bugs).
+type batchQuery struct {
+	Op      string      `json:"op"` // "spread", "boost", "selfinfmax", "compinfmax"
+	Dataset string      `json:"dataset"`
+	GAP     *gapPayload `json:"gap,omitempty"`
+	SeedsA  []int32     `json:"seedsA,omitempty"`
+	SeedsB  []int32     `json:"seedsB,omitempty"`
+	Seed    *uint64     `json:"seed,omitempty"`
+
+	// Monte-Carlo ops (spread, boost).
+	Runs int `json:"runs,omitempty"`
+
+	// Solve ops (selfinfmax, compinfmax).
+	K          int     `json:"k,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	FixedTheta int     `json:"fixedTheta,omitempty"`
+	MaxTheta   int     `json:"maxTheta,omitempty"`
+	EvalRuns   int     `json:"evalRuns,omitempty"`
+}
+
+// batchRequest is the body of POST /v1/batch and POST /v1/jobs.
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+}
+
+// batchResult is one query's outcome inside a batchResponse: either a
+// Result (the same body the query's dedicated endpoint returns) or an
+// Error with the HTTP status it would have received. One failing query
+// never fails the batch.
+type batchResult struct {
+	Op     string `json:"op"`
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Result any    `json:"result,omitempty"`
+}
+
+// batchResponse is the body returned by /v1/batch (and stored as a
+// finished job's result).
+type batchResponse struct {
+	Results   []batchResult `json:"results"`
+	Succeeded int           `json:"succeeded"`
+	Failed    int           `json:"failed"`
+	ElapsedMs float64       `json:"elapsedMs"`
+}
+
+// batchBodyLimit sizes the request-body cap for /v1/batch and /v1/jobs:
+// 64 KiB per permitted query (room for multi-thousand-node seed lists),
+// never below the generic 1 MiB single-query limit. Scaling with MaxBatch
+// keeps the two knobs consistent — a batch that respects MaxBatch is not
+// rejected for its byte size.
+func (s *Server) batchBodyLimit() int64 {
+	return max(int64(s.cfg.MaxBatch)*(64<<10), 1<<20)
+}
+
+// validateBatch checks the envelope shared by /v1/batch and /v1/jobs.
+func (s *Server) validateBatch(req *batchRequest) *apiError {
+	if len(req.Queries) == 0 {
+		return s.fail(http.StatusBadRequest, "batch requires at least one query")
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		return s.fail(http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
+	}
+	return nil
+}
+
+// runQuery validates and executes one batch query through the same
+// validation and solver paths as the dedicated endpoints, so a query
+// answered in a batch or a job is byte-identical to the same query POSTed
+// on its own (ElapsedMs aside).
+func (s *Server) runQuery(q *batchQuery) (any, *apiError) {
+	switch q.Op {
+	case "spread", "boost":
+		if q.K != 0 || q.Epsilon != 0 || q.FixedTheta != 0 || q.MaxTheta != 0 || q.EvalRuns != 0 {
+			return nil, s.fail(http.StatusBadRequest,
+				"%s queries take no solver fields (k/epsilon/fixedTheta/maxTheta/evalRuns)", q.Op)
+		}
+		req := &estimateRequest{
+			Dataset: q.Dataset, GAP: q.GAP,
+			SeedsA: q.SeedsA, SeedsB: q.SeedsB,
+			Runs: q.Runs, Seed: q.Seed,
+		}
+		if q.Op == "spread" {
+			return s.runSpread(req)
+		}
+		return s.runBoost(req)
+	case "selfinfmax", "compinfmax":
+		if q.Runs != 0 {
+			return nil, s.fail(http.StatusBadRequest, "%s queries take evalRuns, not runs", q.Op)
+		}
+		req := &solveRequest{
+			Dataset: q.Dataset, GAP: q.GAP, K: q.K,
+			SeedsA: q.SeedsA, SeedsB: q.SeedsB,
+			Epsilon: q.Epsilon, FixedTheta: q.FixedTheta, MaxTheta: q.MaxTheta,
+			EvalRuns: q.EvalRuns, Seed: q.Seed,
+		}
+		problem := "self"
+		if q.Op == "compinfmax" {
+			problem = "comp"
+		}
+		return s.runSolve(problem, req)
+	case "":
+		return nil, s.fail(http.StatusBadRequest, "query is missing \"op\"")
+	default:
+		return nil, s.fail(http.StatusBadRequest,
+			"unknown op %q (want spread, boost, selfinfmax or compinfmax)", q.Op)
+	}
+}
+
+// runBatch executes queries in order. Queries sharing a cache key — e.g. a
+// k-sweep over one (graph, GAP, opposite, fixed θ, seed) configuration —
+// reuse a single RR-set collection build through the index: the first
+// solve pays generation, the rest are warm selections. Execution stops
+// early when ctx is canceled (client gone, or job canceled); queries that
+// never ran are reported with the ctx error rather than silently dropped.
+func (s *Server) runBatch(ctx context.Context, queries []batchQuery) *batchResponse {
+	t0 := time.Now()
+	resp := &batchResponse{Results: make([]batchResult, 0, len(queries))}
+	for i := range queries {
+		q := &queries[i]
+		if ctx != nil && ctx.Err() != nil {
+			resp.Results = append(resp.Results, batchResult{
+				Op: q.Op, Status: statusCanceled,
+				Error: fmt.Sprintf("canceled before this query ran: %v", ctx.Err()),
+			})
+			resp.Failed++
+			continue
+		}
+		out, aerr := s.runQuery(q)
+		if aerr != nil {
+			resp.Results = append(resp.Results, batchResult{Op: q.Op, Status: aerr.Code, Error: aerr.Msg})
+			resp.Failed++
+			continue
+		}
+		resp.Results = append(resp.Results, batchResult{Op: q.Op, Status: http.StatusOK, Result: out})
+		resp.Succeeded++
+	}
+	resp.ElapsedMs = msSince(t0)
+	return resp
+}
+
+// statusCanceled marks batch queries skipped by cancellation; 499 is the
+// de-facto "client closed request" status.
+const statusCanceled = 499
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decodeBodyLimit(w, r, &req, s.batchBodyLimit()) {
+		return
+	}
+	if aerr := s.validateBatch(&req); aerr != nil {
+		s.writeErr(w, aerr)
+		return
+	}
+	s.nBatch.Add(1)
+	writeJSON(w, http.StatusOK, s.runBatch(r.Context(), req.Queries))
+}

@@ -75,6 +75,9 @@ type IndexStats struct {
 	DedupWaits int64 `json:"dedupWaits"`
 	// Evictions counts collections dropped to stay under the byte budget.
 	Evictions int64 `json:"evictions"`
+	// Drops counts collections removed because their graph was deleted
+	// from the registry (DropGraph), as opposed to budget evictions.
+	Drops int64 `json:"drops"`
 	// ResidentCollections and ResidentBytes describe current occupancy.
 	ResidentCollections int   `json:"residentCollections"`
 	ResidentBytes       int64 `json:"residentBytes"`
@@ -207,6 +210,35 @@ func (x *Index) insertLocked(key string, col *rrset.Collection, g *graph.Graph) 
 		x.bytes -= victim.bytes
 		x.stats.Evictions++
 	}
+}
+
+// DropGraph removes every resident collection drawn on g and returns how
+// many were dropped. The graph registry calls it when a graph is deleted —
+// once no solve holds a reference to the graph — so a deleted graph's
+// cache entries stop pinning its memory. Matching is by graph identity:
+// collections record the *graph.Graph they were generated on regardless of
+// how their key was formed.
+//
+// Safe to call concurrently with Collection. An identical-key request
+// in flight while DropGraph runs may still insert its result afterwards;
+// the registry prevents that by dropping only after the last in-flight
+// solve on the graph has released its reference (inserts happen inside a
+// solve, before the release).
+func (x *Index) DropGraph(g *graph.Graph) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	dropped := 0
+	for key, el := range x.entries {
+		e := el.Value.(*indexEntry)
+		if e.graph == g {
+			x.lru.Remove(el)
+			delete(x.entries, key)
+			x.bytes -= e.bytes
+			dropped++
+		}
+	}
+	x.stats.Drops += int64(dropped)
+	return dropped
 }
 
 // SetBuildLimit bounds the number of collection builds that may run

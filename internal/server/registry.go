@@ -1,0 +1,269 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"comic/internal/core"
+	"comic/internal/datasets"
+	"comic/internal/graph"
+)
+
+// registry is the server's dynamic graph inventory: the datasets preloaded
+// from Config.Datasets plus any graphs uploaded through POST /v1/graphs.
+// Every query resolves its graph here, taking a reference for the duration
+// of the request, so DELETE can retire a graph without yanking it out from
+// under in-flight solves:
+//
+//   - acquire/release ref-count in-flight requests per entry;
+//   - remove unlinks the entry immediately (new requests get 404) and marks
+//     it deleted; the RR-index collections drawn on the graph are dropped as
+//     soon as the last reference is released (immediately when idle). Cache
+//     inserts for a graph only happen inside a request holding a reference,
+//     so after the final release+drop no entry can resurrect the graph's
+//     collections.
+//
+// Each registration gets a unique cacheID used as the RR-index GraphID, so
+// re-registering a name after a delete can never alias the dead graph's
+// cache entries — even if the new graph coincidentally matches the old
+// one's node and edge counts (the N/M misuse guard cannot catch that).
+type registry struct {
+	index *Index
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	nextGen int64
+}
+
+// regEntry is one registered graph.
+type regEntry struct {
+	name    string
+	cacheID string // unique per registration; the RR-index GraphID
+	d       *datasets.Dataset
+	source  string // "preloaded" (Config.Datasets) or "uploaded" (/v1/graphs)
+	created time.Time
+
+	// guarded by registry.mu
+	refs    int
+	deleted bool
+}
+
+func newRegistry(index *Index) *registry {
+	return &registry{index: index, entries: make(map[string]*regEntry)}
+}
+
+// register adds a graph under name. It fails if the name is taken.
+func (r *registry) register(name string, d *datasets.Dataset, source string, limit int) (*regEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return nil, fmt.Errorf("graph %q already registered", name)
+	}
+	if limit > 0 && len(r.entries) >= limit {
+		return nil, fmt.Errorf("graph limit %d reached", limit)
+	}
+	r.nextGen++
+	e := &regEntry{
+		name:    name,
+		cacheID: fmt.Sprintf("%s#%d", name, r.nextGen),
+		d:       d,
+		source:  source,
+		created: time.Now(),
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
+// acquire resolves name and takes a reference; callers must release.
+func (r *registry) acquire(name string) (*regEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, false
+	}
+	e.refs++
+	return e, true
+}
+
+// release drops a reference. When the entry has been deleted and this was
+// the last reference, the graph's RR-index collections are dropped.
+func (r *registry) release(e *regEntry) {
+	r.mu.Lock()
+	e.refs--
+	drop := e.deleted && e.refs == 0
+	r.mu.Unlock()
+	if drop {
+		r.index.DropGraph(e.d.Graph)
+	}
+}
+
+// remove unlinks name from the registry. Cache entries are dropped now if
+// the graph is idle, otherwise when the last in-flight request releases it.
+func (r *registry) remove(name string) (*regEntry, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false
+	}
+	delete(r.entries, name)
+	e.deleted = true
+	drop := e.refs == 0
+	r.mu.Unlock()
+	if drop {
+		r.index.DropGraph(e.d.Graph)
+	}
+	return e, true
+}
+
+// list returns a snapshot of the registered entries sorted by name.
+func (r *registry) list() []*regEntry {
+	r.mu.Lock()
+	out := make([]*regEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (r *registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- /v1/graphs wire types and handlers ---
+
+// graphUploadRequest is the body of POST /v1/graphs. EdgeList is the text
+// edge-list format of graph.ReadEdgeList ("n m" header, then "src dst
+// prob" lines, '#' comments allowed). GAP is optional; absent, the upload
+// gets DefaultUploadGAP.
+type graphUploadRequest struct {
+	Name     string      `json:"name"`
+	GAP      *gapPayload `json:"gap,omitempty"`
+	EdgeList string      `json:"edgeList"`
+}
+
+// graphInfo describes one registered graph in /v1/graphs responses and in
+// /v1/stats.
+type graphInfo struct {
+	Name    string     `json:"name"`
+	Nodes   int        `json:"nodes"`
+	Edges   int        `json:"edges"`
+	GAP     gapPayload `json:"gap"`
+	Source  string     `json:"source"`
+	Created time.Time  `json:"created"`
+}
+
+func (e *regEntry) info() graphInfo {
+	return graphInfo{
+		Name:  e.name,
+		Nodes: e.d.Graph.N(),
+		Edges: e.d.Graph.M(),
+		GAP: gapPayload{
+			QA0: e.d.GAP.QA0, QAB: e.d.GAP.QAB,
+			QB0: e.d.GAP.QB0, QBA: e.d.GAP.QBA,
+		},
+		Source:  e.source,
+		Created: e.created,
+	}
+}
+
+// DefaultUploadGAP is the GAP attached to uploaded graphs that don't carry
+// one: mildly complementary in both directions, matching cmd/comic-serve's
+// -qa0/-qab/-qb0/-qba flag defaults.
+var DefaultUploadGAP = core.GAP{QA0: 0.5, QAB: 0.8, QB0: 0.5, QBA: 0.8}
+
+// handleGraphs dispatches /v1/graphs (POST upload, GET list).
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleGraphUpload(w, r)
+	case http.MethodGet:
+		s.nGraphs.Add(1)
+		entries := s.reg.list()
+		infos := make([]graphInfo, len(entries))
+		for i, e := range entries {
+			infos[i] = e.info()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+	default:
+		s.httpError(w, http.StatusMethodNotAllowed, "POST or GET only")
+	}
+}
+
+// handleGraphByName dispatches /v1/graphs/{name} (GET describe, DELETE).
+func (s *Server) handleGraphByName(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch r.Method {
+	case http.MethodGet:
+		e, ok := s.reg.acquire(name)
+		if !ok {
+			s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+			return
+		}
+		defer s.reg.release(e)
+		s.nGraphs.Add(1)
+		writeJSON(w, http.StatusOK, e.info())
+	case http.MethodDelete:
+		e, ok := s.reg.remove(name)
+		if !ok {
+			s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+			return
+		}
+		s.nGraphs.Add(1)
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": e.name})
+	default:
+		s.httpError(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+	}
+}
+
+func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
+	var req graphUploadRequest
+	if !s.decodeBodyLimit(w, r, &req, s.cfg.MaxUploadBytes) {
+		return
+	}
+	name := strings.TrimSpace(req.Name)
+	if name == "" || len(name) > 128 || strings.ContainsAny(name, "/\x00") {
+		s.httpError(w, http.StatusBadRequest,
+			"graph name must be non-empty, at most 128 bytes, and contain no '/'")
+		return
+	}
+	gap := DefaultUploadGAP
+	if req.GAP != nil {
+		gap = req.GAP.toGAP()
+	}
+	if err := gap.Validate(); err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.EdgeList == "" {
+		s.httpError(w, http.StatusBadRequest, "edgeList must hold a text edge list (\"n m\" header, then \"src dst prob\" lines)")
+		return
+	}
+	g, err := graph.ReadEdgeListLimit(strings.NewReader(req.EdgeList), s.cfg.MaxUploadNodes)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	d := &datasets.Dataset{Name: name, Graph: g, GAP: gap, PairName: "uploaded"}
+	e, err := s.reg.register(name, d, "uploaded", s.cfg.MaxGraphs)
+	if err != nil {
+		s.httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.nGraphs.Add(1)
+	writeJSON(w, http.StatusCreated, e.info())
+}

@@ -1,0 +1,254 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"comic"
+	"comic/internal/server"
+)
+
+// uploadBody builds a POST /v1/graphs body for a small path graph.
+func uploadBody(tb testing.TB, name string, gap map[string]float64) string {
+	tb.Helper()
+	body := map[string]any{
+		"name":     name,
+		"edgeList": "4 3\n0 1 0.9\n1 2 0.9\n2 3 0.9\n",
+	}
+	if gap != nil {
+		body["gap"] = gap
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestGraphUploadQueryDelete(t *testing.T) {
+	s := newTestServer(t, testDataset(t))
+	t.Cleanup(s.Close)
+
+	// Upload with an explicit GAP.
+	var up struct {
+		Name   string `json:"name"`
+		Nodes  int    `json:"nodes"`
+		Edges  int    `json:"edges"`
+		Source string `json:"source"`
+	}
+	gap := map[string]float64{"qa0": 0.6, "qab": 0.9, "qb0": 0.6, "qba": 0.9}
+	rec := do(t, s, http.MethodPost, "/v1/graphs", uploadBody(t, "tiny", gap), &up)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("upload = %d %q", rec.Code, rec.Body.String())
+	}
+	if up.Name != "tiny" || up.Nodes != 4 || up.Edges != 3 || up.Source != "uploaded" {
+		t.Fatalf("upload response = %+v", up)
+	}
+
+	// Listed alongside the preloaded dataset.
+	var list struct {
+		Graphs []struct {
+			Name string `json:"name"`
+		} `json:"graphs"`
+	}
+	do(t, s, http.MethodGet, "/v1/graphs", "", &list)
+	names := make([]string, len(list.Graphs))
+	for i, g := range list.Graphs {
+		names[i] = g.Name
+	}
+	if len(names) != 2 || names[0] != "Flixster" || names[1] != "tiny" {
+		t.Fatalf("graph list = %v", names)
+	}
+
+	// Queryable immediately, including solves (which populate the cache).
+	var sp struct {
+		MeanA float64 `json:"meanA"`
+	}
+	if rec := do(t, s, http.MethodPost, "/v1/spread",
+		`{"dataset":"tiny","seedsA":[0],"runs":500,"seed":3}`, &sp); rec.Code != http.StatusOK {
+		t.Fatalf("spread on uploaded graph = %d %q", rec.Code, rec.Body.String())
+	}
+	if sp.MeanA < 1 {
+		t.Fatalf("uploaded-graph spread = %v", sp.MeanA)
+	}
+	if rec := do(t, s, http.MethodPost, "/v1/selfinfmax",
+		`{"dataset":"tiny","k":2,"fixedTheta":300,"evalRuns":100,"seed":3}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("solve on uploaded graph = %d %q", rec.Code, rec.Body.String())
+	}
+	if s.Index().Len() == 0 {
+		t.Fatal("solve left no resident collections")
+	}
+
+	// Deleting drops the graph's cache entries and 404s future queries.
+	if rec := do(t, s, http.MethodDelete, "/v1/graphs/tiny", "", nil); rec.Code != http.StatusOK {
+		t.Fatalf("delete = %d %q", rec.Code, rec.Body.String())
+	}
+	if got := s.Index().Len(); got != 0 {
+		t.Fatalf("deleted graph left %d resident collections", got)
+	}
+	if st := s.Index().Stats(); st.Drops == 0 {
+		t.Fatalf("Drops = 0 after delete: %+v", st)
+	}
+	if rec := do(t, s, http.MethodPost, "/v1/spread", `{"dataset":"tiny","seedsA":[0]}`, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("query after delete = %d, want 404", rec.Code)
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/graphs/tiny", "", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET after delete = %d, want 404", rec.Code)
+	}
+	if rec := do(t, s, http.MethodDelete, "/v1/graphs/tiny", "", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete = %d, want 404", rec.Code)
+	}
+}
+
+// TestGraphUploadValidation is the table-driven rejection sweep for the
+// upload endpoint: bad names, bad GAPs, and — through graph.ReadEdgeList's
+// parse-time validation — malformed, out-of-range, and non-finite edge
+// lists, all rejected with the offending line number surfaced to the
+// client.
+func TestGraphUploadValidation(t *testing.T) {
+	s := newTestServer(t, testDataset(t))
+	t.Cleanup(s.Close)
+	mk := func(name, edges string) string {
+		b, _ := json.Marshal(map[string]any{"name": name, "edgeList": edges})
+		return string(b)
+	}
+	cases := []struct {
+		name, body, wantSub string
+		want                int
+	}{
+		{"empty name", mk("", "2 1\n0 1 0.5\n"), "name must be non-empty", http.StatusBadRequest},
+		{"slash in name", mk("a/b", "2 1\n0 1 0.5\n"), "no '/'", http.StatusBadRequest},
+		{"empty edge list", mk("g", ""), "edgeList must hold", http.StatusBadRequest},
+		{"endpoint out of range", mk("g", "2 1\n0 7 0.5\n"), "line 2: dst 7 out of range [0,2)", http.StatusBadRequest},
+		{"NaN probability", mk("g", "2 1\n0 1 NaN\n"), "line 2: probability NaN outside [0,1]", http.StatusBadRequest},
+		{"probability above one", mk("g", "2 1\n0 1 1.25\n"), "line 2: probability 1.25 outside [0,1]", http.StatusBadRequest},
+		{"self-loop", mk("g", "2 1\n1 1 0.5\n"), "line 2: self-loop", http.StatusBadRequest},
+		{"edge count mismatch", mk("g", "2 2\n0 1 0.5\n"), "declared 2 edges, found 1", http.StatusBadRequest},
+		{"name collision", mk("Flixster", "2 1\n0 1 0.5\n"), "already registered", http.StatusConflict},
+		{"bad gap", `{"name":"g","edgeList":"2 1\n0 1 0.5\n","gap":{"qa0":2,"qab":1,"qb0":0.5,"qba":0.5}}`, "", http.StatusBadRequest},
+		{"unknown field", `{"name":"g","edges":"2 1\\n0 1 0.5\\n"}`, "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s, http.MethodPost, "/v1/graphs", tc.body, nil)
+			if rec.Code != tc.want {
+				t.Fatalf("upload = %d, want %d (%s)", rec.Code, tc.want, rec.Body.String())
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("error body %q is not {\"error\":...}", rec.Body.String())
+			}
+			if tc.wantSub != "" && !strings.Contains(e.Error, tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", e.Error, tc.wantSub)
+			}
+		})
+	}
+	// Nothing from the rejected uploads may have landed in the registry.
+	var list struct {
+		Graphs []struct {
+			Name string `json:"name"`
+		} `json:"graphs"`
+	}
+	do(t, s, http.MethodGet, "/v1/graphs", "", &list)
+	if len(list.Graphs) != 1 {
+		t.Fatalf("registry after rejections = %+v", list.Graphs)
+	}
+}
+
+// TestGraphUploadNodeLimit pins the allocation-bomb guard: the header's
+// node count alone drives CSR allocation, so a few-byte body declaring
+// billions of nodes must be rejected before anything is allocated.
+func TestGraphUploadNodeLimit(t *testing.T) {
+	s, err := server.New(server.Config{
+		Datasets:       map[string]*comic.Dataset{"Flixster": testDataset(t)},
+		MaxUploadNodes: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	body, _ := json.Marshal(map[string]any{"name": "bomb", "edgeList": "2000000000 0\n"})
+	rec := do(t, s, http.MethodPost, "/v1/graphs", string(body), nil)
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "node count 2000000000 exceeds limit 100") {
+		t.Fatalf("oversized upload = %d %q, want 400 with node-limit message", rec.Code, rec.Body.String())
+	}
+	body, _ = json.Marshal(map[string]any{"name": "ok", "edgeList": "100 1\n0 1 0.5\n"})
+	if rec := do(t, s, http.MethodPost, "/v1/graphs", string(body), nil); rec.Code != http.StatusCreated {
+		t.Fatalf("upload at the node limit = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestGraphLimit(t *testing.T) {
+	s, err := server.New(server.Config{
+		Datasets:  map[string]*comic.Dataset{"Flixster": testDataset(t)},
+		MaxGraphs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if rec := do(t, s, http.MethodPost, "/v1/graphs", uploadBody(t, "g1", nil), nil); rec.Code != http.StatusCreated {
+		t.Fatalf("first upload = %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/v1/graphs", uploadBody(t, "g2", nil), nil); rec.Code != http.StatusConflict {
+		t.Fatalf("upload beyond MaxGraphs = %d, want 409", rec.Code)
+	}
+	// Deleting frees a slot.
+	do(t, s, http.MethodDelete, "/v1/graphs/g1", "", nil)
+	if rec := do(t, s, http.MethodPost, "/v1/graphs", uploadBody(t, "g2", nil), nil); rec.Code != http.StatusCreated {
+		t.Fatalf("upload after delete = %d", rec.Code)
+	}
+}
+
+// TestDeleteDuringInFlightSolves is the registry's ref-counting race test
+// (run under -race in CI): deleting a graph while solves are in flight
+// must not disturb those solves, and once the last one finishes, every
+// cached collection drawn on the graph must be gone — including ones
+// inserted by builds that were still running when the DELETE landed.
+func TestDeleteDuringInFlightSolves(t *testing.T) {
+	d := testDataset(t)
+	s := newTestServer(t, d)
+	t.Cleanup(s.Close)
+
+	const solvers = 8
+	var wg sync.WaitGroup
+	codes := make([]int, solvers)
+	for i := 0; i < solvers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds force distinct collection builds, so several
+			// builds are mid-flight when the delete lands.
+			body := fmt.Sprintf(
+				`{"dataset":"Flixster","k":3,"seedsB":[1],"fixedTheta":3000,"evalRuns":200,"seed":%d}`, i)
+			rec := do(t, s, http.MethodPost, "/v1/selfinfmax", body, nil)
+			codes[i] = rec.Code
+		}(i)
+	}
+	rec := do(t, s, http.MethodDelete, "/v1/graphs/Flixster", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete during solves = %d %q", rec.Code, rec.Body.String())
+	}
+	wg.Wait()
+
+	for i, code := range codes {
+		// Solves that acquired the graph before the delete finish with 200;
+		// ones that arrived after get 404. Nothing else is acceptable.
+		if code != http.StatusOK && code != http.StatusNotFound {
+			t.Fatalf("solver %d finished with %d", i, code)
+		}
+	}
+	if got := s.Index().Len(); got != 0 {
+		t.Fatalf("deleted graph left %d resident collections", got)
+	}
+	if rec := do(t, s, http.MethodPost, "/v1/selfinfmax",
+		`{"dataset":"Flixster","k":3,"fixedTheta":500,"evalRuns":100}`, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("solve after delete = %d, want 404", rec.Code)
+	}
+}

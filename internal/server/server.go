@@ -1,23 +1,33 @@
 // Package server implements the comic query-serving layer: a JSON-over-HTTP
 // API that answers Com-IC spread, boost, SelfInfMax and CompInfMax queries
-// over a set of preloaded datasets, amortizing RR-set generation — the
+// over a dynamic inventory of graphs, amortizing RR-set generation — the
 // dominant cost of the TIM-style solvers — behind a shared Index cache.
 //
 // Endpoints (all request/response bodies are JSON):
 //
-//	POST /v1/spread      Monte-Carlo σ_A and σ_B for given seed sets
-//	POST /v1/boost       paired-world CompInfMax objective estimate
-//	POST /v1/selfinfmax  Problem 1 solve (RR-SIM+ + sandwich approximation)
-//	POST /v1/compinfmax  Problem 2 solve (RR-CIM on the q_{B|A}→1 bound)
-//	GET  /healthz        liveness probe
-//	GET  /v1/stats       cache and request counters, dataset inventory
+//	POST   /v1/spread       Monte-Carlo σ_A and σ_B for given seed sets
+//	POST   /v1/boost        paired-world CompInfMax objective estimate
+//	POST   /v1/selfinfmax   Problem 1 solve (RR-SIM+ + sandwich approximation)
+//	POST   /v1/compinfmax   Problem 2 solve (RR-CIM on the q_{B|A}→1 bound)
+//	POST   /v1/batch        many queries, one request, shared RR-set builds
+//	POST   /v1/jobs         submit a batch asynchronously (worker pool)
+//	GET    /v1/jobs         list retained jobs
+//	GET    /v1/jobs/{id}    poll a job's status and result
+//	DELETE /v1/jobs/{id}    cancel a queued/running job, discard a finished one
+//	POST   /v1/graphs       upload a text edge-list graph (+optional GAP)
+//	GET    /v1/graphs       list registered graphs
+//	GET    /v1/graphs/{name}    describe one graph
+//	DELETE /v1/graphs/{name}    retire a graph (drops its cached RR sets)
+//	GET    /healthz         liveness probe
+//	GET    /v1/stats        cache and request counters, graph inventory
 //
 // Determinism: a solve request with master seed s returns exactly the seed
 // set the offline cmd/comic-seeds tool prints for the same graph, GAPs,
 // opposite seeds and budget parameters — whether the RR-set collections
-// come out of the cache (warm) or are generated on the fly (cold). The
-// cache can therefore be introduced, sized, or flushed without changing any
-// response body, only latencies.
+// come out of the cache (warm) or are generated on the fly (cold), and
+// whether the query arrives alone, inside a /v1/batch, or through a
+// /v1/jobs submission. The cache can therefore be introduced, sized, or
+// flushed without changing any response body, only latencies.
 package server
 
 import (
@@ -27,12 +37,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"comic/internal/core"
 	"comic/internal/datasets"
+	"comic/internal/graph"
 	"comic/internal/montecarlo"
 	"comic/internal/sandwich"
 )
@@ -40,7 +51,9 @@ import (
 // Config configures a Server.
 type Config struct {
 	// Datasets maps the names accepted in request bodies to the networks
-	// (with their default GAPs) the server answers queries on. Required.
+	// (with their default GAPs) the server answers queries on. They become
+	// pre-registered graph-registry entries; clients may add more at
+	// runtime through POST /v1/graphs. At least one is required.
 	Datasets map[string]*datasets.Dataset
 	// CacheBytes bounds the RR-set index (exact resident bytes).
 	// 0 means the 1 GiB default — cache keys include client-controlled
@@ -51,9 +64,12 @@ type Config struct {
 	// run at once; queued builds wait their turn. The cache byte budget
 	// covers only resident collections, so without this bound N
 	// concurrent distinct queries hold N full collections in flight.
-	// 0 means the default of 4; negative means unbounded.
+	// Job workers share the same semaphore. 0 means the default of 4;
+	// negative means unbounded.
 	MaxConcurrentBuilds int
-	// MaxK caps the per-request seed-set size (default 500).
+	// MaxK caps the per-request seed-set size (default 500). Requests are
+	// additionally capped at the target graph's node count: k must lie in
+	// [1, min(MaxK, n)].
 	MaxK int
 	// MaxRuns caps per-request Monte-Carlo budgets (default 200000).
 	MaxRuns int
@@ -61,6 +77,30 @@ type Config struct {
 	MaxTheta int
 	// Workers bounds solver parallelism per request (default GOMAXPROCS).
 	Workers int
+
+	// MaxBatch caps the number of queries in one /v1/batch request or one
+	// job (default 256). The batch/jobs request-body byte limit scales
+	// with it (64 KiB per permitted query, minimum 1 MiB).
+	MaxBatch int
+	// MaxJobs is the async worker-pool size: how many jobs execute
+	// concurrently (default 2).
+	MaxJobs int
+	// MaxQueuedJobs bounds jobs waiting for a worker; submissions beyond
+	// it are rejected with 429 (default 64).
+	MaxQueuedJobs int
+	// RetainedJobs bounds finished jobs kept for polling; the oldest are
+	// discarded first (default 256).
+	RetainedJobs int
+
+	// MaxGraphs caps the registry size, uploads included (default 64).
+	MaxGraphs int
+	// MaxUploadBytes caps a POST /v1/graphs body (default 32 MiB).
+	MaxUploadBytes int64
+	// MaxUploadNodes caps the declared node count of an uploaded edge
+	// list (default 2,000,000). The header's node count alone drives CSR
+	// allocation — ~12 bytes per node before a single edge — so without
+	// this bound a few-byte body could demand gigabytes.
+	MaxUploadNodes int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,22 +119,53 @@ func (c Config) withDefaults() Config {
 	if c.MaxTheta <= 0 {
 		c.MaxTheta = 2_000_000
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.MaxQueuedJobs <= 0 {
+		c.MaxQueuedJobs = 64
+	}
+	if c.RetainedJobs <= 0 {
+		c.RetainedJobs = 256
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 64
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 32 << 20
+	}
+	if c.MaxUploadNodes <= 0 {
+		c.MaxUploadNodes = 2_000_000
+	}
 	return c
 }
 
 // Server answers comic queries over HTTP. Create one with New; it
-// implements http.Handler and is safe for concurrent use.
+// implements http.Handler and is safe for concurrent use. Call Close when
+// done to stop the async job workers (Serve/ServeListener do it on
+// shutdown).
 type Server struct {
-	cfg     Config
-	index   *Index
-	mux     *http.ServeMux
-	started time.Time
+	cfg       Config
+	index     *Index
+	reg       *registry
+	jobs      *jobQueue
+	mux       *http.ServeMux
+	started   time.Time
+	closeOnce sync.Once
 
-	nSpread, nBoost, nSelf, nComp, nErrors atomic.Int64
+	// Request counters, incremented only after a request (or batch/job
+	// query) passes validation: rejected requests count as errors, not as
+	// served queries.
+	nSpread, nBoost, nSelf, nComp atomic.Int64
+	nBatch, nJobs, nGraphs        atomic.Int64
+	nErrors                       atomic.Int64
 }
 
 // New validates cfg and returns a ready-to-serve Server with an empty
-// RR-set index.
+// RR-set index and the configured datasets pre-registered.
 func New(cfg Config) (*Server, error) {
 	if len(cfg.Datasets) == 0 {
 		return nil, errors.New("server: Config.Datasets must name at least one dataset")
@@ -112,12 +183,24 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 	}
 	s.index.SetBuildLimit(cfg.MaxConcurrentBuilds)
+	s.reg = newRegistry(s.index)
+	for name, d := range cfg.Datasets {
+		if _, err := s.reg.register(name, d, "preloaded", 0); err != nil {
+			return nil, fmt.Errorf("server: %v", err)
+		}
+	}
+	s.jobs = newJobQueue(s.runBatch, cfg.MaxJobs, cfg.MaxQueuedJobs, cfg.RetainedJobs)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/spread", s.handleSpread)
 	s.mux.HandleFunc("/v1/boost", s.handleBoost)
 	s.mux.HandleFunc("/v1/selfinfmax", s.handleSolve("self"))
 	s.mux.HandleFunc("/v1/compinfmax", s.handleSolve("comp"))
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/{id}", s.handleJobByID)
+	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/v1/graphs/{name}", s.handleGraphByName)
 	return s, nil
 }
 
@@ -129,6 +212,44 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Index exposes the server's RR-set cache (for stats or for sharing with
 // in-process solves).
 func (s *Server) Index() *Index { return s.index }
+
+// Close stops the async job workers: pending and running jobs are canceled
+// and the pool is drained. In-flight synchronous requests are unaffected.
+// Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { s.jobs.close() })
+}
+
+// RegisterGraph adds a graph to the server's registry under the given
+// name, exactly as a POST /v1/graphs upload would: queries may target it
+// immediately. The dataset's GAP is its default GAP for queries that don't
+// override one. It fails if the name is already registered or the graph
+// limit is reached.
+func (s *Server) RegisterGraph(name string, d *datasets.Dataset) error {
+	if d == nil || d.Graph == nil {
+		return fmt.Errorf("server: graph %q is nil", name)
+	}
+	if err := d.GAP.Validate(); err != nil {
+		return fmt.Errorf("server: graph %q: %v", name, err)
+	}
+	_, err := s.reg.register(name, d, "registered", s.cfg.MaxGraphs)
+	if err != nil {
+		return fmt.Errorf("server: %v", err)
+	}
+	return nil
+}
+
+// UnregisterGraph retires a graph, exactly as DELETE /v1/graphs/{name}
+// would: new queries get 404 immediately, in-flight queries finish, and
+// the graph's cached RR-set collections are dropped once the last
+// in-flight query releases it. It reports whether the name was registered.
+func (s *Server) UnregisterGraph(name string) bool {
+	_, ok := s.reg.remove(name)
+	return ok
+}
+
+// GraphNames lists the currently registered graph names, sorted.
+func (s *Server) GraphNames() []string { return s.reg.names() }
 
 // Serve builds a Server from cfg and runs it on addr until ctx is canceled,
 // then shuts down gracefully, draining in-flight requests for up to ten
@@ -150,6 +271,7 @@ func ServeListener(ctx context.Context, l net.Listener, cfg Config) error {
 		l.Close()
 		return err
 	}
+	defer s.Close()
 	srv := &http.Server{
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -255,20 +377,47 @@ type solveResponse struct {
 	ElapsedMs  float64          `json:"elapsedMs"`
 }
 
-// statsResponse is the body returned by /v1/stats.
+// statsResponse is the body returned by /v1/stats. The per-endpoint
+// request counters cover accepted (validated) requests only; rejected
+// requests are counted once, under "errors".
 type statsResponse struct {
 	UptimeSeconds float64          `json:"uptimeSeconds"`
 	Index         IndexStats       `json:"index"`
 	Requests      map[string]int64 `json:"requests"`
-	Datasets      []datasetInfo    `json:"datasets"`
+	Jobs          []jobStatus      `json:"jobs,omitempty"`
+	Datasets      []graphInfo      `json:"datasets"`
 }
 
-// datasetInfo describes one served dataset in /v1/stats and /healthz.
-type datasetInfo struct {
-	Name  string     `json:"name"`
-	Nodes int        `json:"nodes"`
-	Edges int        `json:"edges"`
-	GAP   gapPayload `json:"gap"`
+// --- error plumbing ---
+
+// apiError is a validation or execution failure with the HTTP status it
+// maps to. It is the error currency of the run* helpers, which serve both
+// the dedicated endpoints and batch/job queries.
+type apiError struct {
+	Code int
+	Msg  string
+}
+
+func (e *apiError) Error() string { return e.Msg }
+
+// fail counts one rejected request and builds its apiError. All request
+// rejections funnel through here (or httpError), so the "errors" stat
+// counts each rejection exactly once.
+func (s *Server) fail(code int, format string, args ...any) *apiError {
+	s.nErrors.Add(1)
+	return &apiError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// writeErr renders an apiError as the JSON error body.
+func (s *Server) writeErr(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.Code, map[string]string{"error": e.Msg})
+}
+
+// httpError counts and writes a transport-level rejection (bad method, bad
+// body) that never reached a run* helper.
+func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
+	s.nErrors.Add(1)
+	writeJSON(w, code, map[string]string{"error": msg})
 }
 
 // --- handlers ---
@@ -281,7 +430,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"uptimeSeconds": time.Since(s.started).Seconds(),
-		"datasets":      s.datasetNames(),
+		"datasets":      s.reg.names(),
 	})
 }
 
@@ -290,16 +439,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	infos := make([]datasetInfo, 0, len(s.cfg.Datasets))
-	for name, d := range s.cfg.Datasets {
-		infos = append(infos, datasetInfo{
-			Name:  name,
-			Nodes: d.Graph.N(),
-			Edges: d.Graph.M(),
-			GAP:   gapPayload{QA0: d.GAP.QA0, QAB: d.GAP.QAB, QB0: d.GAP.QB0, QBA: d.GAP.QBA},
-		})
+	entries := s.reg.list()
+	infos := make([]graphInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = e.info()
 	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Index:         s.index.Stats(),
@@ -308,71 +452,76 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"boost":      s.nBoost.Load(),
 			"selfinfmax": s.nSelf.Load(),
 			"compinfmax": s.nComp.Load(),
+			"batch":      s.nBatch.Load(),
+			"jobs":       s.nJobs.Load(),
+			"graphs":     s.nGraphs.Load(),
 			"errors":     s.nErrors.Load(),
 		},
+		Jobs:     s.jobs.list(),
 		Datasets: infos,
 	})
 }
 
 func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
-	s.nSpread.Add(1)
-	req, d, gap, ok := s.decodeEstimate(w, r)
-	if !ok {
+	var req estimateRequest
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	t0 := time.Now()
-	est := montecarlo.New(d.Graph, gap)
-	est.Workers = s.cfg.Workers
-	res := est.Estimate(req.SeedsA, req.SeedsB, req.Runs, *req.Seed)
-	writeJSON(w, http.StatusOK, spreadResponse{
-		Dataset: req.Dataset,
-		MeanA:   res.MeanA, StderrA: res.StderrA,
-		MeanB: res.MeanB, StderrB: res.StderrB,
-		Runs: res.Runs, Seed: *req.Seed,
-		ElapsedMs: msSince(t0),
-	})
+	out, aerr := s.runSpread(&req)
+	if aerr != nil {
+		s.writeErr(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
-	s.nBoost.Add(1)
-	req, d, gap, ok := s.decodeEstimate(w, r)
-	if !ok {
-		return
-	}
-	if len(req.SeedsB) == 0 {
-		s.httpError(w, http.StatusBadRequest, "boost requires a non-empty seedsB")
-		return
-	}
-	t0 := time.Now()
-	est := montecarlo.New(d.Graph, gap)
-	est.Workers = s.cfg.Workers
-	mean, stderr := est.BoostPaired(req.SeedsA, req.SeedsB, req.Runs, *req.Seed)
-	writeJSON(w, http.StatusOK, boostResponse{
-		Dataset: req.Dataset,
-		Boost:   mean, Stderr: stderr,
-		Runs: req.Runs, Seed: *req.Seed,
-		ElapsedMs: msSince(t0),
-	})
-}
-
-// decodeEstimate parses and validates the shared body of the two
-// Monte-Carlo endpoints, filling in defaults (runs 10000, seed 1).
-func (s *Server) decodeEstimate(w http.ResponseWriter, r *http.Request) (*estimateRequest, *datasets.Dataset, core.GAP, bool) {
 	var req estimateRequest
 	if !s.decodeBody(w, r, &req) {
-		return nil, nil, core.GAP{}, false
+		return
 	}
-	d, ok := s.lookupDataset(w, req.Dataset)
-	if !ok {
-		return nil, nil, core.GAP{}, false
+	out, aerr := s.runBoost(&req)
+	if aerr != nil {
+		s.writeErr(w, aerr)
+		return
 	}
-	gap := d.GAP
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSolve returns the handler for one of the two seed-selection
+// problems.
+func (s *Server) handleSolve(problem string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req solveRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		out, aerr := s.runSolve(problem, &req)
+		if aerr != nil {
+			s.writeErr(w, aerr)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// --- query execution (shared by endpoints, /v1/batch and /v1/jobs) ---
+
+// validateEstimate validates the shared body of the two Monte-Carlo
+// queries, filling in defaults (runs 10000, seed 1). On success it returns
+// the acquired registry entry — the caller must release it after use.
+func (s *Server) validateEstimate(req *estimateRequest) (*regEntry, core.GAP, *apiError) {
+	e, aerr := s.acquireGraph(req.Dataset)
+	if aerr != nil {
+		return nil, core.GAP{}, aerr
+	}
+	gap := e.d.GAP
 	if req.GAP != nil {
 		gap = req.GAP.toGAP()
 	}
 	if err := gap.Validate(); err != nil {
-		s.httpError(w, http.StatusBadRequest, err.Error())
-		return nil, nil, core.GAP{}, false
+		s.reg.release(e)
+		return nil, core.GAP{}, s.fail(http.StatusBadRequest, "%s", err.Error())
 	}
 	if req.Runs <= 0 {
 		// The default is clamped to the cap; only explicit client values
@@ -380,152 +529,202 @@ func (s *Server) decodeEstimate(w http.ResponseWriter, r *http.Request) (*estima
 		req.Runs = min(10000, s.cfg.MaxRuns)
 	}
 	if req.Runs > s.cfg.MaxRuns {
-		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("runs %d exceeds limit %d", req.Runs, s.cfg.MaxRuns))
-		return nil, nil, core.GAP{}, false
+		s.reg.release(e)
+		return nil, core.GAP{}, s.fail(http.StatusBadRequest, "runs %d exceeds limit %d", req.Runs, s.cfg.MaxRuns)
 	}
 	if req.Seed == nil {
 		one := uint64(1)
 		req.Seed = &one
 	}
-	if !s.checkSeeds(w, d, req.SeedsA, "seedsA") || !s.checkSeeds(w, d, req.SeedsB, "seedsB") {
-		return nil, nil, core.GAP{}, false
+	if aerr := s.checkSeeds(e.d.Graph, req.SeedsA, "seedsA"); aerr != nil {
+		s.reg.release(e)
+		return nil, core.GAP{}, aerr
 	}
-	return &req, d, gap, true
+	if aerr := s.checkSeeds(e.d.Graph, req.SeedsB, "seedsB"); aerr != nil {
+		s.reg.release(e)
+		return nil, core.GAP{}, aerr
+	}
+	return e, gap, nil
 }
 
-// handleSolve returns the handler for one of the two seed-selection
-// problems. The solver configuration mirrors cmd/comic-seeds exactly
-// (epsilon 0.5, 10000 evaluation runs, seed 1 by default), so a warm cache
-// answer selects the same seed sets and objectives as the offline tool.
-func (s *Server) handleSolve(problem string) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if problem == "self" {
-			s.nSelf.Add(1)
-		} else {
-			s.nComp.Add(1)
-		}
-		var req solveRequest
-		if !s.decodeBody(w, r, &req) {
-			return
-		}
-		d, ok := s.lookupDataset(w, req.Dataset)
-		if !ok {
-			return
-		}
-		gap := d.GAP
-		if req.GAP != nil {
-			gap = req.GAP.toGAP()
-		}
-		if err := gap.Validate(); err != nil {
-			s.httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		if req.K <= 0 || req.K > s.cfg.MaxK {
-			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1,%d], got %d", s.cfg.MaxK, req.K))
-			return
-		}
-		if req.FixedTheta > s.cfg.MaxTheta || req.MaxTheta > s.cfg.MaxTheta {
-			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("theta budget exceeds limit %d", s.cfg.MaxTheta))
-			return
-		}
-		if req.EvalRuns <= 0 {
-			// Make the 10000-run solver default explicit so the cap below
-			// governs it too (clamped, like the spread default).
-			req.EvalRuns = min(10000, s.cfg.MaxRuns)
-		}
-		if req.EvalRuns > s.cfg.MaxRuns {
-			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("evalRuns %d exceeds limit %d", req.EvalRuns, s.cfg.MaxRuns))
-			return
-		}
-		var opposite []int32
-		switch problem {
-		case "self":
-			if len(req.SeedsA) > 0 {
-				s.httpError(w, http.StatusBadRequest, "selfinfmax selects the A-seeds; pass the fixed B-seeds as seedsB")
-				return
-			}
-			opposite = req.SeedsB
-		case "comp":
-			if len(req.SeedsB) > 0 {
-				s.httpError(w, http.StatusBadRequest, "compinfmax selects the B-seeds; pass the fixed A-seeds as seedsA")
-				return
-			}
-			opposite = req.SeedsA
-		}
-		if !s.checkSeeds(w, d, opposite, "opposite seeds") {
-			return
-		}
-
-		cfg := sandwich.NewConfig(req.K)
-		if req.Epsilon > 0 {
-			cfg.TIM.Epsilon = req.Epsilon
-		}
-		cfg.TIM.FixedTheta = req.FixedTheta
-		cfg.TIM.MaxTheta = s.cfg.MaxTheta // operator cap applies to derived theta too
-		if req.MaxTheta > 0 {
-			cfg.TIM.MaxTheta = req.MaxTheta
-		}
-		if req.EvalRuns > 0 {
-			cfg.EvalRuns = req.EvalRuns
-		}
-		// Default seed 1 only when the field is absent: an explicit
-		// "seed": 0 is a legitimate master seed and must round-trip, the
-		// same determinism contract /v1/spread and /v1/boost honor.
-		cfg.Seed = 1
-		if req.Seed != nil {
-			cfg.Seed = *req.Seed
-		}
-		cfg.TIM.Workers = s.cfg.Workers
-		cfg.Collections = s.index
-		cfg.GraphID = req.Dataset
-
-		t0 := time.Now()
-		var res *sandwich.Result
-		var err error
-		if problem == "self" {
-			res, err = sandwich.SolveSelfInfMax(d.Graph, gap, opposite, cfg)
-		} else {
-			res, err = sandwich.SolveCompInfMax(d.Graph, gap, opposite, cfg)
-		}
-		if err != nil {
-			code := http.StatusBadRequest
-			if errors.Is(err, ErrBuildPanic) {
-				code = http.StatusInternalServerError
-			}
-			s.httpError(w, code, err.Error())
-			return
-		}
-		out := solveResponse{
-			Dataset:    req.Dataset,
-			Problem:    problem,
-			K:          req.K,
-			Seed:       cfg.Seed,
-			Seeds:      res.Seeds,
-			Objective:  res.Objective,
-			Chosen:     res.Chosen,
-			UpperRatio: res.UpperRatio,
-			ElapsedMs:  msSince(t0),
-		}
-		for _, c := range res.Candidates {
-			sc := solveCandidate{Name: c.Name, Seeds: c.Seeds, Objective: c.Objective}
-			if c.Stats != nil {
-				sc.Theta = c.Stats.Theta
-			}
-			out.Candidates = append(out.Candidates, sc)
-		}
-		writeJSON(w, http.StatusOK, out)
+// runSpread validates and executes one spread query.
+func (s *Server) runSpread(req *estimateRequest) (*spreadResponse, *apiError) {
+	e, gap, aerr := s.validateEstimate(req)
+	if aerr != nil {
+		return nil, aerr
 	}
+	defer s.reg.release(e)
+	s.nSpread.Add(1)
+	t0 := time.Now()
+	est := montecarlo.New(e.d.Graph, gap)
+	est.Workers = s.cfg.Workers
+	res := est.Estimate(req.SeedsA, req.SeedsB, req.Runs, *req.Seed)
+	return &spreadResponse{
+		Dataset: req.Dataset,
+		MeanA:   res.MeanA, StderrA: res.StderrA,
+		MeanB: res.MeanB, StderrB: res.StderrB,
+		Runs: res.Runs, Seed: *req.Seed,
+		ElapsedMs: msSince(t0),
+	}, nil
+}
+
+// runBoost validates and executes one boost query.
+func (s *Server) runBoost(req *estimateRequest) (*boostResponse, *apiError) {
+	e, gap, aerr := s.validateEstimate(req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer s.reg.release(e)
+	if len(req.SeedsB) == 0 {
+		return nil, s.fail(http.StatusBadRequest, "boost requires a non-empty seedsB")
+	}
+	s.nBoost.Add(1)
+	t0 := time.Now()
+	est := montecarlo.New(e.d.Graph, gap)
+	est.Workers = s.cfg.Workers
+	mean, stderr := est.BoostPaired(req.SeedsA, req.SeedsB, req.Runs, *req.Seed)
+	return &boostResponse{
+		Dataset: req.Dataset,
+		Boost:   mean, Stderr: stderr,
+		Runs: req.Runs, Seed: *req.Seed,
+		ElapsedMs: msSince(t0),
+	}, nil
+}
+
+// runSolve validates and executes one seed-selection query. The solver
+// configuration mirrors cmd/comic-seeds exactly (epsilon 0.5, 10000
+// evaluation runs, seed 1 by default), so a warm cache answer selects the
+// same seed sets and objectives as the offline tool.
+func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *apiError) {
+	e, aerr := s.acquireGraph(req.Dataset)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer s.reg.release(e)
+	gap := e.d.GAP
+	if req.GAP != nil {
+		gap = req.GAP.toGAP()
+	}
+	if err := gap.Validate(); err != nil {
+		return nil, s.fail(http.StatusBadRequest, "%s", err.Error())
+	}
+	// k is capped by both the operator limit and the graph: more seeds
+	// than nodes would push k > n into the θ machinery (where ln C(n,k)
+	// degenerates) and ask selection for more distinct nodes than exist.
+	n := e.d.Graph.N()
+	if maxK := min(s.cfg.MaxK, n); req.K <= 0 || req.K > maxK {
+		return nil, s.fail(http.StatusBadRequest,
+			"k must be in [1, min(maxK %d, n %d)] = [1, %d], got %d", s.cfg.MaxK, n, maxK, req.K)
+	}
+	if req.FixedTheta > s.cfg.MaxTheta || req.MaxTheta > s.cfg.MaxTheta {
+		return nil, s.fail(http.StatusBadRequest, "theta budget exceeds limit %d", s.cfg.MaxTheta)
+	}
+	if req.EvalRuns <= 0 {
+		// Make the 10000-run solver default explicit so the cap below
+		// governs it too (clamped, like the spread default).
+		req.EvalRuns = min(10000, s.cfg.MaxRuns)
+	}
+	if req.EvalRuns > s.cfg.MaxRuns {
+		return nil, s.fail(http.StatusBadRequest, "evalRuns %d exceeds limit %d", req.EvalRuns, s.cfg.MaxRuns)
+	}
+	var opposite []int32
+	switch problem {
+	case "self":
+		if len(req.SeedsA) > 0 {
+			return nil, s.fail(http.StatusBadRequest, "selfinfmax selects the A-seeds; pass the fixed B-seeds as seedsB")
+		}
+		opposite = req.SeedsB
+	case "comp":
+		if len(req.SeedsB) > 0 {
+			return nil, s.fail(http.StatusBadRequest, "compinfmax selects the B-seeds; pass the fixed A-seeds as seedsA")
+		}
+		opposite = req.SeedsA
+	}
+	if aerr := s.checkSeeds(e.d.Graph, opposite, "opposite seeds"); aerr != nil {
+		return nil, aerr
+	}
+	if problem == "self" {
+		s.nSelf.Add(1)
+	} else {
+		s.nComp.Add(1)
+	}
+
+	cfg := sandwich.NewConfig(req.K)
+	if req.Epsilon > 0 {
+		cfg.TIM.Epsilon = req.Epsilon
+	}
+	cfg.TIM.FixedTheta = req.FixedTheta
+	cfg.TIM.MaxTheta = s.cfg.MaxTheta // operator cap applies to derived theta too
+	if req.MaxTheta > 0 {
+		cfg.TIM.MaxTheta = req.MaxTheta
+	}
+	if req.EvalRuns > 0 {
+		cfg.EvalRuns = req.EvalRuns
+	}
+	// Default seed 1 only when the field is absent: an explicit
+	// "seed": 0 is a legitimate master seed and must round-trip, the
+	// same determinism contract /v1/spread and /v1/boost honor.
+	cfg.Seed = 1
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	cfg.TIM.Workers = s.cfg.Workers
+	cfg.Collections = s.index
+	// The registration-unique cache ID (not the client-visible name) keys
+	// the index: a name reused after DELETE can never alias the retired
+	// graph's collections.
+	cfg.GraphID = e.cacheID
+
+	t0 := time.Now()
+	var res *sandwich.Result
+	var err error
+	if problem == "self" {
+		res, err = sandwich.SolveSelfInfMax(e.d.Graph, gap, opposite, cfg)
+	} else {
+		res, err = sandwich.SolveCompInfMax(e.d.Graph, gap, opposite, cfg)
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrBuildPanic) {
+			code = http.StatusInternalServerError
+		}
+		return nil, s.fail(code, "%s", err.Error())
+	}
+	out := &solveResponse{
+		Dataset:    req.Dataset,
+		Problem:    problem,
+		K:          req.K,
+		Seed:       cfg.Seed,
+		Seeds:      res.Seeds,
+		Objective:  res.Objective,
+		Chosen:     res.Chosen,
+		UpperRatio: res.UpperRatio,
+		ElapsedMs:  msSince(t0),
+	}
+	for _, c := range res.Candidates {
+		sc := solveCandidate{Name: c.Name, Seeds: c.Seeds, Objective: c.Objective}
+		if c.Stats != nil {
+			sc.Theta = c.Stats.Theta
+		}
+		out.Candidates = append(out.Candidates, sc)
+	}
+	return out, nil
 }
 
 // --- shared plumbing ---
 
-// decodeBody enforces POST + JSON with unknown fields rejected.
+// decodeBody enforces POST + JSON with unknown fields rejected, bounded at
+// 1 MiB (graph uploads use decodeBodyLimit with the larger upload cap).
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	return s.decodeBodyLimit(w, r, dst, 1<<20)
+}
+
+func (s *Server) decodeBodyLimit(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
 	if r.Method != http.MethodPost {
 		s.httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		s.httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -534,40 +733,25 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 	return true
 }
 
-func (s *Server) lookupDataset(w http.ResponseWriter, name string) (*datasets.Dataset, bool) {
-	d, ok := s.cfg.Datasets[name]
+// acquireGraph resolves a dataset/graph name through the registry, taking
+// a reference the caller must release.
+func (s *Server) acquireGraph(name string) (*regEntry, *apiError) {
+	e, ok := s.reg.acquire(name)
 	if !ok {
-		s.httpError(w, http.StatusNotFound,
-			fmt.Sprintf("unknown dataset %q (have %v)", name, s.datasetNames()))
-		return nil, false
+		return nil, s.fail(http.StatusNotFound,
+			"unknown dataset %q (have %v)", name, s.reg.names())
 	}
-	return d, true
+	return e, nil
 }
 
-func (s *Server) checkSeeds(w http.ResponseWriter, d *datasets.Dataset, seeds []int32, what string) bool {
-	n := int32(d.Graph.N())
+func (s *Server) checkSeeds(g *graph.Graph, seeds []int32, what string) *apiError {
+	n := int32(g.N())
 	for _, v := range seeds {
 		if v < 0 || v >= n {
-			s.httpError(w, http.StatusBadRequest,
-				fmt.Sprintf("%s: node %d out of range [0,%d)", what, v, n))
-			return false
+			return s.fail(http.StatusBadRequest, "%s: node %d out of range [0,%d)", what, v, n)
 		}
 	}
-	return true
-}
-
-func (s *Server) datasetNames() []string {
-	names := make([]string, 0, len(s.cfg.Datasets))
-	for name := range s.cfg.Datasets {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
-
-func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
-	s.nErrors.Add(1)
-	writeJSON(w, code, map[string]string{"error": msg})
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

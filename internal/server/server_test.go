@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -47,7 +48,7 @@ func do(tb testing.TB, h http.Handler, method, path, body string, out any) *http
 	}
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	if out != nil && rec.Code == http.StatusOK {
+	if out != nil && rec.Code >= 200 && rec.Code < 300 {
 		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
 			tb.Fatalf("bad JSON response %q: %v", rec.Body.String(), err)
 		}
@@ -147,6 +148,41 @@ func TestRequestValidation(t *testing.T) {
 				t.Fatalf("error body %q is not {\"error\":...}", rec.Body.String())
 			}
 		})
+	}
+}
+
+// TestSolveRejectsKAboveN pins the k ≤ n half of the k validation: MaxK
+// alone used to gate k, so a small graph with k > N() slipped through to
+// the θ machinery (where ln C(n,k) degenerates to 0) and seed selection
+// was asked for more distinct seeds than nodes exist.
+func TestSolveRejectsKAboveN(t *testing.T) {
+	d := testDataset(t)
+	n := d.Graph.N()
+	s, err := server.New(server.Config{
+		Datasets: map[string]*comic.Dataset{"Flixster": d},
+		MaxK:     10 * n, // operator cap far above the graph size
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	for _, path := range []string{"/v1/selfinfmax", "/v1/compinfmax"} {
+		body := fmt.Sprintf(`{"dataset":"Flixster","k":%d,"fixedTheta":200,"evalRuns":50}`, n+1)
+		rec := do(t, s, http.MethodPost, path, body, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s with k=n+1 = %d, want 400 (%s)", path, rec.Code, rec.Body.String())
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "k must be in [1, min(") {
+			t.Fatalf("%s error = %q, want a min(maxK, n) bound message", path, rec.Body.String())
+		}
+	}
+	// k = n stays accepted: the bound is inclusive.
+	body := fmt.Sprintf(`{"dataset":"Flixster","k":%d,"fixedTheta":200,"evalRuns":50}`, n)
+	if rec := do(t, s, http.MethodPost, "/v1/selfinfmax", body, nil); rec.Code != http.StatusOK {
+		t.Fatalf("k=n solve = %d, want 200 (%s)", rec.Code, rec.Body.String())
 	}
 }
 
@@ -317,11 +353,20 @@ func TestServerMaxThetaCapsDerivedTheta(t *testing.T) {
 	}
 }
 
+// TestStatsEndpoint pins the accepted-vs-errors counter contract: a
+// request is counted under its endpoint only once it passes validation;
+// rejected requests count once, under "errors" — never both, and never as
+// served traffic. (They used to increment before validation, so every
+// rejection inflated its endpoint's counter and "errors" simultaneously.)
 func TestStatsEndpoint(t *testing.T) {
 	s := newTestServer(t, testDataset(t))
 	do(t, s, http.MethodPost, "/v1/spread", `{"dataset":"Flixster","seedsA":[0],"runs":100}`, nil)
 	do(t, s, http.MethodPost, "/v1/selfinfmax", `{"dataset":"Flixster","k":2,"fixedTheta":500,"evalRuns":100}`, nil)
+	// Three rejections at different validation stages: unknown dataset,
+	// bad k, out-of-range seed id.
 	do(t, s, http.MethodPost, "/v1/spread", `{"dataset":"nope"}`, nil)
+	do(t, s, http.MethodPost, "/v1/selfinfmax", `{"dataset":"Flixster","k":0}`, nil)
+	do(t, s, http.MethodPost, "/v1/boost", `{"dataset":"Flixster","seedsA":[999999],"seedsB":[1]}`, nil)
 
 	var st struct {
 		Index    server.IndexStats `json:"index"`
@@ -334,8 +379,11 @@ func TestStatsEndpoint(t *testing.T) {
 	if rec := do(t, s, http.MethodGet, "/v1/stats", "", &st); rec.Code != http.StatusOK {
 		t.Fatalf("stats = %d", rec.Code)
 	}
-	if st.Requests["spread"] != 2 || st.Requests["selfinfmax"] != 1 || st.Requests["errors"] != 1 {
-		t.Fatalf("request counters = %v", st.Requests)
+	want := map[string]int64{"spread": 1, "selfinfmax": 1, "boost": 0, "errors": 3}
+	for k, v := range want {
+		if st.Requests[k] != v {
+			t.Fatalf("requests[%q] = %d, want %d (all: %v)", k, st.Requests[k], v, st.Requests)
+		}
 	}
 	if st.Index.Misses == 0 {
 		t.Fatalf("index stats empty after a solve: %+v", st.Index)
