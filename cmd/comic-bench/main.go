@@ -8,11 +8,13 @@
 //	comic-bench -exp fig7b -scale 0.02
 //	comic-bench -exp selfinfmax -scale 0.02 -json BENCH_selfinfmax.json
 //	comic-bench -exp batch -scale 0.02 -json BENCH_batch.json
+//	comic-bench -exp restore -scale 0.02 -json BENCH_restore.json
+//	comic-bench -check fresh.json BENCH_selfinfmax.json
 //
 // Experiment ids: table1, table2, table3, table4, table5-7, table8, fig4,
-// fig5, fig6, fig7a, fig7b, fig8, selfinfmax, batch, all. At -scale 1 the
-// datasets match the paper's Table 1 sizes (slow on a laptop); the default
-// 0.05 reproduces the shapes in minutes.
+// fig5, fig6, fig7a, fig7b, fig8, selfinfmax, batch, restore, all. At
+// -scale 1 the datasets match the paper's Table 1 sizes (slow on a
+// laptop); the default 0.05 reproduces the shapes in minutes.
 //
 // The selfinfmax experiment times one cold and one warm SelfInfMax solve
 // against a shared RR-set index and, with -json FILE, writes a
@@ -26,6 +28,19 @@
 // K sequential requests, verifying both return identical seeds and
 // recording the wall-time and build/hit amortization; CI runs it alongside
 // the selfinfmax record.
+//
+// The restore experiment exercises the persistent state layer: cold solve
+// on a stateful server, SaveState snapshot, simulated restart, warm solve
+// from the restored RR-set index. The run fails if the restored seeds
+// diverge from the cold ones or the restored server builds any collection.
+//
+// -check compares a freshly generated record (first argument) against the
+// committed trajectory file (second argument): deterministic fields —
+// seeds, θ, build counts, exact byte sizes — must match bit-for-bit, while
+// timing fields (keys ending in "Ns") only warn, since shared CI runners
+// are noisy. CI runs all three experiments and checks them against the
+// committed BENCH_*.json, so the performance trajectory in the repo can
+// never silently drift from what the code actually does.
 package main
 
 import (
@@ -54,9 +69,23 @@ func main() {
 		fixedTheta = flag.Int("theta", 0, "fixed RR-set budget (0 = epsilon-driven)")
 		greedy     = flag.Bool("greedy", false, "include the Monte-Carlo Greedy baseline (slow)")
 		dsets      = flag.String("datasets", "", "comma-separated dataset subset (default all)")
-		jsonOut    = flag.String("json", "", "write the selfinfmax benchmark record to this file")
+		jsonOut    = flag.String("json", "", "write the benchmark record to this file")
+		check      = flag.Bool("check", false, "compare a fresh benchmark JSON (first arg) against a committed trajectory file (second arg); timings warn-only")
 	)
 	flag.Parse()
+
+	if *check {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: comic-bench -check FRESH.json COMMITTED.json")
+			os.Exit(2)
+		}
+		if err := runCheck(args[0], args[1], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: check: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		Scale:         *scale,
@@ -92,6 +121,18 @@ func main() {
 		}
 		if err := rec.render(os.Stdout, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "comic-bench: batch: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "restore" {
+		rec, err := runRestoreBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: restore: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.render(os.Stdout, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: restore: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -26,6 +26,14 @@
 // what cmd/comic-seeds prints for the same inputs — whether the query comes
 // alone, in a batch, or through a job; repeated queries hit the RR-set
 // index and skip generation. SIGINT/SIGTERM shut down gracefully.
+//
+// With -state-dir the server is stateful across restarts: uploaded graphs
+// are persisted as they arrive, the RR-set index is snapshotted on
+// graceful shutdown (and every -snapshot-interval, if set), and the next
+// boot restores both — the first query after a deploy is a warm hit, not a
+// full cold solve:
+//
+//	comic-serve -addr :8080 -datasets Flixster -state-dir /var/lib/comic -snapshot-interval 5m
 package main
 
 import (
@@ -59,6 +67,8 @@ func main() {
 		maxGraphs   = flag.Int("max-graphs", 64, "registered graph limit, /v1/graphs uploads included")
 		maxUploadMB = flag.Int64("max-upload-mb", 32, "largest /v1/graphs upload body in MiB")
 		maxUploadN  = flag.Int("max-upload-nodes", 2_000_000, "largest node count accepted in an uploaded edge list")
+		stateDir    = flag.String("state-dir", "", "directory for persistent state (uploaded graphs + RR-index snapshots); empty = in-memory only")
+		snapEvery   = flag.Duration("snapshot-interval", 0, "periodic RR-index snapshot cadence (requires -state-dir; 0 = snapshot only on graceful shutdown)")
 		qa0         = flag.Float64("qa0", 0.5, "default q_{A|emptyset} for -graph datasets")
 		qab         = flag.Float64("qab", 0.8, "default q_{A|B} for -graph datasets")
 		qb0         = flag.Float64("qb0", 0.5, "default q_{B|emptyset} for -graph datasets")
@@ -134,11 +144,20 @@ func main() {
 		MaxGraphs:           *maxGraphs,
 		MaxUploadBytes:      *maxUploadMB << 20,
 		MaxUploadNodes:      *maxUploadN,
+		StateDir:            *stateDir,
+		SnapshotInterval:    *snapEvery,
+	}
+	if *snapEvery > 0 && *stateDir == "" {
+		fatal(fmt.Errorf("-snapshot-interval requires -state-dir"))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("comic-serve listening on %s (%d datasets, %d MiB RR-index)",
 		*addr, len(served), *cacheMB)
+	if *stateDir != "" {
+		log.Printf("persistent state in %s (snapshot interval %v; snapshot on shutdown)",
+			*stateDir, *snapEvery)
+	}
 	if err := comic.Serve(ctx, *addr, cfg); err != nil {
 		fatal(err)
 	}

@@ -292,8 +292,11 @@ type RRIndexStats = server.IndexStats
 // ServeConfig configures the query-serving layer: the datasets served (the
 // pre-registered graph-registry entries), the RR-index byte budget,
 // per-request validation limits, the /v1/batch size cap, the async job
-// worker pool (MaxJobs, MaxQueuedJobs, RetainedJobs), and the /v1/graphs
-// upload limits (MaxGraphs, MaxUploadBytes).
+// worker pool (MaxJobs, MaxQueuedJobs, RetainedJobs), the /v1/graphs
+// upload limits (MaxGraphs, MaxUploadBytes), and — via StateDir and
+// SnapshotInterval — the persistent state layer that lets a restarted
+// server warm-start with its RR-set cache and uploaded graphs intact
+// (see ExampleServeConfig_persistentState).
 type ServeConfig = server.Config
 
 // Server is the query-serving layer: an http.Handler exposing the comic v1
@@ -301,8 +304,11 @@ type ServeConfig = server.Config
 // asynchronous (/v1/jobs) query execution on top of the shared RR-set
 // index. Beyond serving HTTP it supports in-process graph management:
 // RegisterGraph and UnregisterGraph mirror the POST and DELETE /v1/graphs
-// endpoints, and GraphNames lists the registry. Call Close when discarding
-// a Server that isn't managed by Serve, to stop its job workers.
+// endpoints, GraphNames lists the registry, and — with
+// ServeConfig.StateDir set — SaveState snapshots the RR-set index so a
+// later NewServer with the same config restores it. Call Close when
+// discarding a Server that isn't managed by Serve, to stop its job workers
+// and snapshot loop.
 type Server = server.Server
 
 // NewServer validates cfg and returns a ready-to-serve query server with

@@ -1,7 +1,11 @@
 package comic_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
 
 	"comic"
 )
@@ -127,4 +131,58 @@ func ExampleNewRRIndex() {
 	st := idx.Stats()
 	fmt.Println(fmt.Sprint(r1.Seeds) == fmt.Sprint(r2.Seeds), st.Misses, st.Hits)
 	// Output: true 2 2
+}
+
+// ExampleServeConfig_persistentState shows the persistent state layer: a
+// server with StateDir snapshots its RR-set index (SaveState, also done
+// automatically on graceful shutdown and every SnapshotInterval), and a
+// "restarted" server with the same config restores it — the first query
+// after the restart selects identical seeds without building a single
+// collection (Misses stays 0).
+func ExampleServeConfig_persistentState() {
+	dir, err := os.MkdirTemp("", "comic-state-*")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir) // wiping the directory wipes all persisted state
+	cfg := comic.ServeConfig{
+		Datasets: map[string]*comic.Dataset{"Flixster": comic.FlixsterDataset(0.02, 1)},
+		StateDir: dir,
+	}
+	solve := func(s *comic.Server) []int32 {
+		body := `{"dataset":"Flixster","k":3,"fixedTheta":2000,"evalRuns":200,"seed":7}`
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/selfinfmax", strings.NewReader(body)))
+		var out struct {
+			Seeds []int32 `json:"seeds"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			fmt.Println(err)
+		}
+		return out.Seeds
+	}
+
+	s1, err := comic.NewServer(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	before := solve(s1)
+	if err := s1.SaveState(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	s1.Close()
+
+	s2, err := comic.NewServer(cfg) // the "restart"
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s2.Close()
+	after := solve(s2)
+	st := s2.Index().Stats()
+	fmt.Println(fmt.Sprint(before) == fmt.Sprint(after), st.Restores > 0, st.Misses)
+	// Output: true true 0
 }

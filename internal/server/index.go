@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -34,11 +36,18 @@ type Index struct {
 	maxBytes int64
 	sem      chan struct{} // non-nil: bounds concurrent builds (SetBuildLimit)
 
+	// snapMu serializes snapshot-directory file operations (SaveSnapshot,
+	// LoadSnapshot, the entry-file deletions of DropGraph). It is never
+	// held while acquiring mu's critical sections' callees, and mu is never
+	// held while acquiring snapMu — lock order is snapMu before mu.
+	snapMu sync.Mutex
+
 	mu       sync.Mutex
 	bytes    int64
 	entries  map[string]*list.Element // key -> element whose Value is *indexEntry
 	lru      *list.List               // front = most recently used
 	inflight map[string]*flight
+	snapDir  string // last SaveSnapshot/LoadSnapshot directory; "" = none
 	stats    IndexStats
 }
 
@@ -47,10 +56,11 @@ type Index struct {
 // (empty GraphID), so the graph must stay reachable — and its address
 // unrecyclable — for as long as the entry is resident.
 type indexEntry struct {
-	key   string
-	col   *rrset.Collection
-	graph *graph.Graph
-	bytes int64
+	key     string
+	graphID string // the request's GraphID; "" = keyed by graph pointer identity
+	col     *rrset.Collection
+	graph   *graph.Graph
+	bytes   int64
 }
 
 // flight is one in-progress build that concurrent identical requests wait
@@ -78,6 +88,17 @@ type IndexStats struct {
 	// Drops counts collections removed because their graph was deleted
 	// from the registry (DropGraph), as opposed to budget evictions.
 	Drops int64 `json:"drops"`
+	// Snapshots counts successful SaveSnapshot runs; SnapshotErrors counts
+	// failed ones (the periodic snapshot loop surfaces failures here).
+	Snapshots      int64 `json:"snapshots"`
+	SnapshotErrors int64 `json:"snapshotErrors"`
+	// Restores counts collections rehydrated by LoadSnapshot;
+	// RestoreRejects counts snapshot entries it refused — corrupt,
+	// truncated, wrong format version, keyed to an unknown or mismatched
+	// graph, or beyond the byte budget. A rejected entry is skipped, never
+	// served.
+	Restores       int64 `json:"restores"`
+	RestoreRejects int64 `json:"restoreRejects"`
 	// ResidentCollections and ResidentBytes describe current occupancy.
 	ResidentCollections int   `json:"residentCollections"`
 	ResidentBytes       int64 `json:"residentBytes"`
@@ -149,7 +170,7 @@ func (x *Index) Collection(req rrset.CollectionRequest) (*rrset.Collection, erro
 	delete(x.inflight, key)
 	x.stats.BuildTime += time.Since(t0)
 	if err == nil {
-		x.insertLocked(key, col, req.Graph)
+		x.insertLocked(key, col, req.Graph, req.GraphID)
 	}
 	x.mu.Unlock()
 	return col, err
@@ -195,11 +216,11 @@ func buildSafely(req rrset.CollectionRequest) (col *rrset.Collection, err error)
 // the budget holds again. The newest collection is never evicted, so a
 // single collection larger than the whole budget still serves its own
 // request (and becomes the next eviction victim).
-func (x *Index) insertLocked(key string, col *rrset.Collection, g *graph.Graph) {
+func (x *Index) insertLocked(key string, col *rrset.Collection, g *graph.Graph, graphID string) {
 	if _, ok := x.entries[key]; ok {
 		return // a racing build of the same key already landed
 	}
-	e := &indexEntry{key: key, col: col, graph: g, bytes: col.Bytes()}
+	e := &indexEntry{key: key, graphID: graphID, col: col, graph: g, bytes: col.Bytes()}
 	x.entries[key] = x.lru.PushFront(e)
 	x.bytes += e.bytes
 	for x.maxBytes > 0 && x.bytes > x.maxBytes && x.lru.Len() > 1 {
@@ -219,6 +240,14 @@ func (x *Index) insertLocked(key string, col *rrset.Collection, g *graph.Graph) 
 // collections record the *graph.Graph they were generated on regardless of
 // how their key was formed.
 //
+// When the index has a snapshot directory (SaveSnapshot/LoadSnapshot has
+// run), the dropped entries' on-disk snapshot files are deleted too: a
+// deleted graph's RR sets must not survive on disk and reappear after a
+// restart. Entry files for collections of g that were budget-evicted
+// before the drop are pruned by the next SaveSnapshot instead — and even
+// unpruned, a restart cannot restore them, because the registry deletes
+// the graph's persisted identity (its cache ID) along with the graph.
+//
 // Safe to call concurrently with Collection. An identical-key request
 // in flight while DropGraph runs may still insert its result afterwards;
 // the registry prevents that by dropping only after the last in-flight
@@ -226,8 +255,8 @@ func (x *Index) insertLocked(key string, col *rrset.Collection, g *graph.Graph) 
 // solve, before the release).
 func (x *Index) DropGraph(g *graph.Graph) int {
 	x.mu.Lock()
-	defer x.mu.Unlock()
 	dropped := 0
+	var files []string
 	for key, el := range x.entries {
 		e := el.Value.(*indexEntry)
 		if e.graph == g {
@@ -235,9 +264,20 @@ func (x *Index) DropGraph(g *graph.Graph) int {
 			delete(x.entries, key)
 			x.bytes -= e.bytes
 			dropped++
+			if x.snapDir != "" && e.graphID != "" {
+				files = append(files, filepath.Join(x.snapDir, snapshotFileName(key)))
+			}
 		}
 	}
 	x.stats.Drops += int64(dropped)
+	x.mu.Unlock()
+	if len(files) > 0 {
+		x.snapMu.Lock()
+		for _, f := range files {
+			os.Remove(f) // best-effort; LoadSnapshot tolerates strays
+		}
+		x.snapMu.Unlock()
+	}
 	return dropped
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -33,6 +34,16 @@ import (
 // one's node and edge counts (the N/M misuse guard cannot catch that).
 type registry struct {
 	index *Index
+	// stateDir, when non-empty, is the directory registrations are
+	// persisted to (meta + edge-list files, see snapshot.go) so uploaded
+	// graphs survive a restart with their cache IDs intact.
+	stateDir string
+
+	// persistMu serializes graph-file I/O (persist on register, unpersist
+	// on delete). The query path (acquire/release) never takes it, so a
+	// large upload's fingerprint + edge-list write + fsync cannot stall
+	// serving traffic; mu is never held while persistMu is taken.
+	persistMu sync.Mutex
 
 	mu      sync.Mutex
 	entries map[string]*regEntry
@@ -43,39 +54,113 @@ type registry struct {
 type regEntry struct {
 	name    string
 	cacheID string // unique per registration; the RR-index GraphID
+	gen     int64  // the generation counter minted into cacheID
 	d       *datasets.Dataset
 	source  string // "preloaded" (Config.Datasets) or "uploaded" (/v1/graphs)
 	created time.Time
 
 	// guarded by registry.mu
-	refs    int
-	deleted bool
+	refs       int
+	deleted    bool
+	persisting bool // register's file I/O is still in flight
 }
 
-func newRegistry(index *Index) *registry {
-	return &registry{index: index, entries: make(map[string]*regEntry)}
+func newRegistry(index *Index, stateDir string) *registry {
+	return &registry{index: index, stateDir: stateDir, entries: make(map[string]*regEntry)}
 }
 
-// register adds a graph under name. It fails if the name is taken.
+// errRegistryConflict marks registration failures that are the client's
+// doing (duplicate name, graph limit), as opposed to server-side
+// persistence failures.
+var errRegistryConflict = fmt.Errorf("registry conflict")
+
+// register adds a graph under name. It fails if the name is taken
+// (errRegistryConflict), or — on a state-backed registry — if the
+// registration cannot be persisted (a registration that would silently
+// vanish on restart is refused, and rolled back if queries already saw
+// it). The entry is serving-visible immediately; the file I/O runs outside
+// the registry lock so it never stalls the query path.
 func (r *registry) register(name string, d *datasets.Dataset, source string, limit int) (*regEntry, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; ok {
-		return nil, fmt.Errorf("graph %q already registered", name)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: graph %q already registered", errRegistryConflict, name)
 	}
 	if limit > 0 && len(r.entries) >= limit {
-		return nil, fmt.Errorf("graph limit %d reached", limit)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: graph limit %d reached", errRegistryConflict, limit)
 	}
 	r.nextGen++
 	e := &regEntry{
-		name:    name,
-		cacheID: fmt.Sprintf("%s#%d", name, r.nextGen),
-		d:       d,
-		source:  source,
-		created: time.Now(),
+		name:       name,
+		cacheID:    fmt.Sprintf("%s#%d", name, r.nextGen),
+		gen:        r.nextGen,
+		d:          d,
+		source:     source,
+		created:    time.Now(),
+		persisting: r.stateDir != "",
 	}
 	r.entries[name] = e
+	r.mu.Unlock()
+	if r.stateDir == "" {
+		return e, nil
+	}
+
+	r.persistMu.Lock()
+	perr := r.persistGraph(e)
+	r.persistMu.Unlock()
+
+	r.mu.Lock()
+	e.persisting = false
+	racedDelete := e.deleted // a DELETE arrived mid-persist; it deferred cleanup to us
+	rollback := perr != nil && !racedDelete
+	if rollback {
+		delete(r.entries, name)
+		e.deleted = true
+	}
+	drop := rollback && e.refs == 0
+	r.mu.Unlock()
+	if racedDelete || rollback {
+		r.persistMu.Lock()
+		r.unpersistGraphOwned(e)
+		r.persistMu.Unlock()
+	}
+	if drop {
+		r.index.DropGraph(e.d.Graph)
+	}
+	if perr != nil {
+		return nil, fmt.Errorf("persisting graph %q: %v", name, perr)
+	}
+	if racedDelete {
+		return nil, fmt.Errorf("%w: graph %q was deleted during registration", errRegistryConflict, name)
+	}
 	return e, nil
+}
+
+// restore installs a previously persisted registration, keeping its cache
+// ID and creation time, and fences the generation counter so no future
+// registration can re-mint a restored (or skipped) ID.
+func (r *registry) restore(e *regEntry, limit int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextGen = max(r.nextGen, e.gen)
+	if _, ok := r.entries[e.name]; ok {
+		return fmt.Errorf("graph %q already registered", e.name)
+	}
+	if limit > 0 && len(r.entries) >= limit {
+		return fmt.Errorf("graph limit %d reached", limit)
+	}
+	r.entries[e.name] = e
+	return nil
+}
+
+// fenceGen advances the generation counter past a persisted generation
+// whose entry was not restored (corrupt edge file, name conflict), so the
+// dead cache ID can never be reused by a new registration.
+func (r *registry) fenceGen(gen int64) {
+	r.mu.Lock()
+	r.nextGen = max(r.nextGen, gen)
+	r.mu.Unlock()
 }
 
 // acquire resolves name and takes a reference; callers must release.
@@ -102,8 +187,12 @@ func (r *registry) release(e *regEntry) {
 	}
 }
 
-// remove unlinks name from the registry. Cache entries are dropped now if
-// the graph is idle, otherwise when the last in-flight request releases it.
+// remove unlinks name from the registry and deletes its persisted files
+// (the graph must not be resurrected by a restart). Cache entries are
+// dropped now if the graph is idle, otherwise when the last in-flight
+// request releases it. If the entry's registration is still persisting its
+// files, cleanup is deferred to the registering goroutine, which sees the
+// deleted flag when its I/O completes.
 func (r *registry) remove(name string) (*regEntry, bool) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
@@ -113,8 +202,14 @@ func (r *registry) remove(name string) (*regEntry, bool) {
 	}
 	delete(r.entries, name)
 	e.deleted = true
+	persisting := e.persisting
 	drop := e.refs == 0
 	r.mu.Unlock()
+	if !persisting {
+		r.persistMu.Lock()
+		r.unpersistGraphOwned(e)
+		r.persistMu.Unlock()
+	}
 	if drop {
 		r.index.DropGraph(e.d.Graph)
 	}
@@ -261,7 +356,13 @@ func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 	d := &datasets.Dataset{Name: name, Graph: g, GAP: gap, PairName: "uploaded"}
 	e, err := s.reg.register(name, d, "uploaded", s.cfg.MaxGraphs)
 	if err != nil {
-		s.httpError(w, http.StatusConflict, err.Error())
+		// Name/limit conflicts are the client's fault; a persistence
+		// failure (full disk, bad state dir) is the server's.
+		code := http.StatusConflict
+		if !errors.Is(err, errRegistryConflict) {
+			code = http.StatusInternalServerError
+		}
+		s.httpError(w, code, err.Error())
 		return
 	}
 	s.nGraphs.Add(1)

@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +103,21 @@ type Config struct {
 	// allocation — ~12 bytes per node before a single edge — so without
 	// this bound a few-byte body could demand gigabytes.
 	MaxUploadNodes int
+
+	// StateDir, when non-empty, makes the server's expensive state
+	// persistent: dynamically added graphs are written there as they are
+	// registered, and SaveState (called by the periodic snapshot loop and
+	// on graceful shutdown) snapshots the RR-set index, so a restarted
+	// server warm-starts with its uploaded graphs and cached collections
+	// intact instead of paying the full cold-solve cost again. New()
+	// restores whatever valid state the directory holds; corrupt or stale
+	// entries are skipped and counted (IndexStats.RestoreRejects), never
+	// served. Empty means fully in-memory (the previous behavior).
+	StateDir string
+	// SnapshotInterval, when positive and StateDir is set, snapshots the
+	// RR-set index on that cadence in the background. Zero means snapshot
+	// only on graceful shutdown (and explicit SaveState calls).
+	SnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +172,8 @@ type Server struct {
 	mux       *http.ServeMux
 	started   time.Time
 	closeOnce sync.Once
+	snapStop  chan struct{} // non-nil: closing stops the snapshot loop
+	snapDone  chan struct{}
 
 	// Request counters, incremented only after a request (or batch/job
 	// query) passes validation: rejected requests count as errors, not as
@@ -164,8 +183,12 @@ type Server struct {
 	nErrors                       atomic.Int64
 }
 
-// New validates cfg and returns a ready-to-serve Server with an empty
-// RR-set index and the configured datasets pre-registered.
+// New validates cfg and returns a ready-to-serve Server with the
+// configured datasets pre-registered. With Config.StateDir set, the
+// server additionally restores whatever valid persisted state the
+// directory holds — dynamically added graphs re-registered under their
+// original cache IDs, and the RR-set index rehydrated from its last
+// snapshot — so the first queries after a restart are warm.
 func New(cfg Config) (*Server, error) {
 	if len(cfg.Datasets) == 0 {
 		return nil, errors.New("server: Config.Datasets must name at least one dataset")
@@ -183,13 +206,75 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 	}
 	s.index.SetBuildLimit(cfg.MaxConcurrentBuilds)
-	s.reg = newRegistry(s.index)
-	for name, d := range cfg.Datasets {
+	graphsDir := ""
+	if cfg.StateDir != "" {
+		graphsDir = stateGraphsDir(cfg.StateDir)
+		if err := os.MkdirAll(graphsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating state dir: %v", err)
+		}
+	}
+	s.reg = newRegistry(s.index, graphsDir)
+
+	// Persisted registry identities, by graph name. Config datasets reuse
+	// their old cache ID when the rebuilt graph's content fingerprint still
+	// matches; everything else re-registers fresh (and the stale snapshot
+	// entries keyed by the dead ID are rejected at index load).
+	var metas map[string]graphMeta
+	if graphsDir != "" {
+		metas = readGraphMetas(graphsDir)
+	}
+	names := make([]string, 0, len(cfg.Datasets))
+	for name := range cfg.Datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic generation assignment
+	for _, name := range names {
+		d := cfg.Datasets[name]
+		if m, ok := metas[name]; ok {
+			delete(metas, name)
+			if m.Source == "preloaded" && m.Nodes == d.Graph.N() && m.Edges == d.Graph.M() &&
+				m.Fingerprint == graphFingerprint(d.Graph) {
+				e := &regEntry{name: name, cacheID: m.CacheID, gen: m.Gen, d: d, source: "preloaded", created: m.Created}
+				if err := s.reg.restore(e, 0); err == nil {
+					continue
+				}
+			}
+			s.reg.fenceGen(m.Gen)
+		}
 		if _, err := s.reg.register(name, d, "preloaded", 0); err != nil {
 			return nil, fmt.Errorf("server: %v", err)
 		}
 	}
+	// Restore dynamically added graphs (uploads, in-process registrations).
+	for _, name := range sortedMetaNames(metas) {
+		m := metas[name]
+		s.reg.fenceGen(m.Gen)
+		d := restoreDynamicGraph(graphsDir, m, cfg.MaxUploadNodes)
+		if d == nil {
+			continue // corrupt or fingerprint-mismatched edge file: skip
+		}
+		e := &regEntry{name: m.Name, cacheID: m.CacheID, gen: m.Gen, d: d, source: m.Source, created: m.Created}
+		if err := s.reg.restore(e, cfg.MaxGraphs); err != nil {
+			continue
+		}
+	}
+	// Rehydrate the RR-set index against the restored graph inventory.
+	if cfg.StateDir != "" {
+		byID := map[string]*graph.Graph{}
+		for _, e := range s.reg.list() {
+			byID[e.cacheID] = e.d.Graph
+		}
+		if _, err := s.index.LoadSnapshot(stateIndexDir(cfg.StateDir), byID); err != nil {
+			return nil, fmt.Errorf("server: loading RR-index snapshot: %v", err)
+		}
+	}
+
 	s.jobs = newJobQueue(s.runBatch, cfg.MaxJobs, cfg.MaxQueuedJobs, cfg.RetainedJobs)
+	if cfg.StateDir != "" && cfg.SnapshotInterval > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(cfg.SnapshotInterval)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/spread", s.handleSpread)
@@ -213,11 +298,49 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // in-process solves).
 func (s *Server) Index() *Index { return s.index }
 
-// Close stops the async job workers: pending and running jobs are canceled
-// and the pool is drained. In-flight synchronous requests are unaffected.
+// Close stops the async job workers — pending and running jobs are
+// canceled and the pool is drained — and the periodic snapshot loop, if
+// one is running. In-flight synchronous requests are unaffected. Close
+// does not take a final snapshot; call SaveState first when shutting down
+// (Serve/ServeListener do) if the latest index contents should persist.
 // Safe to call more than once.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { s.jobs.close() })
+	s.closeOnce.Do(func() {
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapDone
+		}
+		s.jobs.close()
+	})
+}
+
+// SaveState snapshots the RR-set index into the configured StateDir
+// (graphs are persisted incrementally as they are registered, so the index
+// snapshot is the only deferred piece). It returns an error when no
+// StateDir is configured. Safe for concurrent use; failures are also
+// counted in IndexStats.SnapshotErrors.
+func (s *Server) SaveState() error {
+	if s.cfg.StateDir == "" {
+		return errNoStateDir
+	}
+	return s.index.SaveSnapshot(stateIndexDir(s.cfg.StateDir))
+}
+
+// snapshotLoop snapshots the index every interval until Close. Errors are
+// not fatal — the next tick retries — and are visible to operators as
+// IndexStats.SnapshotErrors via /v1/stats.
+func (s *Server) snapshotLoop(interval time.Duration) {
+	defer close(s.snapDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			_ = s.SaveState()
+		}
+	}
 }
 
 // RegisterGraph adds a graph to the server's registry under the given
@@ -289,6 +412,13 @@ func ServeListener(ctx context.Context, l net.Listener, cfg Config) error {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		// Snapshot-on-shutdown: with a StateDir configured, the drained
+		// server persists its RR-set index so the next boot starts warm.
+		if cfg.StateDir != "" {
+			if err := s.SaveState(); err != nil {
+				return fmt.Errorf("server: shutdown snapshot: %w", err)
+			}
 		}
 		return nil
 	}

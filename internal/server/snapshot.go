@@ -1,0 +1,532 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"comic/internal/datasets"
+	"comic/internal/graph"
+	"comic/internal/rrset"
+)
+
+// Persistent state layer. A server restart used to throw away the entire
+// RR-set index and every dynamically uploaded graph: the first query after
+// a deploy paid the full cold-solve cost, and /v1/graphs uploads vanished.
+// TIM-style RR-set collections are expensive to build and cheap to reuse —
+// the amortization the whole serving layer is built on — so they are
+// exactly the state worth persisting.
+//
+// State-directory layout (Config.StateDir):
+//
+//	<state>/
+//	  graphs/
+//	    <digest(name)>.json   registry entry: name, cache ID, GAP, source,
+//	                          created time, graph fingerprint
+//	    <digest(name)>.edges  text edge list (dynamically added graphs only;
+//	                          preloaded datasets are rebuilt from Config)
+//	  index/
+//	    MANIFEST.json         RR-index snapshot manifest, LRU order (MRU first)
+//	    <digest(key)>.rrs     one rrset.Snapshot per resident collection
+//
+// Every file is written atomically (temp file in the same directory,
+// fsync, rename), so a crash mid-snapshot leaves only the previous
+// snapshot visible — a reader never observes a torn file. Entry files are
+// content-addressed by cache key and collections are deterministic per
+// key, so periodic snapshots skip rewriting files that already exist;
+// files for evicted or dropped entries are pruned at save time.
+//
+// Restore is strict where it matters and lenient where it must be: a
+// corrupt, truncated, or wrong-version entry file — or one whose key,
+// graph identity, or node/edge counts don't match — is skipped and counted
+// (IndexStats.RestoreRejects), never served and never fatal to boot.
+
+const (
+	manifestName     = "MANIFEST.json"
+	manifestVersion  = 1
+	snapshotSuffix   = ".rrs"
+	graphMetaSuffix  = ".json"
+	graphEdgesSuffix = ".edges"
+)
+
+// snapshotFileName is the content address of a cache key in the index
+// snapshot directory: 128 digest bits keep accidental collisions out of
+// reach, and the loader still verifies the full key recorded inside the
+// file.
+func snapshotFileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16]) + snapshotSuffix
+}
+
+// graphFileBase names a registry entry's files after its (client-chosen)
+// graph name without trusting that name as a path component.
+func graphFileBase(name string) string {
+	sum := sha256.Sum256([]byte(name))
+	return hex.EncodeToString(sum[:16])
+}
+
+// graphFingerprint digests a graph's full content — node count, edge
+// count, and every (src, dst, probability-bits) triple. Cache IDs are only
+// reused across restarts when the fingerprint matches: node/edge counts
+// alone cannot distinguish two same-shaped graphs (e.g. the same dataset
+// rebuilt under a different seed), and reusing a cache ID across different
+// graphs would silently serve wrong RR sets.
+func graphFingerprint(g *graph.Graph) string {
+	h := sha256.New()
+	var b [20]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(g.N()))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(g.M()))
+	h.Write(b[:16])
+	for eid := int32(0); eid < int32(g.M()); eid++ {
+		u, v := g.EdgeEndpoints(eid)
+		binary.LittleEndian.PutUint32(b[:4], uint32(u))
+		binary.LittleEndian.PutUint32(b[4:8], uint32(v))
+		binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(g.Prob(eid)))
+		h.Write(b[:16])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeFileAtomic writes fill's output to path via a temp file in the same
+// directory plus rename, fsyncing before the rename. Readers either see
+// the old content or the complete new content; a crash (or a fill error)
+// leaves the old file untouched.
+func writeFileAtomic(path string, fill func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = fill(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+// --- RR-set index snapshots ---
+
+// snapshotManifest orders an index snapshot: entries are listed most-
+// recently-used first, so a restore under a smaller byte budget keeps the
+// hottest prefix and recreates the exact LRU order.
+type snapshotManifest struct {
+	Version int             `json:"version"`
+	Entries []manifestEntry `json:"entries"`
+}
+
+type manifestEntry struct {
+	File    string `json:"file"`
+	GraphID string `json:"graphID"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// SaveSnapshot persists every resident collection whose cache key names a
+// graph by GraphID (pointer-identity keys are meaningless across
+// processes) to dir, one checksummed file per entry plus a manifest
+// recording the LRU order. All writes are atomic temp-file+rename; entry
+// files that already exist are reused (collections are deterministic per
+// key), and files no longer referenced by the manifest are pruned.
+// Concurrent SaveSnapshot/LoadSnapshot calls are serialized. Failures are
+// counted in IndexStats.SnapshotErrors.
+func (x *Index) SaveSnapshot(dir string) error {
+	x.snapMu.Lock()
+	defer x.snapMu.Unlock()
+	err := x.saveSnapshotLocked(dir)
+	x.mu.Lock()
+	if err != nil {
+		x.stats.SnapshotErrors++
+	} else {
+		x.stats.Snapshots++
+	}
+	x.mu.Unlock()
+	return err
+}
+
+type savedEntry struct {
+	key, graphID string
+	graphN       int
+	graphM       int
+	col          *rrset.Collection
+	bytes        int64
+}
+
+func (x *Index) saveSnapshotLocked(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Snapshot the resident set under the lock; collections are immutable,
+	// so the (possibly slow) file writes below need no lock.
+	x.mu.Lock()
+	list := make([]savedEntry, 0, x.lru.Len())
+	for el := x.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*indexEntry)
+		if e.graphID == "" {
+			continue
+		}
+		list = append(list, savedEntry{e.key, e.graphID, e.graph.N(), e.graph.M(), e.col, e.bytes})
+	}
+	x.snapDir = dir
+	x.mu.Unlock()
+
+	man := snapshotManifest{Version: manifestVersion}
+	keep := map[string]bool{manifestName: true}
+	for _, s := range list {
+		name := snapshotFileName(s.key)
+		if keep[name] {
+			continue // digest collision between live keys: keep the hotter entry
+		}
+		keep[name] = true
+		man.Entries = append(man.Entries, manifestEntry{File: name, GraphID: s.graphID, Bytes: s.bytes})
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		snap := &rrset.Snapshot{Key: s.key, GraphID: s.graphID, GraphN: s.graphN, GraphM: s.graphM, Collection: s.col}
+		if err := writeFileAtomic(path, func(w io.Writer) error {
+			_, err := snap.WriteTo(w)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if err := writeFileAtomic(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+	}); err != nil {
+		return err
+	}
+	// Prune entry files for collections that were evicted or dropped, and
+	// temp files a crashed writer may have left behind.
+	if des, err := os.ReadDir(dir); err == nil {
+		for _, de := range des {
+			name := de.Name()
+			stale := (strings.HasSuffix(name, snapshotSuffix) && !keep[name]) ||
+				strings.Contains(name, ".tmp-")
+			if stale {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot rehydrates the index from the snapshot in dir, resolving
+// each entry's GraphID through graphs (cache ID → live graph). Entries are
+// admitted most-recently-used first while they fit the byte budget and
+// inserted so the pre-snapshot LRU order is preserved exactly.
+//
+// A missing snapshot is not an error — the index simply starts cold. A
+// corrupt, truncated, or wrong-version entry file, a key or graph
+// mismatch, or an entry beyond the budget is skipped and counted in
+// IndexStats.RestoreRejects; it can never fail the whole load. The number
+// of restored collections is returned.
+func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, error) {
+	x.snapMu.Lock()
+	defer x.snapMu.Unlock()
+
+	setDir := func() {
+		x.mu.Lock()
+		x.snapDir = dir
+		x.mu.Unlock()
+	}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		setDir()
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var man snapshotManifest
+	if err := json.Unmarshal(data, &man); err != nil || man.Version != manifestVersion {
+		// A torn or foreign manifest forfeits the snapshot, not the boot.
+		setDir()
+		x.mu.Lock()
+		x.stats.RestoreRejects++
+		x.mu.Unlock()
+		return 0, nil
+	}
+
+	type loadedEntry struct {
+		key, graphID string
+		col          *rrset.Collection
+		g            *graph.Graph
+		bytes        int64
+	}
+	var accepted []loadedEntry
+	var acceptedBytes int64
+	var rejects int64
+	budgetFull := false
+	for _, me := range man.Entries {
+		if budgetFull {
+			rejects++
+			continue
+		}
+		// A file rejected for content (corrupt, truncated, wrong version,
+		// wrong key or graph) is deleted: the collection will be rebuilt in
+		// memory under the same key, and SaveSnapshot's skip-if-exists
+		// optimization would otherwise re-reference the bad file forever,
+		// leaving this entry permanently cold across restarts. Budget and
+		// unknown-GraphID rejections keep their files — those entries are
+		// intact and may become restorable again (a larger budget, a
+		// dataset added back to the config).
+		path := filepath.Join(dir, me.File)
+		g, ok := graphs[me.GraphID]
+		if !ok {
+			rejects++ // graph gone (deleted, or config changed): stale entry
+			continue
+		}
+		snap, err := readSnapshotFile(path)
+		if err != nil {
+			rejects++ // corrupt / truncated / wrong version / missing
+			os.Remove(path)
+			continue
+		}
+		if snap.GraphID != me.GraphID || snapshotFileName(snap.Key) != me.File {
+			rejects++ // entry file does not belong where the manifest says
+			os.Remove(path)
+			continue
+		}
+		if snap.GraphN != g.N() || snap.GraphM != g.M() {
+			rejects++ // the same N/M misuse guard the live index applies
+			os.Remove(path)
+			continue
+		}
+		b := snap.Collection.Bytes()
+		if x.maxBytes > 0 && acceptedBytes+b > x.maxBytes {
+			// The restored set is always the most-recently-used prefix:
+			// once an entry exceeds the budget, nothing colder is admitted
+			// either, exactly as if the rest had been evicted.
+			budgetFull = true
+			rejects++
+			continue
+		}
+		acceptedBytes += b
+		accepted = append(accepted, loadedEntry{snap.Key, me.GraphID, snap.Collection, g, b})
+	}
+
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	restored := 0
+	for i := len(accepted) - 1; i >= 0; i-- { // coldest first: PushFront rebuilds MRU order
+		l := accepted[i]
+		if _, ok := x.entries[l.key]; ok {
+			continue
+		}
+		e := &indexEntry{key: l.key, graphID: l.graphID, col: l.col, graph: l.g, bytes: l.bytes}
+		x.entries[l.key] = x.lru.PushFront(e)
+		x.bytes += l.bytes
+		restored++
+	}
+	x.snapDir = dir
+	x.stats.Restores += int64(restored)
+	x.stats.RestoreRejects += rejects
+	return restored, nil
+}
+
+func readSnapshotFile(path string) (*rrset.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rrset.ReadCollection(f)
+}
+
+// --- graph registry persistence ---
+
+// graphMeta is the persisted identity of one registry entry. The cache ID
+// (and its generation counter) is the part that matters: index snapshot
+// entries are keyed by it, so restoring a graph under its old cache ID
+// re-links the restored collections, while a graph whose content changed
+// (fingerprint mismatch) gets a fresh ID and its stale collections are
+// rejected at load.
+type graphMeta struct {
+	Version     int        `json:"version"`
+	Name        string     `json:"name"`
+	CacheID     string     `json:"cacheID"`
+	Gen         int64      `json:"gen"`
+	Source      string     `json:"source"`
+	GAP         gapPayload `json:"gap"`
+	Created     time.Time  `json:"created"`
+	Nodes       int        `json:"nodes"`
+	Edges       int        `json:"edges"`
+	Fingerprint string     `json:"fingerprint"`
+	HasEdgeFile bool       `json:"hasEdgeFile"`
+}
+
+// persistGraph writes e's meta file and, for dynamically added graphs,
+// its edge list. Preloaded datasets are rebuilt from Config at boot, so
+// only their identity is persisted; any stale edge file under the same
+// name (a deleted upload whose name a preloaded dataset now owns) is
+// removed. Called with registry.persistMu held (never registry.mu — the
+// fingerprint and fsyncs must not stall the query path); no-op without a
+// state directory.
+func (r *registry) persistGraph(e *regEntry) error {
+	if r.stateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.stateDir, 0o755); err != nil {
+		return err
+	}
+	base := graphFileBase(e.name)
+	meta := graphMeta{
+		Version:     1,
+		Name:        e.name,
+		CacheID:     e.cacheID,
+		Gen:         e.gen,
+		Source:      e.source,
+		GAP:         gapPayload{QA0: e.d.GAP.QA0, QAB: e.d.GAP.QAB, QB0: e.d.GAP.QB0, QBA: e.d.GAP.QBA},
+		Created:     e.created,
+		Nodes:       e.d.Graph.N(),
+		Edges:       e.d.Graph.M(),
+		Fingerprint: graphFingerprint(e.d.Graph),
+		HasEdgeFile: e.source != "preloaded",
+	}
+	if meta.HasEdgeFile {
+		if err := writeFileAtomic(filepath.Join(r.stateDir, base+graphEdgesSuffix), func(w io.Writer) error {
+			return graph.WriteEdgeList(w, e.d.Graph)
+		}); err != nil {
+			return err
+		}
+	} else {
+		os.Remove(filepath.Join(r.stateDir, base+graphEdgesSuffix))
+	}
+	return writeFileAtomic(filepath.Join(r.stateDir, base+graphMetaSuffix), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(meta)
+	})
+}
+
+// unpersistGraphOwned deletes e's persisted files — so a deleted graph can
+// never be resurrected by a restart — but only if they still belong to e:
+// a newer registration under the same name owns the same file paths, and
+// cleanup deferred across a register/delete/re-register race must never
+// destroy the newer graph's state. The on-disk meta's CacheID is the
+// ownership record; an unreadable or missing meta means nothing is
+// restorable under this name, so the files are removed unconditionally.
+// Called with registry.persistMu held.
+func (r *registry) unpersistGraphOwned(e *regEntry) {
+	if r.stateDir == "" {
+		return
+	}
+	base := graphFileBase(e.name)
+	metaPath := filepath.Join(r.stateDir, base+graphMetaSuffix)
+	if data, err := os.ReadFile(metaPath); err == nil {
+		var m graphMeta
+		if json.Unmarshal(data, &m) == nil && m.CacheID != e.cacheID {
+			return // a newer registration owns these files
+		}
+	}
+	os.Remove(metaPath)
+	os.Remove(filepath.Join(r.stateDir, base+graphEdgesSuffix))
+}
+
+// readGraphMetas loads every parseable graph meta file in dir, keyed by
+// graph name. Unreadable or torn files are skipped: losing one registry
+// entry must not fail the boot.
+func readGraphMetas(dir string) map[string]graphMeta {
+	out := map[string]graphMeta{}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return out
+	}
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasSuffix(name, graphMetaSuffix) || strings.Contains(name, ".tmp-") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var m graphMeta
+		if err := json.Unmarshal(data, &m); err != nil || m.Version != 1 || m.Name == "" {
+			continue
+		}
+		if graphFileBase(m.Name)+graphMetaSuffix != name {
+			continue // file does not belong to the name it claims
+		}
+		out[m.Name] = m
+	}
+	return out
+}
+
+// restoreDynamicGraph loads a persisted dynamically-added graph (an upload
+// or an in-process registration) and verifies its content fingerprint. Any
+// failure returns nil: the entry is simply not restored.
+//
+// The upload node cap applies only to graphs that arrived through the
+// upload endpoint: an in-process RegisterGraph accepts graphs of any size,
+// so silently dropping one at restore for exceeding a cap it never faced
+// would lose state the API promised to keep.
+func restoreDynamicGraph(dir string, m graphMeta, maxUploadNodes int) *datasets.Dataset {
+	if !m.HasEdgeFile {
+		return nil
+	}
+	f, err := os.Open(filepath.Join(dir, graphFileBase(m.Name)+graphEdgesSuffix))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	maxNodes := 0
+	if m.Source == "uploaded" {
+		maxNodes = maxUploadNodes
+	}
+	g, err := graph.ReadEdgeListLimit(f, maxNodes)
+	if err != nil {
+		return nil
+	}
+	if g.N() != m.Nodes || g.M() != m.Edges || graphFingerprint(g) != m.Fingerprint {
+		return nil
+	}
+	return &datasets.Dataset{Name: m.Name, Graph: g, GAP: m.GAP.toGAP(), PairName: m.Source}
+}
+
+// sortedMetaNames returns the meta map's keys ordered by generation (then
+// name), so restored registrations replay in their original order.
+func sortedMetaNames(metas map[string]graphMeta) []string {
+	names := make([]string, 0, len(metas))
+	for name := range metas {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := metas[names[i]], metas[names[j]]
+		if a.Gen != b.Gen {
+			return a.Gen < b.Gen
+		}
+		return a.Name < b.Name
+	})
+	return names
+}
+
+// stateIndexDir and stateGraphsDir map a configured StateDir to its two
+// subdirectories.
+func stateIndexDir(stateDir string) string  { return filepath.Join(stateDir, "index") }
+func stateGraphsDir(stateDir string) string { return filepath.Join(stateDir, "graphs") }
+
+// errNoStateDir is returned by SaveState on a server with no StateDir.
+var errNoStateDir = fmt.Errorf("server: no StateDir configured")

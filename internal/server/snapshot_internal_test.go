@@ -1,0 +1,66 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicKeepsOldContentOnFailure(t *testing.T) {
+	// The rename is the commit point: a writer that dies (or errors) after
+	// partially writing must leave the previous file byte-identical and no
+	// temp debris behind — this is what makes a kill -9 mid-snapshot safe.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.rrs")
+	old := []byte("the old, complete snapshot")
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(old)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("crashed mid-write")
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("half of the new sn")); werr != nil {
+			return werr
+		}
+		return boom // the "kill": the temp file holds partial content
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != string(old) {
+		t.Fatalf("old snapshot clobbered: %q", got)
+	}
+	des, _ := os.ReadDir(dir)
+	if len(des) != 1 {
+		names := make([]string, len(des))
+		for i, de := range des {
+			names[i] = de.Name()
+		}
+		t.Fatalf("temp debris left behind: %v", names)
+	}
+}
+
+func TestSnapshotFileNameStable(t *testing.T) {
+	// Entry files are content-addressed by cache key; the address must be
+	// stable across processes (it is how DropGraph finds files to delete
+	// and how a restart finds entries to restore).
+	a, b := snapshotFileName("key-1"), snapshotFileName("key-1")
+	if a != b {
+		t.Fatalf("non-deterministic file name: %q vs %q", a, b)
+	}
+	if a == snapshotFileName("key-2") {
+		t.Fatal("distinct keys mapped to one file")
+	}
+	if filepath.Base(a) != a {
+		t.Fatalf("file name %q escapes the snapshot directory", a)
+	}
+}
