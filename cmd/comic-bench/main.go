@@ -9,11 +9,12 @@
 //	comic-bench -exp selfinfmax -scale 0.02 -json BENCH_selfinfmax.json
 //	comic-bench -exp batch -scale 0.02 -json BENCH_batch.json
 //	comic-bench -exp restore -scale 0.02 -json BENCH_restore.json
+//	comic-bench -exp regimes -scale 0.02 -json BENCH_regimes.json
 //	comic-bench -check fresh.json BENCH_selfinfmax.json
 //
 // Experiment ids: table1, table2, table3, table4, table5-7, table8, fig4,
-// fig5, fig6, fig7a, fig7b, fig8, selfinfmax, batch, restore, all. At
-// -scale 1 the datasets match the paper's Table 1 sizes (slow on a
+// fig5, fig6, fig7a, fig7b, fig8, selfinfmax, batch, restore, regimes,
+// all. At -scale 1 the datasets match the paper's Table 1 sizes (slow on a
 // laptop); the default 0.05 reproduces the shapes in minutes.
 //
 // The selfinfmax experiment times one cold and one warm SelfInfMax solve
@@ -33,6 +34,13 @@
 // on a stateful server, SaveState snapshot, simulated restart, warm solve
 // from the restored RR-set index. The run fails if the restored seeds
 // diverge from the cold ones or the restored server builds any collection.
+//
+// The regimes experiment runs one cold SelfInfMax solve per GAP regime —
+// the full partition the regime-aware planner routes on — recording the
+// chosen plan (regime, algorithm, guarantee), the selected seeds, and the
+// cold timing per regime, and failing on any seed divergence between two
+// identical cold solves. The committed BENCH_regimes.json pins every
+// route's output, so a routing change can never land silently.
 //
 // -check compares a freshly generated record (first argument) against the
 // committed trajectory file (second argument): deterministic fields —
@@ -133,6 +141,18 @@ func main() {
 		}
 		if err := rec.render(os.Stdout, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "comic-bench: restore: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "regimes" {
+		rec, err := runRegimesBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: regimes: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.render(os.Stdout, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: regimes: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -32,6 +32,8 @@ func main() {
 		opposite  = flag.String("opposite", "", "comma-separated opposite seed ids")
 		epsilon   = flag.Float64("epsilon", 0.5, "TIM epsilon")
 		evalRuns  = flag.Int("mc", 10000, "Monte-Carlo evaluation runs")
+		greedyMC  = flag.Int("greedy-mc", 200, "Monte-Carlo runs per greedy evaluation (non-submodular regimes)")
+		maxGreedy = flag.Int("max-greedy-nodes", 512, "greedy ground-set cap (top out-degree; negative disables the fallback)")
 		seed      = flag.Uint64("seed", 1, "master random seed")
 	)
 	flag.Parse()
@@ -54,7 +56,10 @@ func main() {
 		fatal(err)
 	}
 	gap := comic.GAP{QA0: *qa0, QAB: *qab, QB0: *qb0, QBA: *qba}
-	opts := comic.Options{Epsilon: *epsilon, EvalRuns: *evalRuns, Seed: *seed}
+	opts := comic.Options{
+		Epsilon: *epsilon, EvalRuns: *evalRuns, Seed: *seed,
+		GreedyRuns: *greedyMC, MaxGreedyNodes: *maxGreedy,
+	}
 
 	var res *comic.SeedResult
 	switch *problem {
@@ -70,6 +75,7 @@ func main() {
 	}
 
 	fmt.Printf("problem:   %sInfMax on %d nodes / %d edges\n", strings.Title(*problem), g.N(), g.M())
+	fmt.Printf("plan:      regime %s -> %s (%s)\n", res.Plan.Regime, res.Plan.Algorithm, res.Plan.Guarantee)
 	fmt.Printf("objective: %.2f (chosen candidate: %s)\n", res.Objective, res.Chosen)
 	if res.UpperRatio > 0 {
 		fmt.Printf("sandwich ratio sigma(Snu)/nu(Snu): %.3f\n", res.UpperRatio)

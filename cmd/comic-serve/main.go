@@ -27,6 +27,11 @@
 // alone, in a batch, or through a job; repeated queries hit the RR-set
 // index and skip generation. SIGINT/SIGTERM shut down gracefully.
 //
+// Any valid GAP is served, not just mutually complementary ones: the
+// regime-aware planner routes each solve (exact TIM, sandwich, or the
+// Monte-Carlo greedy fallback bounded by -greedy-mc and -max-greedy-nodes)
+// and responses carry a "plan" naming the regime and chosen algorithm.
+//
 // With -state-dir the server is stateful across restarts: uploaded graphs
 // are persisted as they arrive, the RR-set index is snapshotted on
 // graceful shutdown (and every -snapshot-interval, if set), and the next
@@ -59,6 +64,8 @@ func main() {
 		maxK        = flag.Int("max-k", 500, "largest seed-set size accepted per request")
 		maxRuns     = flag.Int("max-runs", 200000, "largest Monte-Carlo budget accepted per request")
 		maxTheta    = flag.Int("max-theta", 2000000, "RR-set budget cap per request (applies to derived theta too)")
+		greedyMC    = flag.Int("greedy-mc", 200, "default Monte-Carlo runs per greedy evaluation for non-submodular regimes")
+		maxGreedyN  = flag.Int("max-greedy-nodes", 512, "greedy fallback ground-set cap (top out-degree; negative rejects those regimes with 400)")
 		maxBuilds   = flag.Int("max-builds", 4, "concurrent RR-set collection builds (negative = unbounded)")
 		maxBatch    = flag.Int("max-batch", 256, "largest query count accepted per /v1/batch request or job")
 		maxJobs     = flag.Int("max-jobs", 2, "async job worker-pool size")
@@ -123,8 +130,9 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
-		served[name] = &comic.Dataset{Name: name, Graph: g, GAP: gap, PairName: "flag-provided"}
-		log.Printf("loaded graph %s from %s: %d nodes, %d edges", name, path, g.N(), g.M())
+		served[name] = comic.NewDataset(name, g, gap, "flag-provided")
+		log.Printf("loaded graph %s from %s: %d nodes, %d edges (regime %s)",
+			name, path, g.N(), g.M(), gap.Regime())
 	}
 	if len(served) == 0 {
 		fatal(fmt.Errorf("nothing to serve: pass -datasets and/or -graph"))
@@ -136,6 +144,8 @@ func main() {
 		MaxK:                *maxK,
 		MaxRuns:             *maxRuns,
 		MaxTheta:            *maxTheta,
+		GreedyRuns:          *greedyMC,
+		MaxGreedyNodes:      *maxGreedyN,
 		MaxConcurrentBuilds: *maxBuilds,
 		MaxBatch:            *maxBatch,
 		MaxJobs:             *maxJobs,

@@ -37,9 +37,9 @@ import (
 	"comic/internal/montecarlo"
 	"comic/internal/multi"
 	"comic/internal/rng"
-	"comic/internal/sandwich"
 	"comic/internal/seeds"
 	"comic/internal/server"
+	"comic/internal/solver"
 )
 
 // Core model types.
@@ -70,8 +70,27 @@ type (
 	ActionLogPair = actionlog.Pair
 	// GAPEstimate is a learned GAP with confidence intervals.
 	GAPEstimate = actionlog.GAPEstimate
-	// SeedResult is the outcome of a SelfInfMax/CompInfMax solve.
-	SeedResult = sandwich.Result
+	// SeedResult is the outcome of a SelfInfMax/CompInfMax solve: the
+	// selected seeds and candidates plus the Plan (regime + algorithm +
+	// guarantee) the solver chose for the request's GAP.
+	SeedResult = solver.Result
+	// Regime is a GAP's cell of the GAP-space partition (competition,
+	// one-way suppression, indifference, one-way complementarity, Q+,
+	// general); compute it with GAP.Regime().
+	Regime = core.Regime
+	// SolvePlan records how a solve was routed: the GAP's regime, the
+	// algorithm chosen for it, and the guarantee that algorithm carries.
+	SolvePlan = solver.Plan
+)
+
+// Regime constants, re-exported for routing and assertions on SolvePlan.
+const (
+	RegimeIndifference          = core.RegimeIndifference
+	RegimeOneWayComplementarity = core.RegimeOneWayComplementarity
+	RegimeQPlus                 = core.RegimeQPlus
+	RegimeOneWaySuppression     = core.RegimeOneWaySuppression
+	RegimeCompetition           = core.RegimeCompetition
+	RegimeGeneral               = core.RegimeGeneral
 )
 
 // Item and state constants.
@@ -138,9 +157,20 @@ type Options struct {
 	EvalRuns int
 	// Seed drives all randomness (default 1).
 	Seed uint64
-	// IncludeGreedy adds the CELF Monte-Carlo greedy candidate S_σ
-	// (expensive; off by default).
+	// IncludeGreedy adds the CELF Monte-Carlo greedy candidate S_σ to Q+
+	// sandwich solves (expensive; off by default). The greedy fallback for
+	// non-submodular regimes runs regardless of this switch.
 	IncludeGreedy bool
+	// GreedyRuns is the Monte-Carlo budget per greedy objective
+	// evaluation, for both IncludeGreedy candidates and the
+	// non-submodular-regime fallback (default 200).
+	GreedyRuns int
+	// MaxGreedyNodes caps the greedy fallback's ground set to the
+	// highest-out-degree nodes (default 512, never below k). Negative
+	// disables the fallback: GAPs whose regime needs it then fail with
+	// solver.UnsupportedRegimeError instead of running an unbounded
+	// Monte-Carlo greedy.
+	MaxGreedyNodes int
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
 	// Index, when non-nil, caches RR-set collections across solves (see
@@ -154,8 +184,8 @@ type Options struct {
 	GraphID string
 }
 
-func (o Options) sandwichConfig(k int) sandwich.Config {
-	cfg := sandwich.NewConfig(k)
+func (o Options) solverConfig(k int) solver.Config {
+	cfg := solver.NewConfig(k)
 	if o.Epsilon > 0 {
 		cfg.TIM.Epsilon = o.Epsilon
 	}
@@ -171,6 +201,10 @@ func (o Options) sandwichConfig(k int) sandwich.Config {
 		cfg.Seed = 1
 	}
 	cfg.IncludeGreedy = o.IncludeGreedy
+	if o.GreedyRuns > 0 {
+		cfg.GreedyRuns = o.GreedyRuns
+	}
+	cfg.MaxGreedyNodes = o.MaxGreedyNodes
 	cfg.TIM.Workers = o.Workers
 	if o.Index != nil {
 		cfg.Collections = o.Index
@@ -179,19 +213,24 @@ func (o Options) sandwichConfig(k int) sandwich.Config {
 	return cfg
 }
 
-// SelfInfMax solves Problem 1: find k A-seeds maximizing σ_A given the fixed
-// B-seed set, under mutually complementary GAPs. The solver is GeneralTIM
-// over RR-SIM+ sets with the sandwich approximation when the objective is
-// not submodular (§6).
+// SelfInfMax solves Problem 1: find k A-seeds maximizing σ_A given the
+// fixed B-seed set, for any GAP in the model's domain. The regime-aware
+// planner (internal/solver) routes the request: exact GeneralTIM over
+// RR-SIM+ sets where the regime makes RR sets exact, the sandwich
+// approximation for the remaining mutually complementary GAPs (§6), and a
+// CELF Monte-Carlo greedy for the non-submodular regimes. The returned
+// result's Plan names the chosen regime, algorithm and guarantee.
 func SelfInfMax(g *Graph, gap GAP, seedsB []int32, k int, opts Options) (*SeedResult, error) {
-	return sandwich.SolveSelfInfMax(g, gap, seedsB, opts.sandwichConfig(k))
+	return solver.SolveSelfInfMax(g, gap, seedsB, opts.solverConfig(k))
 }
 
 // CompInfMax solves Problem 2: find k B-seeds maximizing the boost
-// σ_A(S_A,S_B) − σ_A(S_A,∅) given the fixed A-seed set. The solver is
-// GeneralTIM over RR-CIM sets on the q_{B|A}→1 upper bound (§6.3, §6.4).
+// σ_A(S_A,S_B) − σ_A(S_A,∅) given the fixed A-seed set, for any GAP in the
+// model's domain: GeneralTIM over RR-CIM sets on the q_{B|A}→1 upper bound
+// for mutually complementary GAPs (§6.3, §6.4), a closed-form zero answer
+// when A is indifferent to B, and the Monte-Carlo greedy otherwise.
 func CompInfMax(g *Graph, gap GAP, seedsA []int32, k int, opts Options) (*SeedResult, error) {
-	return sandwich.SolveCompInfMax(g, gap, seedsA, opts.sandwichConfig(k))
+	return solver.SolveCompInfMax(g, gap, seedsA, opts.solverConfig(k))
 }
 
 // Baseline seed selectors (§7.1, §7.3).
@@ -270,6 +309,13 @@ func DatasetByName(name string, scale float64, seed uint64) (*Dataset, error) {
 
 // DatasetNames lists the four paper dataset names in Table 1 order.
 func DatasetNames() []string { return datasets.Names() }
+
+// NewDataset bundles a graph with its default GAP, classifying the GAP's
+// regime at construction, for serving via ServeConfig.Datasets or
+// Server.RegisterGraph.
+func NewDataset(name string, g *Graph, gap GAP, pairName string) *Dataset {
+	return datasets.New(name, g, gap, pairName)
+}
 
 // Query serving (cmd/comic-serve). The serving layer amortizes RR-set
 // generation — the dominant cost of SelfInfMax/CompInfMax — behind a

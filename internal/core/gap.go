@@ -170,6 +170,118 @@ func (q GAP) EffectOn(item Item) Relationship {
 	}
 }
 
+// Regime is one cell of the complete partition of the GAP space by the sign
+// of each item's cross-effect: for each direction, the other item's adoption
+// can raise (complement), leave unchanged (indifferent), or lower (compete)
+// this item's adoption probability. The 3×3 sign combinations collapse into
+// six regimes, which is the granularity the solver planner
+// (internal/solver) routes on: some regimes admit exact RR-set
+// maximization, some need the sandwich approximation, and the rest fall
+// back to Monte-Carlo greedy.
+//
+// The zero value RegimeUnclassified is deliberately not a real regime:
+// a Regime field left unset by a struct literal reads "unclassified"
+// instead of silently claiming a cell of the partition.
+type Regime uint8
+
+const (
+	// RegimeUnclassified is the zero value: no classification has been
+	// computed. GAP.Regime never returns it.
+	RegimeUnclassified Regime = iota
+	// RegimeIndifference: q_{A|∅} = q_{A|B} and q_{B|∅} = q_{B|A} — the
+	// two items diffuse as independent IC processes (Lemma 3 twice).
+	RegimeIndifference
+	// RegimeOneWayComplementarity: exactly one direction strictly
+	// complements and the other is indifferent — the Theorem 4/7 setting
+	// (or its mirror image) where the affected item's spread is submodular
+	// and RR sets are exact.
+	RegimeOneWayComplementarity
+	// RegimeQPlus: strict mutual complementarity, q_{A|∅} < q_{A|B} and
+	// q_{B|∅} < q_{B|A}. (The paper's Q+ region is the closure of this
+	// cell: RegimeIndifference ∪ RegimeOneWayComplementarity ∪
+	// RegimeQPlus, which InQPlus reports.)
+	RegimeQPlus
+	// RegimeOneWaySuppression: exactly one direction strictly competes and
+	// the other is indifferent — one item blocks the other, unaffected in
+	// return.
+	RegimeOneWaySuppression
+	// RegimeCompetition: strict mutual competition, q_{A|∅} > q_{A|B} and
+	// q_{B|∅} > q_{B|A} — the interior of the paper's Q− region. (Q−'s
+	// boundary splits into RegimeOneWaySuppression and RegimeIndifference.)
+	RegimeCompetition
+	// RegimeGeneral: mixed signs — one direction strictly complements
+	// while the other strictly competes. Neither Q+ nor Q− tooling
+	// applies; only Monte-Carlo greedy does.
+	RegimeGeneral
+)
+
+// String returns the wire name of the regime, used in API responses,
+// /v1/stats counters, and benchmark records.
+func (r Regime) String() string {
+	switch r {
+	case RegimeIndifference:
+		return "indifference"
+	case RegimeOneWayComplementarity:
+		return "one-way-complementarity"
+	case RegimeQPlus:
+		return "qplus"
+	case RegimeOneWaySuppression:
+		return "one-way-suppression"
+	case RegimeCompetition:
+		return "competition"
+	case RegimeGeneral:
+		return "general"
+	case RegimeUnclassified:
+		return "unclassified"
+	}
+	return fmt.Sprintf("regime(%d)", uint8(r))
+}
+
+// Regimes lists the six real regimes in a fixed order (RegimeUnclassified
+// excluded), for stable iteration in stats and benchmarks.
+func Regimes() []Regime {
+	return []Regime{
+		RegimeIndifference, RegimeOneWayComplementarity, RegimeQPlus,
+		RegimeOneWaySuppression, RegimeCompetition, RegimeGeneral,
+	}
+}
+
+// InQPlus reports whether the regime lies in the (closed) mutually
+// complementary region Q+ — exactly when GAP.MutuallyComplementary holds
+// for every GAP classified into it.
+func (r Regime) InQPlus() bool {
+	switch r {
+	case RegimeIndifference, RegimeOneWayComplementarity, RegimeQPlus:
+		return true
+	}
+	return false
+}
+
+// Regime classifies q into its cell of the GAP-space partition. The
+// classification is exact (float comparisons, no tolerance): the boundary
+// cases q_{X|∅} == q_{X|Y} are precisely the ones where stronger solver
+// guarantees kick in, so they must not be blurred away.
+func (q GAP) Regime() Regime {
+	effA := q.EffectOn(A) // how B affects A
+	effB := q.EffectOn(B) // how A affects B
+	switch {
+	case effA == Independent && effB == Independent:
+		return RegimeIndifference
+	case effA == Complements && effB == Complements:
+		return RegimeQPlus
+	case effA == Competes && effB == Competes:
+		return RegimeCompetition
+	case effA == Independent || effB == Independent:
+		// Exactly one direction is strict; its sign decides.
+		if effA == Complements || effB == Complements {
+			return RegimeOneWayComplementarity
+		}
+		return RegimeOneWaySuppression
+	default:
+		return RegimeGeneral
+	}
+}
+
 // ClassicIC returns the GAP values that reduce Com-IC to the classic
 // single-item IC model for A (q_{A|∅} = q_{A|B} = 1, B inert), per §3.
 func ClassicIC() GAP { return GAP{QA0: 1, QAB: 1, QB0: 0, QBA: 0} }

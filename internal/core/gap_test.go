@@ -149,3 +149,75 @@ func TestAlphaRange(t *testing.T) {
 		t.Fatal("AlphaRange must sort its boundaries")
 	}
 }
+
+func TestRegimeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		gap  GAP
+		want Regime
+	}{
+		{"mutual indifference", GAP{0.5, 0.5, 0.4, 0.4}, RegimeIndifference},
+		{"classic IC", ClassicIC(), RegimeIndifference},
+		{"one-way complement (B boosts A)", GAP{0.3, 0.8, 0.4, 0.4}, RegimeOneWayComplementarity},
+		{"one-way complement (A boosts B)", GAP{0.3, 0.3, 0.4, 0.9}, RegimeOneWayComplementarity},
+		{"strict Q+", GAP{0.3, 0.8, 0.4, 0.9}, RegimeQPlus},
+		{"one-way suppression (B blocks A)", GAP{0.8, 0.3, 0.4, 0.4}, RegimeOneWaySuppression},
+		{"one-way suppression (A blocks B)", GAP{0.3, 0.3, 0.9, 0.4}, RegimeOneWaySuppression},
+		{"strict competition", PureCompetition(), RegimeCompetition},
+		{"mixed general", GAP{0.3, 0.8, 0.9, 0.4}, RegimeGeneral},
+		{"mixed general (mirror)", GAP{0.8, 0.3, 0.4, 0.9}, RegimeGeneral},
+	}
+	for _, tc := range cases {
+		if got := tc.gap.Regime(); got != tc.want {
+			t.Errorf("%s: Regime() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRegimePartition checks, over random GAPs (plus forced boundary cases),
+// that classification is a true partition consistent with the Q+/Q−
+// predicates: InQPlus ⇔ MutuallyComplementary, and competitive regimes imply
+// MutuallyCompetitive.
+func TestRegimePartition(t *testing.T) {
+	check := func(qa0, qab, qb0, qba float64) bool {
+		clamp := func(x float64) float64 { return math.Abs(math.Mod(x, 1)) }
+		g := GAP{clamp(qa0), clamp(qab), clamp(qb0), clamp(qba)}
+		r := g.Regime()
+		if r == RegimeUnclassified {
+			return false
+		}
+		if r.InQPlus() != g.MutuallyComplementary() {
+			return false
+		}
+		if (r == RegimeCompetition || r == RegimeOneWaySuppression || r == RegimeIndifference) != g.MutuallyCompetitive() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary cases quick.Check essentially never draws.
+	for _, g := range []GAP{
+		{0.5, 0.5, 0.5, 0.5}, {0, 0, 0, 0}, {1, 1, 1, 1},
+		{0.5, 0.5, 0.2, 0.9}, {0.9, 0.2, 0.5, 0.5},
+	} {
+		if !check(g.QA0, g.QAB, g.QB0, g.QBA) {
+			t.Fatalf("boundary GAP %+v violates partition invariants (regime %v)", g, g.Regime())
+		}
+	}
+}
+
+func TestRegimeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Regimes() {
+		s := r.String()
+		if s == "" || s == "unclassified" || seen[s] {
+			t.Fatalf("regime %d has bad or duplicate name %q", r, s)
+		}
+		seen[s] = true
+	}
+	if RegimeUnclassified.String() != "unclassified" {
+		t.Fatalf("zero-value regime must read unclassified, got %q", RegimeUnclassified.String())
+	}
+}

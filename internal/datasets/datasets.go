@@ -25,6 +25,29 @@ type Dataset struct {
 	GAP core.GAP
 	// PairName documents which item pair the GAPs belong to.
 	PairName string
+	// Regime is GAP's cell of the GAP-space partition, computed at
+	// construction by New. A Dataset assembled by a struct literal carries
+	// RegimeUnclassified here; read it through EffectiveRegime, which
+	// classifies on the fly in that case.
+	Regime core.Regime
+}
+
+// EffectiveRegime returns the regime carried since construction, falling
+// back to classifying the GAP for datasets assembled by struct literals
+// that bypassed New.
+func (d *Dataset) EffectiveRegime() core.Regime {
+	if d.Regime == core.RegimeUnclassified {
+		return d.GAP.Regime()
+	}
+	return d.Regime
+}
+
+// New assembles a Dataset, classifying its GAP regime at construction. It
+// is the constructor every dataset — preloaded, uploaded, or flag-provided —
+// should go through, so the regime travels with the data instead of being
+// re-derived (or forgotten) at each consumer.
+func New(name string, g *graph.Graph, gap core.GAP, pairName string) *Dataset {
+	return &Dataset{Name: name, Graph: g, GAP: gap, PairName: pairName, Regime: gap.Regime()}
 }
 
 // Target statistics from Table 1 (full scale).
@@ -63,8 +86,16 @@ func Names() []string {
 	return out
 }
 
-// build constructs one dataset at the given scale ∈ (0, 1].
+// build constructs one dataset at the given scale ∈ (0, 1]. The paper's
+// four datasets are all mutually complementary item pairs (Tables 5-7), and
+// downstream defaults (upload GAPs, benchmark trajectories) assume exactly
+// that — so an edit to the targets table that silently left Q+ would be a
+// bug, caught here at first construction rather than at some later solve.
 func build(t target, scale float64, seed uint64) *Dataset {
+	if !t.gap.MutuallyComplementary() {
+		panic(fmt.Sprintf("datasets: %s GAP %+v left Q+ (regime %v); the paper's §7.3 pairs are mutually complementary",
+			t.name, t.gap, t.gap.Regime()))
+	}
 	if scale <= 0 {
 		scale = 1
 	}
@@ -72,7 +103,7 @@ func build(t target, scale float64, seed uint64) *Dataset {
 	r := rng.New(seed ^ hash(t.name))
 	g := graph.PowerLaw(n, t.avgOut, 2.16, t.bidirect, r)
 	graph.AssignWeightedCascade(g)
-	return &Dataset{Name: t.name, Graph: g, GAP: t.gap, PairName: t.pairName}
+	return New(t.name, g, t.gap, t.pairName)
 }
 
 func hash(s string) uint64 {

@@ -3,6 +3,8 @@ package datasets
 import (
 	"math"
 	"testing"
+
+	"comic/internal/core"
 )
 
 func TestAllFourDatasets(t *testing.T) {
@@ -114,5 +116,37 @@ func TestScalability(t *testing.T) {
 	}
 	if avg := g.AvgOutDegree(); avg < 2.5 || avg > 7.5 {
 		t.Fatalf("avg degree %v far from 5", avg)
+	}
+}
+
+func TestDatasetRegimeAtConstruction(t *testing.T) {
+	for _, d := range All(0.01, 1) {
+		if d.Regime == core.RegimeUnclassified {
+			t.Fatalf("%s: regime not classified at construction", d.Name)
+		}
+		if d.Regime != d.GAP.Regime() {
+			t.Fatalf("%s: carried regime %v disagrees with GAP %v", d.Name, d.Regime, d.GAP.Regime())
+		}
+		if !d.Regime.InQPlus() {
+			t.Fatalf("%s: paper dataset regime %v outside Q+", d.Name, d.Regime)
+		}
+	}
+	d := New("custom", Scalability(60, 1), core.PureCompetition(), "pair")
+	if d.Regime != core.RegimeCompetition {
+		t.Fatalf("New misclassified pure competition as %v", d.Regime)
+	}
+}
+
+func TestEffectiveRegimeFallback(t *testing.T) {
+	lit := &Dataset{Name: "lit", Graph: Scalability(60, 1), GAP: core.PureCompetition()}
+	if lit.Regime != core.RegimeUnclassified {
+		t.Fatal("struct literal should carry the unclassified zero value")
+	}
+	if lit.EffectiveRegime() != core.RegimeCompetition {
+		t.Fatalf("EffectiveRegime fallback = %v", lit.EffectiveRegime())
+	}
+	built := New("built", lit.Graph, lit.GAP, "pair")
+	if built.EffectiveRegime() != core.RegimeCompetition {
+		t.Fatalf("EffectiveRegime carried = %v", built.EffectiveRegime())
 	}
 }

@@ -182,6 +182,52 @@ func (e *Estimator) Boost(seedsA, seedsB []int32, runs int, seed uint64) float64
 // variance than two independent estimates because world noise cancels
 // (ablation: see montecarlo tests). Returns the mean and its standard error.
 func (e *Estimator) BoostPaired(seedsA, seedsB []int32, runs int, seed uint64) (mean, stderr float64) {
+	return e.boostPaired(seedsA, seedsB, nil, runs, seed)
+}
+
+// PairedBaselineA returns run i's A-adopted count with S_B = ∅ on the
+// common-random-number world of stream i — the baseline half of the
+// BoostPaired estimator. Callers that evaluate many B-seed candidates
+// against one fixed S_A (the CompInfMax greedy) compute it once and pass
+// it to BoostPairedFromBaseline, instead of re-simulating the identical
+// baseline cascade inside every evaluation.
+func (e *Estimator) PairedBaselineA(seedsA []int32, runs int, seed uint64) []int32 {
+	if runs <= 0 {
+		return nil
+	}
+	w := e.workers()
+	if w > runs {
+		w = runs
+	}
+	baseline := make([]int32, runs)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			sim := core.NewSimulator(e.g, e.gap)
+			for i := wi; i < runs; i += w {
+				world := core.SampleWorld(e.g, rng.NewStream(seed, uint64(i)))
+				sim.SetWorld(world)
+				withoutB, _ := sim.Run(seedsA, nil, nil)
+				baseline[i] = int32(withoutB)
+			}
+			sim.SetWorld(nil)
+		}(wi)
+	}
+	wg.Wait()
+	return baseline
+}
+
+// BoostPairedFromBaseline is BoostPaired with the S_B = ∅ half supplied by
+// a prior PairedBaselineA call for the same (seedsA, runs, seed). The
+// result is bit-for-bit identical to BoostPaired — same worlds, same
+// per-run differences, same merge order — at half the simulation cost.
+func (e *Estimator) BoostPairedFromBaseline(seedsA, seedsB, baseline []int32, runs int, seed uint64) (mean, stderr float64) {
+	return e.boostPaired(seedsA, seedsB, baseline, runs, seed)
+}
+
+func (e *Estimator) boostPaired(seedsA, seedsB, baseline []int32, runs int, seed uint64) (mean, stderr float64) {
 	if runs <= 0 {
 		return 0, 0
 	}
@@ -201,7 +247,12 @@ func (e *Estimator) BoostPaired(seedsA, seedsB []int32, runs int, seed uint64) (
 				world := core.SampleWorld(e.g, rng.NewStream(seed, uint64(i)))
 				sim.SetWorld(world)
 				withB, _ := sim.Run(seedsA, seedsB, nil)
-				withoutB, _ := sim.Run(seedsA, nil, nil)
+				var withoutB int
+				if baseline != nil {
+					withoutB = int(baseline[i])
+				} else {
+					withoutB, _ = sim.Run(seedsA, nil, nil)
+				}
 				a.add(float64(withB - withoutB))
 			}
 			sim.SetWorld(nil)

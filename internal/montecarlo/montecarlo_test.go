@@ -252,3 +252,28 @@ func BenchmarkBoostPaired(b *testing.B) {
 		e.BoostPaired(sa, sb, 1000, uint64(i))
 	}
 }
+
+// TestBoostPairedFromBaselineBitIdentical pins the baseline-cached paired
+// estimator against BoostPaired: same worlds, same per-run differences,
+// same merge order — the mean and stderr must match bit for bit, for every
+// worker count.
+func TestBoostPairedFromBaselineBitIdentical(t *testing.T) {
+	g := graph.PowerLaw(200, 5, 2.16, true, rng.New(4))
+	graph.AssignWeightedCascade(g)
+	gap := core.GAP{QA0: 0.3, QAB: 0.9, QB0: 0.8, QBA: 0.3}
+	seedsA := []int32{0, 1}
+	const runs, seed = 500, 99
+	for _, workers := range []int{1, 3, 8} {
+		est := New(g, gap)
+		est.Workers = workers
+		baseline := est.PairedBaselineA(seedsA, runs, seed)
+		for _, sb := range [][]int32{{2}, {3, 7}, {5, 9, 11}} {
+			wantMean, wantErr := est.BoostPaired(seedsA, sb, runs, seed)
+			gotMean, gotErr := est.BoostPairedFromBaseline(seedsA, sb, baseline, runs, seed)
+			if gotMean != wantMean || gotErr != wantErr {
+				t.Fatalf("workers=%d sb=%v: from-baseline (%v, %v) != paired (%v, %v)",
+					workers, sb, gotMean, gotErr, wantMean, wantErr)
+			}
+		}
+	}
+}

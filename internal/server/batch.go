@@ -29,6 +29,7 @@ type batchQuery struct {
 	FixedTheta int     `json:"fixedTheta,omitempty"`
 	MaxTheta   int     `json:"maxTheta,omitempty"`
 	EvalRuns   int     `json:"evalRuns,omitempty"`
+	GreedyRuns int     `json:"greedyRuns,omitempty"`
 }
 
 // batchRequest is the body of POST /v1/batch and POST /v1/jobs.
@@ -83,9 +84,9 @@ func (s *Server) validateBatch(req *batchRequest) *apiError {
 func (s *Server) runQuery(q *batchQuery) (any, *apiError) {
 	switch q.Op {
 	case "spread", "boost":
-		if q.K != 0 || q.Epsilon != 0 || q.FixedTheta != 0 || q.MaxTheta != 0 || q.EvalRuns != 0 {
+		if q.K != 0 || q.Epsilon != 0 || q.FixedTheta != 0 || q.MaxTheta != 0 || q.EvalRuns != 0 || q.GreedyRuns != 0 {
 			return nil, s.fail(http.StatusBadRequest,
-				"%s queries take no solver fields (k/epsilon/fixedTheta/maxTheta/evalRuns)", q.Op)
+				"%s queries take no solver fields (k/epsilon/fixedTheta/maxTheta/evalRuns/greedyRuns)", q.Op)
 		}
 		req := &estimateRequest{
 			Dataset: q.Dataset, GAP: q.GAP,
@@ -104,7 +105,7 @@ func (s *Server) runQuery(q *batchQuery) (any, *apiError) {
 			Dataset: q.Dataset, GAP: q.GAP, K: q.K,
 			SeedsA: q.SeedsA, SeedsB: q.SeedsB,
 			Epsilon: q.Epsilon, FixedTheta: q.FixedTheta, MaxTheta: q.MaxTheta,
-			EvalRuns: q.EvalRuns, Seed: q.Seed,
+			EvalRuns: q.EvalRuns, GreedyRuns: q.GreedyRuns, Seed: q.Seed,
 		}
 		problem := "self"
 		if q.Op == "compinfmax" {

@@ -1,0 +1,208 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"comic"
+	"comic/internal/server"
+)
+
+// regimeSolveResp is solveResp plus the plan the planner attached.
+type regimeSolveResp struct {
+	Seeds     []int32 `json:"seeds"`
+	Objective float64 `json:"objective"`
+	Chosen    string  `json:"chosen"`
+	Plan      struct {
+		Regime    string `json:"regime"`
+		Algorithm string `json:"algorithm"`
+		Guarantee string `json:"guarantee"`
+		Reason    string `json:"reason"`
+	} `json:"plan"`
+}
+
+// competitiveEdgeList is a 12-node two-community graph small enough for
+// fast greedy solves in tests.
+func competitiveEdgeList() string {
+	var sb strings.Builder
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {4, 5},
+		{6, 7}, {7, 8}, {8, 9}, {9, 6}, {6, 10}, {10, 11}, {5, 6},
+	}
+	fmt.Fprintf(&sb, "12 %d\n", len(edges))
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "%d %d 0.7\n", e[0], e[1])
+	}
+	return sb.String()
+}
+
+const competitiveGAP = `{"qa0":0.8,"qab":0.2,"qb0":0.7,"qba":0.1}`
+
+// TestCompetitiveUploadAndSolveEndToEnd is the acceptance scenario: a
+// competitive-GAP graph uploaded through /v1/graphs is solved end-to-end by
+// /v1/selfinfmax and /v1/compinfmax, with the responses naming regime and
+// algorithm, and the registry reporting the regime from upload onward.
+func TestCompetitiveUploadAndSolveEndToEnd(t *testing.T) {
+	s := newTestServer(t, testDataset(t))
+	t.Cleanup(s.Close)
+
+	upload := fmt.Sprintf(`{"name":"rivals","gap":%s,"edgeList":%q}`, competitiveGAP, competitiveEdgeList())
+	var created struct {
+		Name   string `json:"name"`
+		Regime string `json:"regime"`
+	}
+	if rec := do(t, s, http.MethodPost, "/v1/graphs", upload, &created); rec.Code != http.StatusCreated {
+		t.Fatalf("upload = %d %q", rec.Code, rec.Body.String())
+	}
+	if created.Regime != "competition" {
+		t.Fatalf("upload response regime = %q, want competition", created.Regime)
+	}
+	var got struct {
+		Regime string `json:"regime"`
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/graphs/rivals", "", &got); rec.Code != http.StatusOK {
+		t.Fatalf("GET graph = %d", rec.Code)
+	}
+	if got.Regime != "competition" {
+		t.Fatalf("GET /v1/graphs/rivals regime = %q, want competition", got.Regime)
+	}
+
+	var self regimeSolveResp
+	body := `{"dataset":"rivals","k":3,"seedsB":[6],"evalRuns":400,"greedyRuns":150,"seed":7}`
+	if rec := do(t, s, http.MethodPost, "/v1/selfinfmax", body, &self); rec.Code != http.StatusOK {
+		t.Fatalf("competitive selfinfmax = %d %q", rec.Code, rec.Body.String())
+	}
+	if len(self.Seeds) != 3 || self.Chosen != "greedy" {
+		t.Fatalf("competitive solve result %+v", self)
+	}
+	if self.Plan.Regime != "competition" || self.Plan.Algorithm != "mc-greedy" ||
+		self.Plan.Guarantee == "" || self.Plan.Reason == "" {
+		t.Fatalf("competitive solve plan %+v", self.Plan)
+	}
+
+	var compR regimeSolveResp
+	body = `{"dataset":"rivals","k":2,"seedsA":[0],"evalRuns":400,"greedyRuns":150,"seed":7}`
+	if rec := do(t, s, http.MethodPost, "/v1/compinfmax", body, &compR); rec.Code != http.StatusOK {
+		t.Fatalf("competitive compinfmax = %d %q", rec.Code, rec.Body.String())
+	}
+	if compR.Plan.Algorithm != "mc-greedy" || len(compR.Seeds) != 2 {
+		t.Fatalf("competitive compinfmax result %+v", compR)
+	}
+
+	// Q+ responses carry a plan too.
+	var qplus regimeSolveResp
+	body = `{"dataset":"Flixster","k":2,"fixedTheta":500,"evalRuns":200,"seed":7}`
+	if rec := do(t, s, http.MethodPost, "/v1/selfinfmax", body, &qplus); rec.Code != http.StatusOK {
+		t.Fatalf("Q+ solve = %d %q", rec.Code, rec.Body.String())
+	}
+	if qplus.Plan.Regime != "qplus" || qplus.Plan.Algorithm != "sandwich" {
+		t.Fatalf("Q+ plan %+v", qplus.Plan)
+	}
+
+	// Per-regime counters on /v1/stats: two competitive solves, one Q+.
+	var stats struct {
+		Regimes  map[string]int64 `json:"regimes"`
+		Datasets []struct {
+			Name   string `json:"name"`
+			Regime string `json:"regime"`
+		} `json:"datasets"`
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/stats", "", &stats); rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	if stats.Regimes["competition"] != 2 || stats.Regimes["qplus"] != 1 {
+		t.Fatalf("regime counters %v, want competition=2 qplus=1", stats.Regimes)
+	}
+	if len(stats.Regimes) != 6 {
+		t.Fatalf("stats must list all six regimes, got %v", stats.Regimes)
+	}
+	regimes := map[string]string{}
+	for _, d := range stats.Datasets {
+		regimes[d.Name] = d.Regime
+	}
+	if regimes["rivals"] != "competition" || regimes["Flixster"] != "qplus" {
+		t.Fatalf("inventory regimes %v", regimes)
+	}
+}
+
+// TestCompetitiveBatchJobSingleParity pins the new-traffic determinism
+// contract under -race: a competitive solve submitted synchronously, inside
+// a /v1/batch, and through /v1/jobs returns bit-identical seeds, objective
+// and plan.
+func TestCompetitiveBatchJobSingleParity(t *testing.T) {
+	s := newTestServer(t, testDataset(t))
+	t.Cleanup(s.Close)
+	upload := fmt.Sprintf(`{"name":"rivals","gap":%s,"edgeList":%q}`, competitiveGAP, competitiveEdgeList())
+	if rec := do(t, s, http.MethodPost, "/v1/graphs", upload, nil); rec.Code != http.StatusCreated {
+		t.Fatalf("upload = %d %q", rec.Code, rec.Body.String())
+	}
+	query := `{"dataset":"rivals","k":3,"seedsB":[6],"evalRuns":300,"greedyRuns":100,"seed":11}`
+
+	var direct regimeSolveResp
+	if rec := do(t, s, http.MethodPost, "/v1/selfinfmax", query, &direct); rec.Code != http.StatusOK {
+		t.Fatalf("direct solve = %d %q", rec.Code, rec.Body.String())
+	}
+
+	wrapped := fmt.Sprintf(`{"queries":[{"op":"selfinfmax",%s]}`, query[1:])
+	var batch batchResp
+	if rec := do(t, s, http.MethodPost, "/v1/batch", wrapped, &batch); rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d %q", rec.Code, rec.Body.String())
+	}
+	var fromBatch regimeSolveResp
+	if err := json.Unmarshal(batch.Results[0].Result, &fromBatch); err != nil {
+		t.Fatal(err)
+	}
+
+	var submitted jobStatusResp
+	if rec := do(t, s, http.MethodPost, "/v1/jobs", wrapped, &submitted); rec.Code != http.StatusAccepted {
+		t.Fatalf("job submit = %d %q", rec.Code, rec.Body.String())
+	}
+	finished := pollJob(t, s, submitted.ID)
+	if finished.State != "done" || finished.Result == nil || finished.Result.Succeeded != 1 {
+		t.Fatalf("job outcome = %+v", finished)
+	}
+	var fromJob regimeSolveResp
+	if err := json.Unmarshal(finished.Result.Results[0].Result, &fromJob); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string]regimeSolveResp{"batch": fromBatch, "job": fromJob} {
+		if !reflect.DeepEqual(got, direct) {
+			t.Fatalf("%s competitive solve %+v != direct %+v", name, got, direct)
+		}
+	}
+}
+
+// TestUnsupportedRegimeMaps400 covers the operator-disabled fallback: with
+// MaxGreedyNodes < 0, a regime only the greedy can serve is rejected with
+// 400 and the error names the regime.
+func TestUnsupportedRegimeMaps400(t *testing.T) {
+	s, err := server.New(server.Config{
+		Datasets:       map[string]*comic.Dataset{"Flixster": testDataset(t)},
+		MaxGreedyNodes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	body := fmt.Sprintf(`{"dataset":"Flixster","k":2,"gap":%s,"evalRuns":100}`, competitiveGAP)
+	rec := do(t, s, http.MethodPost, "/v1/selfinfmax", body, nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unsupported regime = %d, want 400 (%s)", rec.Code, rec.Body.String())
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, `"competition"`) {
+		t.Fatalf("error %q must name the regime", rec.Body.String())
+	}
+	// Q+ traffic is unaffected by the disabled fallback.
+	if rec := do(t, s, http.MethodPost, "/v1/selfinfmax",
+		`{"dataset":"Flixster","k":2,"fixedTheta":500,"evalRuns":100}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("Q+ solve with disabled greedy = %d (%s)", rec.Code, rec.Body.String())
+	}
+}

@@ -244,7 +244,9 @@ func (r *registry) names() []string {
 // graphUploadRequest is the body of POST /v1/graphs. EdgeList is the text
 // edge-list format of graph.ReadEdgeList ("n m" header, then "src dst
 // prob" lines, '#' comments allowed). GAP is optional; absent, the upload
-// gets DefaultUploadGAP.
+// gets DefaultUploadGAP. Any valid GAP is accepted — competitive and mixed
+// regimes included — and the response's "regime" field reports how solves
+// on the graph will be routed.
 type graphUploadRequest struct {
 	Name     string      `json:"name"`
 	GAP      *gapPayload `json:"gap,omitempty"`
@@ -254,12 +256,16 @@ type graphUploadRequest struct {
 // graphInfo describes one registered graph in /v1/graphs responses and in
 // /v1/stats.
 type graphInfo struct {
-	Name    string     `json:"name"`
-	Nodes   int        `json:"nodes"`
-	Edges   int        `json:"edges"`
-	GAP     gapPayload `json:"gap"`
-	Source  string     `json:"source"`
-	Created time.Time  `json:"created"`
+	Name  string     `json:"name"`
+	Nodes int        `json:"nodes"`
+	Edges int        `json:"edges"`
+	GAP   gapPayload `json:"gap"`
+	// Regime is the default GAP's cell of the GAP-space partition, so
+	// clients can see at registration time how solves on this graph will
+	// be routed (and that e.g. a competitive upload registered as such).
+	Regime  string    `json:"regime"`
+	Source  string    `json:"source"`
+	Created time.Time `json:"created"`
 }
 
 func (e *regEntry) info() graphInfo {
@@ -271,6 +277,7 @@ func (e *regEntry) info() graphInfo {
 			QA0: e.d.GAP.QA0, QAB: e.d.GAP.QAB,
 			QB0: e.d.GAP.QB0, QBA: e.d.GAP.QBA,
 		},
+		Regime:  e.d.EffectiveRegime().String(),
 		Source:  e.source,
 		Created: e.created,
 	}
@@ -353,7 +360,7 @@ func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	d := &datasets.Dataset{Name: name, Graph: g, GAP: gap, PairName: "uploaded"}
+	d := datasets.New(name, g, gap, "uploaded")
 	e, err := s.reg.register(name, d, "uploaded", s.cfg.MaxGraphs)
 	if err != nil {
 		// Name/limit conflicts are the client's fault; a persistence

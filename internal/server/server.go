@@ -47,7 +47,7 @@ import (
 	"comic/internal/datasets"
 	"comic/internal/graph"
 	"comic/internal/montecarlo"
-	"comic/internal/sandwich"
+	"comic/internal/solver"
 )
 
 // Config configures a Server.
@@ -77,6 +77,18 @@ type Config struct {
 	MaxRuns int
 	// MaxTheta caps per-request RR-set budgets (default 2000000).
 	MaxTheta int
+	// GreedyRuns is the default Monte-Carlo budget per greedy objective
+	// evaluation for solves routed to the mc-greedy fallback (default
+	// 200); requests may override it with "greedyRuns", bounded by
+	// MaxRuns.
+	GreedyRuns int
+	// MaxGreedyNodes caps the greedy fallback's ground set to the
+	// highest-out-degree nodes (default 512, never below the request's
+	// k). Greedy cost scales with ground-set × GreedyRuns simulations, so
+	// this is the knob bounding worst-case solve cost for non-submodular
+	// regimes. Negative disables the fallback: those regimes then get
+	// HTTP 400 naming the regime instead of a solve.
+	MaxGreedyNodes int
 	// Workers bounds solver parallelism per request (default GOMAXPROCS).
 	Workers int
 
@@ -136,6 +148,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxTheta <= 0 {
 		c.MaxTheta = 2_000_000
 	}
+	if c.GreedyRuns <= 0 {
+		c.GreedyRuns = 200
+	}
+	if c.MaxGreedyNodes == 0 {
+		c.MaxGreedyNodes = solver.DefaultMaxGreedyNodes
+	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
 	}
@@ -181,6 +199,9 @@ type Server struct {
 	nSpread, nBoost, nSelf, nComp atomic.Int64
 	nBatch, nJobs, nGraphs        atomic.Int64
 	nErrors                       atomic.Int64
+	// nRegime counts validated solve queries per GAP regime (indexed by
+	// core.Regime), surfaced as the "regimes" map on /v1/stats.
+	nRegime [core.RegimeGeneral + 1]atomic.Int64
 }
 
 // New validates cfg and returns a ready-to-serve Server with the
@@ -482,7 +503,11 @@ type solveRequest struct {
 	FixedTheta int         `json:"fixedTheta,omitempty"`
 	MaxTheta   int         `json:"maxTheta,omitempty"`
 	EvalRuns   int         `json:"evalRuns,omitempty"`
-	Seed       *uint64     `json:"seed,omitempty"`
+	// GreedyRuns overrides the server's default Monte-Carlo budget per
+	// greedy evaluation when the planner routes to the mc-greedy fallback
+	// (bounded by MaxRuns; ignored on submodular routes).
+	GreedyRuns int     `json:"greedyRuns,omitempty"`
+	Seed       *uint64 `json:"seed,omitempty"`
 }
 
 // solveCandidate is one sandwich candidate in a solveResponse.
@@ -491,6 +516,15 @@ type solveCandidate struct {
 	Seeds     []int32 `json:"seeds"`
 	Objective float64 `json:"objective"`
 	Theta     int     `json:"theta,omitempty"`
+}
+
+// planPayload is the wire form of a solver.Plan: how the planner routed
+// the request's GAP.
+type planPayload struct {
+	Regime    string `json:"regime"`
+	Algorithm string `json:"algorithm"`
+	Guarantee string `json:"guarantee"`
+	Reason    string `json:"reason"`
 }
 
 // solveResponse is the body returned by the solve endpoints.
@@ -503,6 +537,7 @@ type solveResponse struct {
 	Objective  float64          `json:"objective"`
 	Chosen     string           `json:"chosen"`
 	UpperRatio float64          `json:"upperRatio,omitempty"`
+	Plan       planPayload      `json:"plan"`
 	Candidates []solveCandidate `json:"candidates"`
 	ElapsedMs  float64          `json:"elapsedMs"`
 }
@@ -514,8 +549,11 @@ type statsResponse struct {
 	UptimeSeconds float64          `json:"uptimeSeconds"`
 	Index         IndexStats       `json:"index"`
 	Requests      map[string]int64 `json:"requests"`
-	Jobs          []jobStatus      `json:"jobs,omitempty"`
-	Datasets      []graphInfo      `json:"datasets"`
+	// Regimes counts validated solve queries by the GAP regime the
+	// planner classified them into (all six regimes always present).
+	Regimes  map[string]int64 `json:"regimes"`
+	Jobs     []jobStatus      `json:"jobs,omitempty"`
+	Datasets []graphInfo      `json:"datasets"`
 }
 
 // --- error plumbing ---
@@ -574,9 +612,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i, e := range entries {
 		infos[i] = e.info()
 	}
+	regimes := make(map[string]int64, len(core.Regimes()))
+	for _, r := range core.Regimes() {
+		regimes[r.String()] = s.nRegime[r].Load()
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Index:         s.index.Stats(),
+		Regimes:       regimes,
 		Requests: map[string]int64{
 			"spread":     s.nSpread.Load(),
 			"boost":      s.nBoost.Load(),
@@ -757,6 +800,9 @@ func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *a
 	if req.EvalRuns > s.cfg.MaxRuns {
 		return nil, s.fail(http.StatusBadRequest, "evalRuns %d exceeds limit %d", req.EvalRuns, s.cfg.MaxRuns)
 	}
+	if req.GreedyRuns < 0 || req.GreedyRuns > s.cfg.MaxRuns {
+		return nil, s.fail(http.StatusBadRequest, "greedyRuns %d outside [0, %d]", req.GreedyRuns, s.cfg.MaxRuns)
+	}
 	var opposite []int32
 	switch problem {
 	case "self":
@@ -778,8 +824,11 @@ func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *a
 	} else {
 		s.nComp.Add(1)
 	}
+	if r := gap.Regime(); r <= core.RegimeGeneral {
+		s.nRegime[r].Add(1)
+	}
 
-	cfg := sandwich.NewConfig(req.K)
+	cfg := solver.NewConfig(req.K)
 	if req.Epsilon > 0 {
 		cfg.TIM.Epsilon = req.Epsilon
 	}
@@ -791,6 +840,11 @@ func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *a
 	if req.EvalRuns > 0 {
 		cfg.EvalRuns = req.EvalRuns
 	}
+	cfg.GreedyRuns = s.cfg.GreedyRuns
+	if req.GreedyRuns > 0 {
+		cfg.GreedyRuns = req.GreedyRuns
+	}
+	cfg.MaxGreedyNodes = s.cfg.MaxGreedyNodes
 	// Default seed 1 only when the field is absent: an explicit
 	// "seed": 0 is a legitimate master seed and must round-trip, the
 	// same determinism contract /v1/spread and /v1/boost honor.
@@ -806,14 +860,17 @@ func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *a
 	cfg.GraphID = e.cacheID
 
 	t0 := time.Now()
-	var res *sandwich.Result
+	var res *solver.Result
 	var err error
 	if problem == "self" {
-		res, err = sandwich.SolveSelfInfMax(e.d.Graph, gap, opposite, cfg)
+		res, err = solver.SolveSelfInfMax(e.d.Graph, gap, opposite, cfg)
 	} else {
-		res, err = sandwich.SolveCompInfMax(e.d.Graph, gap, opposite, cfg)
+		res, err = solver.SolveCompInfMax(e.d.Graph, gap, opposite, cfg)
 	}
 	if err != nil {
+		// An unsupported regime (greedy fallback disabled by the operator)
+		// is the client's request shape, not a server fault: 400, naming
+		// the regime. Only a panicking build is a 500.
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrBuildPanic) {
 			code = http.StatusInternalServerError
@@ -829,7 +886,13 @@ func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *a
 		Objective:  res.Objective,
 		Chosen:     res.Chosen,
 		UpperRatio: res.UpperRatio,
-		ElapsedMs:  msSince(t0),
+		Plan: planPayload{
+			Regime:    res.Plan.Regime.String(),
+			Algorithm: string(res.Plan.Algorithm),
+			Guarantee: res.Plan.Guarantee,
+			Reason:    res.Plan.Reason,
+		},
+		ElapsedMs: msSince(t0),
 	}
 	for _, c := range res.Candidates {
 		sc := solveCandidate{Name: c.Name, Seeds: c.Seeds, Objective: c.Objective}

@@ -133,7 +133,7 @@ func TestRequestValidation(t *testing.T) {
 		{"comp with seedsB", "/v1/compinfmax", `{"dataset":"Flixster","k":2,"seedsB":[1]}`, http.StatusBadRequest},
 		{"theta over limit", "/v1/selfinfmax", `{"dataset":"Flixster","k":2,"fixedTheta":99999999}`, http.StatusBadRequest},
 		{"evalRuns over limit", "/v1/selfinfmax", `{"dataset":"Flixster","k":2,"evalRuns":999999}`, http.StatusBadRequest},
-		{"non-Q+ gap", "/v1/selfinfmax", `{"dataset":"Flixster","k":2,"gap":{"qa0":0.9,"qab":0.2,"qb0":0.5,"qba":0.5}}`, http.StatusBadRequest},
+		{"greedyRuns over limit", "/v1/selfinfmax", `{"dataset":"Flixster","k":2,"greedyRuns":999999}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -364,17 +364,22 @@ func readSnapshotFile(path string) (*rrset.Snapshot, error) {
 // (fingerprint mismatch) gets a fresh ID and its stale collections are
 // rejected at load.
 type graphMeta struct {
-	Version     int        `json:"version"`
-	Name        string     `json:"name"`
-	CacheID     string     `json:"cacheID"`
-	Gen         int64      `json:"gen"`
-	Source      string     `json:"source"`
-	GAP         gapPayload `json:"gap"`
-	Created     time.Time  `json:"created"`
-	Nodes       int        `json:"nodes"`
-	Edges       int        `json:"edges"`
-	Fingerprint string     `json:"fingerprint"`
-	HasEdgeFile bool       `json:"hasEdgeFile"`
+	Version int        `json:"version"`
+	Name    string     `json:"name"`
+	CacheID string     `json:"cacheID"`
+	Gen     int64      `json:"gen"`
+	Source  string     `json:"source"`
+	GAP     gapPayload `json:"gap"`
+	// Regime is the GAP's classification at persist time, recorded for
+	// operators inspecting the state directory. Restore recomputes the
+	// regime from the GAP (the single source of truth), so a hand-edited
+	// or pre-regime meta file loads fine.
+	Regime      string    `json:"regime,omitempty"`
+	Created     time.Time `json:"created"`
+	Nodes       int       `json:"nodes"`
+	Edges       int       `json:"edges"`
+	Fingerprint string    `json:"fingerprint"`
+	HasEdgeFile bool      `json:"hasEdgeFile"`
 }
 
 // persistGraph writes e's meta file and, for dynamically added graphs,
@@ -399,6 +404,7 @@ func (r *registry) persistGraph(e *regEntry) error {
 		Gen:         e.gen,
 		Source:      e.source,
 		GAP:         gapPayload{QA0: e.d.GAP.QA0, QAB: e.d.GAP.QAB, QB0: e.d.GAP.QB0, QBA: e.d.GAP.QBA},
+		Regime:      e.d.EffectiveRegime().String(),
 		Created:     e.created,
 		Nodes:       e.d.Graph.N(),
 		Edges:       e.d.Graph.M(),
@@ -503,7 +509,10 @@ func restoreDynamicGraph(dir string, m graphMeta, maxUploadNodes int) *datasets.
 	if g.N() != m.Nodes || g.M() != m.Edges || graphFingerprint(g) != m.Fingerprint {
 		return nil
 	}
-	return &datasets.Dataset{Name: m.Name, Graph: g, GAP: m.GAP.toGAP(), PairName: m.Source}
+	// datasets.New recomputes the regime from the GAP, so a meta file
+	// predating (or hand-edited around) the regime field restores with the
+	// correct classification.
+	return datasets.New(m.Name, g, m.GAP.toGAP(), m.Source)
 }
 
 // sortedMetaNames returns the meta map's keys ordered by generation (then

@@ -1,0 +1,433 @@
+// Package solver is the regime-aware planner/executor for the two Com-IC
+// seed-selection problems. The paper's Q+ machinery (RR-SIM+, RR-CIM, the
+// sandwich approximation of §6.4) covers only mutually complementary GAPs,
+// but the Com-IC model itself spans the whole GAP space — competition,
+// one-way suppression, indifference, mutual complementarity — and Chen &
+// Zhang's complete submodularity characterization of the comparative IC
+// model says exactly which regimes admit fast submodular maximization.
+//
+// The planner classifies a request's GAP into its core.Regime and routes it
+// to the best algorithm available for that regime:
+//
+//   - Direct TIM (exact RR sets, (1−1/e−ε) w.h.p.) when the regime makes RR
+//     sets exact: B indifferent to A with q_{A|∅} ≤ q_{A|B} (Theorem 7), or
+//     A indifferent to B — then σ_A does not depend on the B process at all,
+//     so the instance reduces to a B-indifferent one by setting
+//     q_{B|A} := q_{B|∅} — even under competition.
+//   - The sandwich approximation (internal/sandwich, now one strategy behind
+//     this planner rather than the only entry point) for the remaining
+//     mutually complementary GAPs, with its Theorem 9 data-dependent factor.
+//   - A CELF-accelerated Monte-Carlo greedy on the original objective for
+//     the regimes with no submodular structure (competition, one-way
+//     suppression of A, mixed general). A heuristic end to end — no
+//     approximation guarantee exists there, and CELF's lazy evaluation is
+//     only exact under the submodularity these regimes lack — but a
+//     principled one: it is the paper's Greedy baseline with a
+//     degree-capped ground set.
+//   - A closed-form shortcut for CompInfMax when A is indifferent to B: the
+//     boost objective is identically zero, so any k nodes are exactly
+//     optimal and no simulation needs to run.
+//
+// Every route is deterministic in the master seed and bit-for-bit
+// independent of worker count, like the rest of the codebase; Q+ routes are
+// byte-identical to the pre-planner sandwich entry points (pinned by tests).
+package solver
+
+import (
+	"fmt"
+
+	"comic/internal/core"
+	"comic/internal/graph"
+	"comic/internal/montecarlo"
+	"comic/internal/rrset"
+	"comic/internal/sandwich"
+	"comic/internal/seeds"
+)
+
+// Algorithm names one of the planner's executable strategies. The values
+// are wire-stable: they appear in API responses and benchmark records.
+type Algorithm string
+
+const (
+	// AlgoRRSIMPlus is direct GeneralTIM over exact RR-SIM+ sets.
+	AlgoRRSIMPlus Algorithm = "rr-sim+"
+	// AlgoRRSIM is direct GeneralTIM over exact RR-SIM sets (the
+	// Config.UseSIMPlus=false variant; identical output, slower).
+	AlgoRRSIM Algorithm = "rr-sim"
+	// AlgoSandwich is the §6.4 sandwich approximation: submodular bound
+	// instances solved by TIM, candidates scored under the original GAPs.
+	AlgoSandwich Algorithm = "sandwich"
+	// AlgoMCGreedy is the CELF-accelerated Monte-Carlo greedy on the
+	// original (non-submodular) objective, over a degree-capped ground
+	// set. Note that CELF's lazy-evaluation shortcut is itself part of the
+	// heuristic here: without submodularity a buried stale gain can hide a
+	// node whose marginal gain grew, so the lazy greedy may pick a
+	// different (occasionally worse) set than the naive greedy would —
+	// the trade the paper's own Greedy baseline makes, at 1/k-th the cost.
+	AlgoMCGreedy Algorithm = "mc-greedy"
+	// AlgoZeroBoost is the CompInfMax shortcut for A-indifferent GAPs:
+	// the boost is identically zero, so the lowest-id k nodes are returned
+	// without running a single simulation.
+	AlgoZeroBoost Algorithm = "zero-boost"
+)
+
+// Problem names for Plan.Problem.
+const (
+	ProblemSelfInfMax = "selfinfmax"
+	ProblemCompInfMax = "compinfmax"
+)
+
+// Plan records how the planner routed one request: the GAP's regime, the
+// algorithm chosen for it, the guarantee that algorithm carries there, and a
+// one-line reason. It is attached to every Result and surfaced verbatim in
+// server responses.
+type Plan struct {
+	Problem   string
+	Regime    core.Regime
+	Algorithm Algorithm
+	// Guarantee states the approximation contract of the chosen algorithm
+	// in this regime ("(1-1/e-eps) w.h.p.", the data-dependent sandwich
+	// factor, "exact", or "heuristic").
+	Guarantee string
+	// Reason is a one-line human explanation of the routing decision.
+	Reason string
+}
+
+const (
+	guaranteeTIM      = "(1-1/e-eps) w.h.p. (submodular objective, exact RR sets)"
+	guaranteeSandwich = "data-dependent sandwich factor (Theorem 9)"
+	guaranteeGreedy   = "heuristic (objective not submodular in this regime)"
+	guaranteeExact    = "exact (objective identically zero for every seed set)"
+)
+
+// PlanSelfInfMax classifies gap and plans the SelfInfMax route. The
+// returned Algorithm assumes the default RR-SIM+ generator and an enabled
+// greedy fallback; SolveSelfInfMax adjusts for Config.
+func PlanSelfInfMax(gap core.GAP) Plan {
+	p := Plan{Problem: ProblemSelfInfMax, Regime: gap.Regime()}
+	switch {
+	case gap.BIndifferentToA() && gap.QA0 <= gap.QAB:
+		p.Algorithm = AlgoRRSIMPlus
+		p.Guarantee = guaranteeTIM
+		p.Reason = "B is indifferent to A, so RR sets are exact (Theorem 7); TIM runs directly, no sandwich"
+	case gap.MutuallyComplementary():
+		// Q+ routes must stay byte-identical to the pre-planner sandwich
+		// entry point, so the A-indifference reduction below is applied
+		// only outside Q+: inside, the sandwich's lower/upper candidate
+		// race is the historical (and pinned) behavior.
+		p.Algorithm = AlgoSandwich
+		p.Guarantee = guaranteeSandwich
+		p.Reason = "mutually complementary GAPs: submodular lower/upper bound instances, best candidate under the original objective"
+	case gap.AIndifferentToB():
+		p.Algorithm = AlgoRRSIMPlus
+		p.Guarantee = guaranteeTIM
+		p.Reason = "A is indifferent to B, so sigma_A ignores the B process entirely; solved as the equivalent B-indifferent instance"
+	default:
+		p.Algorithm = AlgoMCGreedy
+		p.Guarantee = guaranteeGreedy
+		p.Reason = "no submodular structure in this regime; CELF Monte-Carlo greedy on the original objective"
+	}
+	return p
+}
+
+// PlanCompInfMax classifies gap and plans the CompInfMax route.
+func PlanCompInfMax(gap core.GAP) Plan {
+	p := Plan{Problem: ProblemCompInfMax, Regime: gap.Regime()}
+	switch {
+	case gap.MutuallyComplementary():
+		p.Algorithm = AlgoSandwich
+		p.Guarantee = guaranteeSandwich
+		p.Reason = "mutually complementary GAPs: RR-CIM on the q_{B|A}->1 upper bound (Theorem 8)"
+	case gap.AIndifferentToB():
+		p.Algorithm = AlgoZeroBoost
+		p.Guarantee = guaranteeExact
+		p.Reason = "A is indifferent to B, so no B seed set can change sigma_A: the boost is identically zero"
+	default:
+		p.Algorithm = AlgoMCGreedy
+		p.Guarantee = guaranteeGreedy
+		p.Reason = "no submodular structure in this regime; CELF Monte-Carlo greedy on the paired-world boost objective"
+	}
+	return p
+}
+
+// UnsupportedRegimeError reports a request whose regime has no enabled
+// algorithm (the Monte-Carlo greedy fallback was disabled by
+// Config.MaxGreedyNodes < 0). Servers map it to HTTP 400, naming the
+// regime so the client can see what it registered.
+type UnsupportedRegimeError struct {
+	Problem string
+	Regime  core.Regime
+}
+
+func (e *UnsupportedRegimeError) Error() string {
+	return fmt.Sprintf("solver: %s has no enabled algorithm for regime %q (Monte-Carlo greedy fallback disabled)", e.Problem, e.Regime)
+}
+
+// Config tunes the planner and its strategies. It is a superset of
+// sandwich.Config: the sandwich fields keep their exact meaning (and Q+
+// routes produce byte-identical results to calling internal/sandwich
+// directly), and the greedy fields tune the non-submodular fallback.
+type Config struct {
+	// K is the seed-set cardinality constraint.
+	K int
+	// TIM configures GeneralTIM for the exact and bound subproblems.
+	TIM rrset.Options
+	// EvalRuns is the Monte-Carlo budget for scoring each candidate under
+	// the original GAPs (default 10000).
+	EvalRuns int
+	// Seed drives all randomness.
+	Seed uint64
+	// UseSIMPlus selects RR-SIM+ over RR-SIM (default on via NewConfig).
+	UseSIMPlus bool
+	// IncludeGreedy additionally runs the Monte-Carlo greedy candidate on
+	// Q+ sandwich routes (Eq. 5's S_σ). Expensive; off by default. The
+	// greedy fallback for non-submodular regimes runs regardless.
+	IncludeGreedy bool
+	// GreedyRuns is the Monte-Carlo budget per greedy objective evaluation
+	// (default 200).
+	GreedyRuns int
+	// MaxGreedyNodes caps the greedy fallback's ground set to the
+	// highest-out-degree nodes (never below K). 0 means the default of
+	// 512 — greedy cost scales with ground-set × GreedyRuns simulations,
+	// so an uncapped fallback on a large graph is a denial-of-service
+	// vector for a serving deployment. Negative disables the fallback
+	// entirely: regimes that need it fail with UnsupportedRegimeError.
+	MaxGreedyNodes int
+	// Collections optionally supplies RR-set collections (a shared cache
+	// such as internal/server.Index). nil builds directly.
+	Collections rrset.CollectionProvider
+	// GraphID names the graph in collection cache keys (see
+	// sandwich.Config.GraphID).
+	GraphID string
+}
+
+// NewConfig returns a Config with the paper's defaults.
+func NewConfig(k int) Config {
+	return Config{K: k, EvalRuns: 10000, UseSIMPlus: true, GreedyRuns: 200}
+}
+
+// DefaultMaxGreedyNodes is the ground-set cap applied when
+// Config.MaxGreedyNodes is 0.
+const DefaultMaxGreedyNodes = 512
+
+func (c Config) withDefaults() Config {
+	if c.EvalRuns <= 0 {
+		c.EvalRuns = 10000
+	}
+	if c.GreedyRuns <= 0 {
+		c.GreedyRuns = 200
+	}
+	if c.MaxGreedyNodes == 0 {
+		c.MaxGreedyNodes = DefaultMaxGreedyNodes
+	}
+	return c
+}
+
+// sandwichConfig converts the shared fields for delegation to the sandwich
+// strategy.
+func (c Config) sandwichConfig() sandwich.Config {
+	return sandwich.Config{
+		K:             c.K,
+		TIM:           c.TIM,
+		EvalRuns:      c.EvalRuns,
+		Seed:          c.Seed,
+		UseSIMPlus:    c.UseSIMPlus,
+		IncludeGreedy: c.IncludeGreedy,
+		GreedyRuns:    c.GreedyRuns,
+		Collections:   c.Collections,
+		GraphID:       c.GraphID,
+	}
+}
+
+func (c Config) selfKind() rrset.Kind {
+	if c.UseSIMPlus {
+		return rrset.KindSIMPlus
+	}
+	return rrset.KindSIM
+}
+
+// Result is the outcome of a planned solve: the chosen seeds and candidates
+// (sandwich.Result, so Q+ callers see exactly what they always did) plus
+// the Plan that produced them.
+type Result struct {
+	sandwich.Result
+	Plan Plan
+}
+
+func checkSeedRange(what string, s []int32, n int) error {
+	for _, v := range s {
+		if v < 0 || v >= int32(n) {
+			return fmt.Errorf("solver: %s node %d out of range [0,%d)", what, v, n)
+		}
+	}
+	return nil
+}
+
+// SolveSelfInfMax plans and solves Problem 1 for any GAP in the model's
+// domain. Mutually complementary requests return byte-identical results to
+// sandwich.SolveSelfInfMax; everything else is new traffic served by the
+// exact-reduction or greedy routes.
+func SolveSelfInfMax(g *graph.Graph, gap core.GAP, seedsB []int32, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := gap.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSeedRange("seedsB", seedsB, g.N()); err != nil {
+		return nil, err
+	}
+	plan := PlanSelfInfMax(gap)
+	if !cfg.UseSIMPlus && plan.Algorithm == AlgoRRSIMPlus {
+		plan.Algorithm = AlgoRRSIM
+	}
+	switch plan.Algorithm {
+	case AlgoSandwich:
+		sres, err := sandwich.SolveSelfInfMax(g, gap, seedsB, cfg.sandwichConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: *sres, Plan: plan}, nil
+	case AlgoRRSIMPlus, AlgoRRSIM:
+		// The GAP the RR sets are built under: already B-indifferent in the
+		// Theorem 7 case; otherwise (A indifferent to B) the B process is
+		// irrelevant to sigma_A, so q_{B|A} := q_{B|0} yields an equivalent
+		// instance RR-SIM accepts. The reduction changes nothing the RR sets
+		// can observe — with q_{A|0} == q_{A|B}, a root's adoption test is
+		// the same whether or not it is B-adopted.
+		buildGAP := gap
+		if !gap.BIndifferentToA() {
+			buildGAP.QBA = buildGAP.QB0
+		}
+		res, err := solveExactTIM(g, gap, buildGAP, seedsB, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan = plan
+		return res, nil
+	default: // AlgoMCGreedy
+		if cfg.MaxGreedyNodes < 0 {
+			return nil, &UnsupportedRegimeError{Problem: plan.Problem, Regime: plan.Regime}
+		}
+		est := montecarlo.New(g, gap)
+		est.Workers = cfg.TIM.Workers
+		objective := func(s []int32) float64 {
+			return est.SpreadA(s, seedsB, cfg.GreedyRuns, cfg.Seed^0x9eedd)
+		}
+		evalObjective := func(s []int32) float64 {
+			return est.SpreadA(s, seedsB, cfg.EvalRuns, cfg.Seed^0xe7a1)
+		}
+		res := solveGreedy(g, objective, evalObjective, cfg)
+		res.Plan = plan
+		return res, nil
+	}
+}
+
+// SolveCompInfMax plans and solves Problem 2 for any GAP in the model's
+// domain. Mutually complementary requests return byte-identical results to
+// sandwich.SolveCompInfMax.
+func SolveCompInfMax(g *graph.Graph, gap core.GAP, seedsA []int32, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := gap.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSeedRange("seedsA", seedsA, g.N()); err != nil {
+		return nil, err
+	}
+	plan := PlanCompInfMax(gap)
+	switch plan.Algorithm {
+	case AlgoSandwich:
+		sres, err := sandwich.SolveCompInfMax(g, gap, seedsA, cfg.sandwichConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: *sres, Plan: plan}, nil
+	case AlgoZeroBoost:
+		k := min(cfg.K, g.N())
+		if k < 0 {
+			k = 0
+		}
+		sel := make([]int32, k)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		res := &Result{Plan: plan}
+		res.Candidates = []sandwich.Candidate{{Name: "exact", Seeds: sel, Objective: 0}}
+		res.Seeds, res.Objective, res.Chosen = sel, 0, "exact"
+		// The "bound" here is the objective itself: the selection is
+		// exactly optimal, mirroring the exact branch's ratio of 1.
+		res.UpperRatio = 1
+		return res, nil
+	default: // AlgoMCGreedy
+		if cfg.MaxGreedyNodes < 0 {
+			return nil, &UnsupportedRegimeError{Problem: plan.Problem, Regime: plan.Regime}
+		}
+		est := montecarlo.New(g, gap)
+		est.Workers = cfg.TIM.Workers
+		// Every greedy evaluation shares the fixed S_A, worlds and seed, so
+		// the S_B = ∅ baseline cascades are computed once up front instead
+		// of inside each of the ~MaxGreedyNodes evaluations. Results are
+		// bit-identical to calling BoostPaired per evaluation.
+		baseline := est.PairedBaselineA(seedsA, cfg.GreedyRuns, cfg.Seed^0x9eedd)
+		objective := func(s []int32) float64 {
+			if len(s) == 0 {
+				return 0
+			}
+			b, _ := est.BoostPairedFromBaseline(seedsA, s, baseline, cfg.GreedyRuns, cfg.Seed^0x9eedd)
+			return b
+		}
+		evalObjective := func(s []int32) float64 {
+			if len(s) == 0 {
+				return 0
+			}
+			b, _ := est.BoostPaired(seedsA, s, cfg.EvalRuns, cfg.Seed^0xe7a1)
+			return b
+		}
+		res := solveGreedy(g, objective, evalObjective, cfg)
+		res.Plan = plan
+		return res, nil
+	}
+}
+
+// solveExactTIM is the direct (sandwich-free) route: one exact RR-set
+// collection, one max-coverage selection, one Monte-Carlo scoring pass
+// under the original GAPs. For B-indifferent Q+ GAPs it reproduces the
+// sandwich exact branch byte for byte — same collection request (and hence
+// same cache key), same evaluation seed, same candidate shape.
+func solveExactTIM(g *graph.Graph, gap, buildGAP core.GAP, seedsB []int32, cfg Config) (*Result, error) {
+	col, err := rrset.Obtain(cfg.Collections, rrset.CollectionRequest{
+		GraphID:  cfg.GraphID,
+		Graph:    g,
+		Kind:     cfg.selfKind(),
+		GAP:      buildGAP,
+		Opposite: seedsB,
+		K:        cfg.K,
+		Opts:     cfg.TIM,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sel, st := rrset.SelectSeeds(col, g.N(), cfg.K)
+	est := montecarlo.New(g, gap)
+	obj := est.SpreadA(sel, seedsB, cfg.EvalRuns, cfg.Seed^0xe7a1)
+	res := &Result{}
+	res.Candidates = []sandwich.Candidate{{Name: "exact", Seeds: sel, Objective: obj, Stats: st}}
+	res.Seeds, res.Objective, res.Chosen = sel, obj, "exact"
+	res.UpperRatio = 1
+	return res, nil
+}
+
+// solveGreedy runs the CELF Monte-Carlo greedy fallback over a ground set
+// capped to the highest-out-degree nodes (never fewer than K, so the result
+// always has K seeds when the graph does).
+func solveGreedy(g *graph.Graph, objective, evalObjective func([]int32) float64, cfg Config) *Result {
+	var candidates []int32
+	if cfg.MaxGreedyNodes < g.N() {
+		candidates = graph.TopKByDegree(g, max(cfg.MaxGreedyNodes, cfg.K))
+	}
+	sel := seeds.Greedy(g, objective, cfg.K, candidates)
+	obj := evalObjective(sel)
+	res := &Result{}
+	res.Candidates = []sandwich.Candidate{{Name: "greedy", Seeds: sel, Objective: obj}}
+	res.Seeds, res.Objective, res.Chosen = sel, obj, "greedy"
+	return res
+}

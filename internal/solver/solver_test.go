@@ -1,0 +1,389 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"comic/internal/core"
+	"comic/internal/exact"
+	"comic/internal/graph"
+	"comic/internal/rng"
+	"comic/internal/rrset"
+	"comic/internal/sandwich"
+)
+
+func TestPlannerRoutes(t *testing.T) {
+	cases := []struct {
+		name     string
+		gap      core.GAP
+		selfAlgo Algorithm
+		compAlgo Algorithm
+		regime   core.Regime
+	}{
+		{"strict Q+", core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.9},
+			AlgoSandwich, AlgoSandwich, core.RegimeQPlus},
+		{"B-indifferent Q+", core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.4},
+			AlgoRRSIMPlus, AlgoSandwich, core.RegimeOneWayComplementarity},
+		{"A-indifferent Q+ stays sandwich", core.GAP{QA0: 0.5, QAB: 0.5, QB0: 0.4, QBA: 0.9},
+			AlgoSandwich, AlgoSandwich, core.RegimeOneWayComplementarity},
+		{"mutual indifference", core.GAP{QA0: 0.5, QAB: 0.5, QB0: 0.4, QBA: 0.4},
+			AlgoRRSIMPlus, AlgoSandwich, core.RegimeIndifference},
+		{"A-indifferent, A blocks B", core.GAP{QA0: 0.5, QAB: 0.5, QB0: 0.9, QBA: 0.2},
+			AlgoRRSIMPlus, AlgoZeroBoost, core.RegimeOneWaySuppression},
+		{"B blocks A, B indifferent", core.GAP{QA0: 0.9, QAB: 0.2, QB0: 0.4, QBA: 0.4},
+			AlgoMCGreedy, AlgoMCGreedy, core.RegimeOneWaySuppression},
+		{"pure competition", core.PureCompetition(),
+			AlgoMCGreedy, AlgoMCGreedy, core.RegimeCompetition},
+		{"general mixed", core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.9, QBA: 0.4},
+			AlgoMCGreedy, AlgoMCGreedy, core.RegimeGeneral},
+	}
+	for _, tc := range cases {
+		self, comp := PlanSelfInfMax(tc.gap), PlanCompInfMax(tc.gap)
+		if self.Algorithm != tc.selfAlgo {
+			t.Errorf("%s: SelfInfMax routed to %s, want %s", tc.name, self.Algorithm, tc.selfAlgo)
+		}
+		if comp.Algorithm != tc.compAlgo {
+			t.Errorf("%s: CompInfMax routed to %s, want %s", tc.name, comp.Algorithm, tc.compAlgo)
+		}
+		if self.Regime != tc.regime || comp.Regime != tc.regime {
+			t.Errorf("%s: regimes %v/%v, want %v", tc.name, self.Regime, comp.Regime, tc.regime)
+		}
+		if self.Guarantee == "" || comp.Guarantee == "" || self.Reason == "" || comp.Reason == "" {
+			t.Errorf("%s: plan missing guarantee or reason", tc.name)
+		}
+	}
+}
+
+func testConfig(k int) Config {
+	cfg := NewConfig(k)
+	cfg.TIM = rrset.Options{FixedTheta: 2000}
+	cfg.EvalRuns = 500
+	cfg.GreedyRuns = 200
+	cfg.Seed = 7
+	return cfg
+}
+
+// stripTimings returns a copy of r with the wall-clock duration fields of
+// every candidate's Stats zeroed, so byte-identity comparisons see only the
+// deterministic content.
+func stripTimings(r sandwich.Result) sandwich.Result {
+	out := r
+	out.Candidates = append([]sandwich.Candidate(nil), r.Candidates...)
+	for i, c := range out.Candidates {
+		if c.Stats == nil {
+			continue
+		}
+		st := *c.Stats
+		st.KPTDuration, st.GenDuration, st.SelectDuration = 0, 0, 0
+		out.Candidates[i].Stats = &st
+	}
+	return out
+}
+
+// TestQPlusParityWithSandwich is the planner-vs-oracle property the refactor
+// must preserve: for every mutually complementary GAP, the planner's result
+// is byte-identical to calling the sandwich entry points directly —
+// identical seeds, objectives, candidates, chosen name, and ratio.
+func TestQPlusParityWithSandwich(t *testing.T) {
+	g := graph.PowerLaw(300, 6, 2.16, true, rng.New(31))
+	graph.AssignWeightedCascade(g)
+	gaps := []core.GAP{
+		{QA0: 0.3, QAB: 0.8, QB0: 0.4, QBA: 0.9}, // strict Q+
+		{QA0: 0.5, QAB: 0.9, QB0: 0.6, QBA: 0.6}, // B-indifferent (exact branch)
+		{QA0: 0.5, QAB: 0.5, QB0: 0.4, QBA: 0.9}, // A-indifferent, inside Q+
+		{QA0: 0.4, QAB: 0.4, QB0: 0.6, QBA: 0.6}, // mutual indifference
+		core.ClassicIC(),
+	}
+	opp := []int32{0, 1, 2}
+	for i, gap := range gaps {
+		cfg := testConfig(4)
+		res, err := SolveSelfInfMax(g, gap, opp, cfg)
+		if err != nil {
+			t.Fatalf("gap %d: solver self: %v", i, err)
+		}
+		want, err := sandwich.SolveSelfInfMax(g, gap, opp, cfg.sandwichConfig())
+		if err != nil {
+			t.Fatalf("gap %d: sandwich self: %v", i, err)
+		}
+		if !res.Plan.Regime.InQPlus() {
+			t.Fatalf("gap %d: regime %v not in Q+", i, res.Plan.Regime)
+		}
+		if !reflect.DeepEqual(stripTimings(res.Result), stripTimings(*want)) {
+			t.Fatalf("gap %d (%+v): planner self result diverged from sandwich:\n got %+v\nwant %+v",
+				i, gap, res.Result, *want)
+		}
+
+		cres, err := SolveCompInfMax(g, gap, opp, cfg)
+		if err != nil {
+			t.Fatalf("gap %d: solver comp: %v", i, err)
+		}
+		cwant, err := sandwich.SolveCompInfMax(g, gap, opp, cfg.sandwichConfig())
+		if err != nil {
+			t.Fatalf("gap %d: sandwich comp: %v", i, err)
+		}
+		if !reflect.DeepEqual(stripTimings(cres.Result), stripTimings(*cwant)) {
+			t.Fatalf("gap %d (%+v): planner comp result diverged from sandwich", i, gap)
+		}
+	}
+}
+
+// smallTestGraph returns a deterministic-edge 6-node graph cheap enough for
+// exhaustive possible-world enumeration (edges have probability 1, so only
+// the alpha and tie-break dimensions remain).
+func smallTestGraph() *graph.Graph {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 2, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(2, 5, 1)
+	return b.MustBuild()
+}
+
+// subsets enumerates all k-subsets of [0, n).
+func subsets(n, k int) [][]int32 {
+	var out [][]int32
+	var rec func(start int, cur []int32)
+	rec = func(start int, cur []int32) {
+		if len(cur) == k {
+			out = append(out, append([]int32(nil), cur...))
+			return
+		}
+		for v := start; v < n; v++ {
+			rec(v+1, append(cur, int32(v)))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// TestGreedySelfMatchesExactArgmax pins the greedy fallback against the
+// internal/exact enumeration oracle: on a ≤12-node graph, the seeds the
+// planner picks for a competitive GAP must score (exactly) within
+// Monte-Carlo tolerance of the true argmax over all k-subsets.
+func TestGreedySelfMatchesExactArgmax(t *testing.T) {
+	g := smallTestGraph()
+	gap := core.GAP{QA0: 0.8, QAB: 0.3, QB0: 0.7, QBA: 0.2} // strict competition
+	seedsB := []int32{3}
+	k := 2
+	cfg := testConfig(k)
+	cfg.GreedyRuns = 4000
+	cfg.EvalRuns = 4000
+	res, err := SolveSelfInfMax(g, gap, seedsB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Algorithm != AlgoMCGreedy || res.Plan.Regime != core.RegimeCompetition {
+		t.Fatalf("unexpected plan %+v", res.Plan)
+	}
+	if len(res.Seeds) != k {
+		t.Fatalf("got %d seeds, want %d", len(res.Seeds), k)
+	}
+	best := -1.0
+	for _, s := range subsets(g.N(), k) {
+		v, err := exact.SigmaA(g, gap, s, seedsB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > best {
+			best = v
+		}
+	}
+	got, err := exact.SigmaA(g, gap, res.Seeds, seedsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < best-0.25 {
+		t.Fatalf("greedy seeds %v score %v exactly; argmax is %v (gap too large)", res.Seeds, got, best)
+	}
+}
+
+// TestGreedyCompMatchesExactArgmax does the same for CompInfMax in the
+// mixed "general" regime (B boosts A, A suppresses B), where the boost is
+// positive but no submodular tooling applies.
+func TestGreedyCompMatchesExactArgmax(t *testing.T) {
+	g := smallTestGraph()
+	gap := core.GAP{QA0: 0.3, QAB: 0.9, QB0: 0.8, QBA: 0.3}
+	seedsA := []int32{0}
+	cfg := testConfig(1)
+	cfg.GreedyRuns = 4000
+	cfg.EvalRuns = 4000
+	res, err := SolveCompInfMax(g, gap, seedsA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Algorithm != AlgoMCGreedy || res.Plan.Regime != core.RegimeGeneral {
+		t.Fatalf("unexpected plan %+v", res.Plan)
+	}
+	exactBoost := func(sb []int32) float64 {
+		with, err := exact.SigmaA(g, gap, seedsA, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := exact.SigmaA(g, gap, seedsA, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return with - without
+	}
+	best := -1.0
+	for _, s := range subsets(g.N(), 1) {
+		if v := exactBoost(s); v > best {
+			best = v
+		}
+	}
+	got := exactBoost(res.Seeds)
+	if got < best-0.25 {
+		t.Fatalf("greedy B-seeds %v boost %v exactly; argmax is %v", res.Seeds, got, best)
+	}
+}
+
+// TestAIndifferentReductionMatchesExactArgmax checks the direct-TIM
+// reduction for A-indifferent GAPs outside Q+ (sigma_A independent of the B
+// process): the selected seeds must hit the exact enumeration argmax.
+func TestAIndifferentReductionMatchesExactArgmax(t *testing.T) {
+	g := smallTestGraph()
+	gap := core.GAP{QA0: 0.6, QAB: 0.6, QB0: 0.9, QBA: 0.2} // A indifferent, A blocks B
+	seedsB := []int32{3}
+	k := 2
+	cfg := testConfig(k)
+	cfg.TIM = rrset.Options{FixedTheta: 20000}
+	cfg.EvalRuns = 4000
+	res, err := SolveSelfInfMax(g, gap, seedsB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Algorithm != AlgoRRSIMPlus || res.Plan.Regime != core.RegimeOneWaySuppression {
+		t.Fatalf("unexpected plan %+v", res.Plan)
+	}
+	best, bestObj := []int32(nil), -1.0
+	for _, s := range subsets(g.N(), k) {
+		v, err := exact.SigmaA(g, gap, s, seedsB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > bestObj {
+			best, bestObj = s, v
+		}
+	}
+	got, err := exact.SigmaA(g, gap, res.Seeds, seedsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < bestObj-0.2 {
+		t.Fatalf("reduction seeds %v score %v exactly; argmax %v scores %v", res.Seeds, got, best, bestObj)
+	}
+}
+
+func TestCompZeroBoostShortCircuit(t *testing.T) {
+	g := graph.Star(30, 0.8)
+	gap := core.GAP{QA0: 0.5, QAB: 0.5, QB0: 0.9, QBA: 0.2}
+	res, err := SolveCompInfMax(g, gap, []int32{1, 2}, testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Algorithm != AlgoZeroBoost {
+		t.Fatalf("unexpected plan %+v", res.Plan)
+	}
+	if fmt.Sprint(res.Seeds) != "[0 1 2]" || res.Objective != 0 || res.Chosen != "exact" {
+		t.Fatalf("zero-boost result wrong: %+v", res.Result)
+	}
+	// Cross-check the claim with the Monte-Carlo boost estimator: no B-seed
+	// set can move sigma_A when A is indifferent to B.
+	with, err := exact.SigmaA(smallTestGraph(), gap, []int32{0}, []int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := exact.SigmaA(smallTestGraph(), gap, []int32{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := with - without; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("A-indifferent boost not zero: %v vs %v", with, without)
+	}
+}
+
+// TestGreedyWorkerCountIndependence: the greedy route must be bit-for-bit
+// identical for every worker count, like every other solver path.
+func TestGreedyWorkerCountIndependence(t *testing.T) {
+	g := graph.PowerLaw(120, 5, 2.16, true, rng.New(9))
+	graph.AssignWeightedCascade(g)
+	gap := core.PureCompetition()
+	var first *Result
+	for _, workers := range []int{1, 3, 7} {
+		cfg := testConfig(3)
+		cfg.TIM.Workers = workers
+		res, err := SolveSelfInfMax(g, gap, []int32{5}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(res, first) {
+			t.Fatalf("workers=%d diverged: %+v vs %+v", workers, res.Result, first.Result)
+		}
+	}
+}
+
+func TestGreedyGroundSetCap(t *testing.T) {
+	g := graph.Star(50, 0.9)
+	gap := core.PureCompetition()
+	cfg := testConfig(3)
+	cfg.MaxGreedyNodes = 1 // below K: the cap must stretch to K
+	res, err := SolveSelfInfMax(g, gap, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("cap below K shrank the seed set: %v", res.Seeds)
+	}
+	// The ground set is the top-out-degree prefix: the hub (node 0) must be
+	// in it and, with no competition from B, must be chosen.
+	found := false
+	for _, s := range res.Seeds {
+		if s == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hub not selected from capped ground set: %v", res.Seeds)
+	}
+}
+
+func TestUnsupportedRegimeError(t *testing.T) {
+	g := graph.Path(4, 1)
+	gap := core.PureCompetition()
+	cfg := testConfig(1)
+	cfg.MaxGreedyNodes = -1
+	for _, solve := range []func() (*Result, error){
+		func() (*Result, error) { return SolveSelfInfMax(g, gap, nil, cfg) },
+		func() (*Result, error) { return SolveCompInfMax(g, gap, nil, cfg) },
+	} {
+		_, err := solve()
+		var ure *UnsupportedRegimeError
+		if !errors.As(err, &ure) {
+			t.Fatalf("want UnsupportedRegimeError, got %v", err)
+		}
+		if ure.Regime != core.RegimeCompetition {
+			t.Fatalf("error names regime %v, want competition", ure.Regime)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	g := graph.Path(4, 1)
+	if _, err := SolveSelfInfMax(g, core.GAP{QA0: -1}, nil, testConfig(1)); err == nil {
+		t.Fatal("invalid GAP accepted")
+	}
+	if _, err := SolveSelfInfMax(g, core.PureCompetition(), []int32{99}, testConfig(1)); err == nil {
+		t.Fatal("out-of-range opposite seed accepted")
+	}
+	if _, err := SolveCompInfMax(g, core.PureCompetition(), []int32{-1}, testConfig(1)); err == nil {
+		t.Fatal("negative opposite seed accepted")
+	}
+}
