@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"comic"
+	"comic/internal/experiments"
+)
+
+// warmPathRecord is the machine-readable output of the warmpath experiment:
+// the memoized-ordering trajectory line. It splits the warm solve into the
+// parts the memo changes — the one-time CELF ordering build on the cold
+// solve versus the O(k) prefix slice every warm solve pays — and pins the
+// deterministic outputs (θ, seeds, order bytes, hit/miss counts, the full
+// k-sweep's selections) so a selection or accounting change can never land
+// silently. Timing keys end in "Ns" and warn-only under -check.
+type warmPathRecord struct {
+	Experiment string  `json:"experiment"`
+	Dataset    string  `json:"dataset"`
+	Scale      float64 `json:"scale"`
+	K          int     `json:"k"`
+	Seed       uint64  `json:"seed"`
+	Epsilon    float64 `json:"epsilon"`
+	// Theta sums the candidates' RR-set budgets on the derived-θ solve —
+	// the same configuration BENCH_selfinfmax pins.
+	Theta int `json:"theta"`
+	// ColdNs is the full cold solve (KPT + generation + ordering + MC
+	// evaluation). OrderBuildNs is the cold solve's selection time alone,
+	// dominated by the one-time full-depth CELF ordering build.
+	// WarmSelectNs is the warm solve's selection time: pure memo slices,
+	// the sub-millisecond path.
+	ColdNs       int64 `json:"coldNs"`
+	OrderBuildNs int64 `json:"orderBuildNs"`
+	WarmSelectNs int64 `json:"warmSelectNs"`
+	// Exact resident footprint of the memoized orderings, and the order
+	// hit/miss counters after the cold+warm pair (a strict-Q+ GAP needs a
+	// lower and an upper collection, so two of each on the cold solve).
+	OrderBytes  int64   `json:"orderBytes"`
+	OrderMisses int64   `json:"orderMisses"`
+	OrderHits   int64   `json:"orderHits"`
+	Seeds       []int32 `json:"seeds"`
+	// The fixed-θ k-sweep against a fresh index: one collection build, one
+	// ordering build, every k answered as a prefix of the same ordering.
+	SweepFixedTheta  int       `json:"sweepFixedTheta"`
+	SweepBuilds      int64     `json:"sweepBuilds"`
+	SweepOrderMisses int64     `json:"sweepOrderMisses"`
+	SweepOrderHits   int64     `json:"sweepOrderHits"`
+	SweepSeeds       [][]int32 `json:"sweepSeeds"`
+}
+
+// runWarmPathBench measures both warm-path shapes the memoized orderings
+// serve: the repeated identical solve (derived θ, the BENCH_selfinfmax
+// configuration) and the k-sweep under a fixed θ (the BENCH_batch shape),
+// asserting the CELF prefix-stability contract across the sweep.
+func runWarmPathBench(cfg experiments.Config) (*warmPathRecord, error) {
+	name := "Flixster"
+	if len(cfg.DatasetNames) > 0 {
+		name = cfg.DatasetNames[0]
+	}
+	d, err := comic.DatasetByName(name, cfg.Scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 10
+	}
+	oppSize := cfg.OppositeSize
+	if oppSize <= 0 {
+		oppSize = 10
+	}
+	mc := cfg.MCRuns
+	if mc <= 0 {
+		mc = 1000
+	}
+	seedsB := comic.HighDegreeSeeds(d.Graph, oppSize)
+
+	rec := &warmPathRecord{
+		Experiment: "warmpath",
+		Dataset:    name,
+		Scale:      cfg.Scale,
+		K:          k,
+		Seed:       cfg.Seed,
+		Epsilon:    cfg.Epsilon,
+	}
+
+	// Part 1: identical solve twice, derived θ, shared index.
+	idx := comic.NewRRIndex(0)
+	opts := comic.Options{
+		Epsilon:    cfg.Epsilon,
+		FixedTheta: cfg.FixedTheta,
+		MaxTheta:   cfg.MaxTheta,
+		EvalRuns:   mc,
+		Seed:       cfg.Seed,
+		Index:      idx,
+		GraphID:    name,
+	}
+	t0 := time.Now()
+	cold, err := comic.SelfInfMax(d.Graph, d.GAP, seedsB, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	rec.ColdNs = time.Since(t0).Nanoseconds()
+	warm, err := comic.SelfInfMax(d.Graph, d.GAP, seedsB, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range warm.Candidates {
+		if cold.Candidates[i].Name != c.Name || fmt.Sprint(cold.Candidates[i].Seeds) != fmt.Sprint(c.Seeds) {
+			return nil, fmt.Errorf("warm candidate %q diverged from cold", c.Name)
+		}
+		if c.Stats != nil {
+			rec.WarmSelectNs += c.Stats.SelectDuration.Nanoseconds()
+		}
+	}
+	for _, c := range cold.Candidates {
+		if c.Stats != nil {
+			rec.Theta += c.Stats.Theta
+			rec.OrderBuildNs += c.Stats.SelectDuration.Nanoseconds()
+		}
+	}
+	st := idx.Stats()
+	rec.OrderBytes = st.OrderBytes
+	rec.OrderMisses = st.OrderMisses
+	rec.OrderHits = st.OrderHits
+	rec.Seeds = cold.Seeds
+	if st.OrderMisses != st.Misses {
+		return nil, fmt.Errorf("cold solve built %d collections but %d orderings", st.Misses, st.OrderMisses)
+	}
+
+	// Part 2: the k-sweep, fixed θ, B indifferent to A so every k shares
+	// the one collection — and therefore the one memoized ordering.
+	theta := cfg.FixedTheta
+	if theta <= 0 {
+		theta = 20000
+	}
+	rec.SweepFixedTheta = theta
+	gap := d.GAP
+	gap.QB0 = gap.QBA
+	sweepIdx := comic.NewRRIndex(0)
+	sweepOpts := opts
+	sweepOpts.Epsilon = 0
+	sweepOpts.FixedTheta = theta
+	sweepOpts.Index = sweepIdx
+	for kk := 1; kk <= k; kk++ {
+		res, err := comic.SelfInfMax(d.Graph, gap, seedsB, kk, sweepOpts)
+		if err != nil {
+			return nil, fmt.Errorf("sweep k=%d: %w", kk, err)
+		}
+		rec.SweepSeeds = append(rec.SweepSeeds, res.Seeds)
+	}
+	// CELF prefix stability, observed end to end: each budget's selection
+	// extends the previous one.
+	for kk := 1; kk < k; kk++ {
+		prev, cur := rec.SweepSeeds[kk-1], rec.SweepSeeds[kk]
+		if fmt.Sprint(prev) != fmt.Sprint(cur[:len(prev)]) {
+			return nil, fmt.Errorf("sweep k=%d seeds %v are not a prefix of k=%d seeds %v",
+				kk, prev, kk+1, cur)
+		}
+	}
+	sst := sweepIdx.Stats()
+	rec.SweepBuilds = sst.Misses
+	rec.SweepOrderMisses = sst.OrderMisses
+	rec.SweepOrderHits = sst.OrderHits
+	if sst.Misses != 1 || sst.OrderMisses != 1 {
+		return nil, fmt.Errorf("k-sweep amortization broke: %d builds, %d ordering builds (want 1/1)",
+			sst.Misses, sst.OrderMisses)
+	}
+	return rec, nil
+}
+
+// render prints a human-readable summary and, when jsonPath is non-empty,
+// writes the record there as indented JSON.
+func (r *warmPathRecord) render(w io.Writer, jsonPath string) error {
+	fmt.Fprintf(w, "warmpath benchmark: %s scale %g, k=%d, seed %d\n", r.Dataset, r.Scale, r.K, r.Seed)
+	fmt.Fprintf(w, "  theta %d across candidates; cold solve %v\n", r.Theta, time.Duration(r.ColdNs))
+	fmt.Fprintf(w, "  ordering build (cold select) %v -> warm selection %v\n",
+		time.Duration(r.OrderBuildNs), time.Duration(r.WarmSelectNs))
+	if r.WarmSelectNs >= int64(time.Millisecond) {
+		fmt.Fprintf(w, "  WARNING: warm selection above 1ms\n")
+	}
+	fmt.Fprintf(w, "  memoized orderings: %d bytes, %d misses, %d hits\n",
+		r.OrderBytes, r.OrderMisses, r.OrderHits)
+	fmt.Fprintf(w, "  seeds %v\n", r.Seeds)
+	fmt.Fprintf(w, "  k-sweep (theta %d): %d build(s), %d ordering build(s), %d warm slices; seeds(k=%d) %v\n",
+		r.SweepFixedTheta, r.SweepBuilds, r.SweepOrderMisses, r.SweepOrderHits,
+		r.K, r.SweepSeeds[len(r.SweepSeeds)-1])
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

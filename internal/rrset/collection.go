@@ -44,6 +44,12 @@ type Collection struct {
 	roots   []int32
 	widths  []int64
 
+	// cover is the packed inverted coverage index (node -> containing set
+	// ids), built once per collection on top of the arena buffers so every
+	// selection and seed-order build reuses it. nil only on hand-assembled
+	// collections; selection then builds an ephemeral one (coverFor).
+	cover *coverIndex
+
 	// Theta is the RR-set budget that was generated (Eq. 3, or FixedTheta).
 	Theta int
 	// KPT is the estimated lower bound of OPT_k (0 when FixedTheta was set).
@@ -82,15 +88,20 @@ func (c *Collection) Set(i int) RRSet {
 	return RRSet{Root: c.roots[i], Nodes: c.NodesOf(i), Width: c.widths[i]}
 }
 
-// Bytes returns the exact resident memory of the collection — the struct
-// plus its four backing arrays, all allocated with len == cap — the
-// quantity an LRU cache budgets against. (The runtime rounds each backing
-// array up to an allocation size class; for the multi-megabyte arenas the
-// cache holds, that rounding is page-granular and far below 1%.)
+// Bytes returns the exact resident memory of the collection — the struct,
+// its four arena arrays, and the packed coverage index, all allocated with
+// len == cap — the quantity an LRU cache budgets against. (The runtime
+// rounds each backing array up to an allocation size class; for the
+// multi-megabyte arenas the cache holds, that rounding is page-granular and
+// far below 1%.)
 func (c *Collection) Bytes() int64 {
-	return int64(unsafe.Sizeof(*c)) +
+	b := int64(unsafe.Sizeof(*c)) +
 		8*int64(cap(c.offsets)) + 4*int64(cap(c.nodes)) +
 		4*int64(cap(c.roots)) + 8*int64(cap(c.widths))
+	if c.cover != nil {
+		b += c.cover.bytes()
+	}
+	return b
 }
 
 // BuildCollection runs the generation half of GeneralTIM (Algorithm 1 lines
@@ -129,6 +140,35 @@ func BuildCollection(gen Generator, m, k int, opts Options, seed uint64) *Collec
 	}
 	col.Explored = *gen.Counters()
 	col.Explored.Sub(&col.ExploredKPT)
+	col.cover = buildCoverIndex(col.offsets, col.nodes, n)
+	return col
+}
+
+// CollectionFromSets packs independently allocated RR sets (e.g. Collect's
+// output, or hand-built test fixtures) into a collection in flat arena
+// form, with the coverage index built for a graph of n nodes. The packed
+// sets are node-for-node identical to the input; only the memory layout
+// differs. Generation statistics (KPT, counters, durations) are zero — the
+// serving path builds collections with BuildCollection instead.
+func CollectionFromSets(sets []RRSet, n int) *Collection {
+	col := &Collection{Theta: len(sets)}
+	col.offsets = make([]int64, len(sets)+1)
+	col.roots = make([]int32, len(sets))
+	col.widths = make([]int64, len(sets))
+	total := int64(0)
+	for i := range sets {
+		total += int64(len(sets[i].Nodes))
+		col.offsets[i+1] = total
+		col.roots[i] = sets[i].Root
+		col.widths[i] = sets[i].Width
+		col.TotalWidth += sets[i].Width
+	}
+	col.nodes = make([]int32, total)
+	for i := range sets {
+		copy(col.nodes[col.offsets[i]:col.offsets[i+1]], sets[i].Nodes)
+	}
+	col.TotalNodes = total
+	col.cover = buildCoverIndex(col.offsets, col.nodes, n)
 	return col
 }
 
@@ -152,7 +192,7 @@ func SelectSeeds(col *Collection, n, k int) ([]int32, *Stats) {
 		GenDuration: col.GenDuration,
 	}
 	t := time.Now()
-	seeds, covered := selectMaxCoverageFlat(col.offsets, col.nodes, n, k)
+	seeds, covered := celfCover(col.coverFor(n), col.offsets, col.nodes, k, nil)
 	st.SelectDuration = time.Since(t)
 	if col.Len() > 0 {
 		st.Coverage = float64(covered) / float64(col.Len())

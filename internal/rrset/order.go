@@ -1,0 +1,136 @@
+package rrset
+
+import (
+	"time"
+	"unsafe"
+)
+
+// SeedOrder is a memoized CELF seed ordering over one collection: the full
+// greedy order up to some MaxK, with the cumulative covered count after
+// each position. CELF greedy selection is prefix-stable — the seed set for
+// k is a prefix of the seed set for k+1, including the lowest-id padding
+// once every set is covered — so one ordering answers every k ≤ MaxK with
+// an O(k) slice (SelectFromOrder), byte-identical to running SelectSeeds
+// fresh. That turns a warm k-sweep into one ordering build plus k slices,
+// and a single warm solve into a sub-millisecond memo lookup.
+//
+// A SeedOrder is immutable after BuildSeedOrder returns and is only valid
+// for the exact (collection, n) it was computed over; SelectFromOrder
+// refuses anything else. internal/server.Index memoizes one per cached
+// collection, accounted by Bytes and invalidated with its collection.
+type SeedOrder struct {
+	seeds   []int32 // CELF greedy order, prefix-stable
+	covered []int64 // covered[i] = RR sets covered by seeds[:i+1]
+	n       int     // node-id domain the order was computed for
+	theta   int     // collection size (Len) the order was computed over
+}
+
+// BuildSeedOrder computes the CELF ordering of col's top min(maxK, n) seeds
+// with per-prefix coverage counts. It never mutates col; like SelectSeeds,
+// many goroutines may build from one shared collection concurrently.
+func BuildSeedOrder(col *Collection, n, maxK int) *SeedOrder {
+	if maxK > n {
+		maxK = n
+	}
+	if maxK < 0 {
+		maxK = 0
+	}
+	prefix := make([]int64, 0, maxK)
+	seeds, _ := celfCover(col.coverFor(n), col.offsets, col.nodes, maxK, &prefix)
+	return &SeedOrder{seeds: seeds, covered: prefix, n: n, theta: col.Len()}
+}
+
+// MaxK returns the number of memoized positions: the largest k the order
+// can answer.
+func (o *SeedOrder) MaxK() int { return len(o.seeds) }
+
+// N returns the node-id domain the order was computed for.
+func (o *SeedOrder) N() int { return o.n }
+
+// Theta returns the size of the collection the order was computed over.
+func (o *SeedOrder) Theta() int { return o.theta }
+
+// Prefix returns a copy of the first k seeds and the number of RR sets they
+// cover. k must lie in [0, MaxK].
+func (o *SeedOrder) Prefix(k int) ([]int32, int64) {
+	seeds := make([]int32, k)
+	copy(seeds, o.seeds[:k])
+	var covered int64
+	if k > 0 {
+		covered = o.covered[k-1]
+	}
+	return seeds, covered
+}
+
+// Bytes returns the exact resident memory of the order — the struct plus
+// its two backing arrays, allocated with len == cap — the quantity a
+// memoizing cache budgets against alongside Collection.Bytes.
+func (o *SeedOrder) Bytes() int64 {
+	return int64(unsafe.Sizeof(*o)) + 4*int64(cap(o.seeds)) + 8*int64(cap(o.covered))
+}
+
+// SelectFromOrder answers SelectSeeds(col, n, k) from a memoized ordering:
+// same seeds, same Stats (coverage, spread estimate, generation stats), an
+// O(k) slice instead of an O(θ·log n) selection. It reports false — and
+// the caller must fall back to a fresh SelectSeeds — when the order does
+// not apply: nil, computed over a different collection size or node
+// domain, or shorter than the requested k. A stale or mismatched order can
+// therefore never change a result, only miss.
+func SelectFromOrder(col *Collection, o *SeedOrder, n, k int) ([]int32, *Stats, bool) {
+	if o == nil || col == nil || o.n != n || o.theta != col.Len() {
+		return nil, nil, false
+	}
+	if k > n {
+		k = n
+	}
+	if k < 0 || k > o.MaxK() {
+		return nil, nil, false
+	}
+	st := &Stats{
+		Theta:       col.Theta,
+		KPT:         col.KPT,
+		Lambda:      col.Lambda,
+		TotalNodes:  col.TotalNodes,
+		TotalWidth:  col.TotalWidth,
+		Explored:    col.Explored,
+		ExploredKPT: col.ExploredKPT,
+		KPTDuration: col.KPTDuration,
+		GenDuration: col.GenDuration,
+	}
+	t := time.Now()
+	seeds, covered := o.Prefix(k)
+	st.SelectDuration = time.Since(t)
+	if col.Len() > 0 {
+		st.Coverage = float64(covered) / float64(col.Len())
+	}
+	st.SpreadEstimate = float64(n) * st.Coverage
+	return seeds, st, true
+}
+
+// SeedSelector is an optional extension of CollectionProvider: a provider
+// that memoizes seed orderings implements it so solvers route selection
+// through the memo instead of re-running CELF per query. Implementations
+// must return exactly what Obtain followed by SelectSeeds would — the
+// memoized path is a latency optimization, never a result change.
+type SeedSelector interface {
+	// SelectSeeds resolves req's collection and selects k seeds over a
+	// graph of n nodes.
+	SelectSeeds(req CollectionRequest, n, k int) ([]int32, *Stats, error)
+}
+
+// ObtainSeeds resolves req through p and selects k seeds, routing through
+// the provider's seed-order memo when it has one (SeedSelector) and
+// falling back to Obtain + SelectSeeds otherwise. Solvers call this so
+// that configuring a memoizing provider never changes results, only where
+// the selection work happens.
+func ObtainSeeds(p CollectionProvider, req CollectionRequest, n, k int) ([]int32, *Stats, error) {
+	if s, ok := p.(SeedSelector); ok {
+		return s.SelectSeeds(req, n, k)
+	}
+	col, err := Obtain(p, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	seeds, st := SelectSeeds(col, n, k)
+	return seeds, st, nil
+}

@@ -583,7 +583,7 @@ func TestSelectMaxCoverageMatchesScan(t *testing.T) {
 			}
 		}
 		k := 1 + r.Intn(n+2) // sometimes k > n: both must clamp identically
-		wantSeeds, wantCov := selectMaxCoverageScan(sets, n, min(k, n))
+		wantSeeds, wantCov := SelectMaxCoverageScan(sets, n, min(k, n))
 		gotSeeds, gotCov := SelectMaxCoverage(sets, n, min(k, n))
 		if !setsEqual(gotSeeds, wantSeeds) || gotCov != wantCov {
 			t.Fatalf("trial %d (n=%d, sets=%d, k=%d):\nCELF %v cov %d\nscan %v cov %d",
@@ -655,7 +655,10 @@ func TestCollectionBytesExact(t *testing.T) {
 		(theta+1)*int64(unsafe.Sizeof(n64)) + // offsets
 		totalNodes*int64(unsafe.Sizeof(n32)) + // node arena
 		theta*int64(unsafe.Sizeof(n32)) + // roots
-		theta*int64(unsafe.Sizeof(n64)) // widths
+		theta*int64(unsafe.Sizeof(n64)) + // widths
+		int64(unsafe.Sizeof(coverIndex{})) + // coverage index
+		(int64(g.N())+1)*int64(unsafe.Sizeof(n64)) + // cover offsets
+		totalNodes*int64(unsafe.Sizeof(n32)) // cover postings
 	if got := col.Bytes(); got != measured {
 		t.Fatalf("Bytes() = %d, measured arena footprint %d", got, measured)
 	}
@@ -666,6 +669,14 @@ func TestCollectionBytesExact(t *testing.T) {
 		t.Fatalf("arena slack: nodes %d/%d offsets %d/%d roots %d/%d widths %d/%d",
 			len(col.nodes), cap(col.nodes), len(col.offsets), cap(col.offsets),
 			len(col.roots), cap(col.roots), len(col.widths), cap(col.widths))
+	}
+	if col.cover == nil || cap(col.cover.off) != len(col.cover.off) ||
+		cap(col.cover.sets) != len(col.cover.sets) {
+		t.Fatalf("coverage index missing or slack-allocated")
+	}
+	if int64(len(col.cover.sets)) != totalNodes || len(col.cover.off) != g.N()+1 {
+		t.Fatalf("coverage index sized %d postings/%d offsets, want %d/%d",
+			len(col.cover.sets), len(col.cover.off), totalNodes, g.N()+1)
 	}
 	if col.TotalNodes != int64(len(col.nodes)) {
 		t.Fatalf("TotalNodes %d != arena length %d", col.TotalNodes, len(col.nodes))

@@ -191,7 +191,7 @@ func SelectMaxCoverage(sets []RRSet, n, k int) ([]int32, int) {
 	for i := range sets {
 		nodes = append(nodes, sets[i].Nodes...)
 	}
-	return selectMaxCoverageFlat(offsets, nodes, n, k)
+	return celfCover(buildCoverIndex(offsets, nodes, n), offsets, nodes, k, nil)
 }
 
 // lazyKey packs one CELF priority-queue entry into a uint64 that orders by
@@ -207,103 +207,13 @@ func lazyKey(gain int32, node int32) uint64 {
 func lazyGain(key uint64) int32 { return int32(uint32(key >> 32)) }
 func lazyNode(key uint64) int32 { return int32(^uint32(key)) }
 
-// selectMaxCoverageFlat is the CELF lazy-greedy core over RR sets in flat
-// arena form (set i's nodes are nodes[offsets[i]:offsets[i+1]]).
-//
-// Marginal gains only shrink as sets become covered (coverage counts are
-// monotone decreasing), so a popped entry whose cached gain is still current
-// is the true argmax and stale entries just get their key refreshed and
-// sifted back — the classic CELF argument, specialized to integer coverage
-// counts. Output is identical to the eager argmax scan by construction;
-// TestSelectMaxCoverageMatchesScan pins this against the retained scan
-// implementation.
-func selectMaxCoverageFlat(offsets []int64, nodes []int32, n, k int) ([]int32, int) {
-	numSets := len(offsets) - 1
-	// Inverted index: node -> indexes of the sets containing it. Offsets are
-	// int64: total node occurrences across a 2M-set collection can exceed
-	// 2^31 on large graphs.
-	degree := make([]int32, n)
-	for _, v := range nodes {
-		degree[v]++
-	}
-	idxOff := make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		idxOff[v+1] = idxOff[v] + int64(degree[v])
-	}
-	occ := make([]int32, idxOff[n])
-	cursor := make([]int64, n)
-	copy(cursor, idxOff[:n])
-	for i := 0; i < numSets; i++ {
-		for _, v := range nodes[offsets[i]:offsets[i+1]] {
-			occ[cursor[v]] = int32(i)
-			cursor[v]++
-		}
-	}
-
-	covered := make([]bool, numSets)
-	count := make([]int32, n)
-	copy(count, degree)
-
-	// Binary max-heap of lazyKeys, one entry per node, O(n) heapify.
-	heap := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		heap[v] = lazyKey(count[v], int32(v))
-	}
-	size := n
-	siftDown := func(i int) {
-		for {
-			l := 2*i + 1
-			if l >= size {
-				return
-			}
-			m := l
-			if r := l + 1; r < size && heap[r] > heap[l] {
-				m = r
-			}
-			if heap[i] >= heap[m] {
-				return
-			}
-			heap[i], heap[m] = heap[m], heap[i]
-			i = m
-		}
-	}
-	for i := n/2 - 1; i >= 0; i-- {
-		siftDown(i)
-	}
-
-	seeds := make([]int32, 0, k)
-	totalCovered := 0
-	for len(seeds) < k && size > 0 {
-		v := lazyNode(heap[0])
-		if cur := count[v]; cur != lazyGain(heap[0]) {
-			// Stale cached gain: refresh in place and re-sift.
-			heap[0] = lazyKey(cur, v)
-			siftDown(0)
-			continue
-		}
-		seeds = append(seeds, v)
-		size--
-		heap[0] = heap[size]
-		siftDown(0)
-		for _, si := range occ[idxOff[v]:idxOff[v+1]] {
-			if covered[si] {
-				continue
-			}
-			covered[si] = true
-			totalCovered++
-			for _, u := range nodes[offsets[si]:offsets[si+1]] {
-				count[u]--
-			}
-		}
-	}
-	return seeds, totalCovered
-}
-
-// selectMaxCoverageScan is the pre-CELF eager implementation: a full argmax
-// scan over all n nodes per selected seed. Retained as the reference oracle
-// for TestSelectMaxCoverageMatchesScan; SelectMaxCoverage must match it
-// seed-for-seed, ties included (lowest node id wins).
-func selectMaxCoverageScan(sets []RRSet, n, k int) ([]int32, int) {
+// SelectMaxCoverageScan is the pre-CELF eager implementation: a full argmax
+// scan over all n nodes per selected seed. Retained as the ground-truth
+// oracle for TestSelectMaxCoverageMatchesScan and the differential harness
+// in internal/rrset/ordertest; SelectMaxCoverage, SelectSeeds and
+// SelectFromOrder must all match it seed-for-seed, ties included (lowest
+// node id wins).
+func SelectMaxCoverageScan(sets []RRSet, n, k int) ([]int32, int) {
 	degree := make([]int32, n)
 	for i := range sets {
 		for _, v := range sets[i].Nodes {

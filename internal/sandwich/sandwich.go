@@ -131,10 +131,12 @@ func (c Config) selfKind() rrset.Kind {
 	return rrset.KindSIM
 }
 
-// collection resolves one bound subproblem's RR-set collection through the
-// configured provider (or a direct build when none is set).
-func (c Config) collection(g *graph.Graph, kind rrset.Kind, gap core.GAP, opposite []int32, seed uint64) (*rrset.Collection, error) {
-	return rrset.Obtain(c.Collections, rrset.CollectionRequest{
+// selectSeeds resolves one bound subproblem's RR-set collection through the
+// configured provider (or a direct build when none is set) and selects the
+// top-K seeds, routing through the provider's memoized seed ordering when it
+// keeps one (rrset.SeedSelector). The seeds are identical either way.
+func (c Config) selectSeeds(g *graph.Graph, kind rrset.Kind, gap core.GAP, opposite []int32, seed uint64) ([]int32, *rrset.Stats, error) {
+	return rrset.ObtainSeeds(c.Collections, rrset.CollectionRequest{
 		GraphID:  c.GraphID,
 		Graph:    g,
 		Kind:     kind,
@@ -143,7 +145,7 @@ func (c Config) collection(g *graph.Graph, kind rrset.Kind, gap core.GAP, opposi
 		K:        c.K,
 		Opts:     c.TIM,
 		Seed:     seed,
-	})
+	}, g.N(), c.K)
 }
 
 // SolveSelfInfMax solves Problem 1 (SelfInfMax) under general mutual
@@ -162,11 +164,10 @@ func SolveSelfInfMax(g *graph.Graph, gap core.GAP, seedsB []int32, cfg Config) (
 
 	res := &Result{}
 	if gap.BIndifferentToA() {
-		col, err := cfg.collection(g, cfg.selfKind(), gap, seedsB, cfg.Seed)
+		sel, st, err := cfg.selectSeeds(g, cfg.selfKind(), gap, seedsB, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		sel, st := rrset.SelectSeeds(col, g.N(), cfg.K)
 		c := Candidate{Name: "exact", Seeds: sel, Objective: evalObjective(sel), Stats: st}
 		res.Candidates = []Candidate{c}
 		res.Seeds, res.Objective, res.Chosen = c.Seeds, c.Objective, c.Name
@@ -178,22 +179,24 @@ func SolveSelfInfMax(g *graph.Graph, gap core.GAP, seedsB []int32, cfg Config) (
 	if err != nil {
 		return nil, err
 	}
-	// The two bound collections are independent (separate GAPs, separate
-	// master-seed streams), so overlap their builds: on a cold cache this
-	// halves the dominant cost of the solve on multi-core machines, and the
-	// result is identical either way. A panic on the build goroutine is
-	// re-raised on the caller's stack, so callers' recover boundaries keep
-	// working as they did when the build ran inline.
-	var upperCol *rrset.Collection
+	// The two bound subproblems are independent (separate GAPs, separate
+	// master-seed streams), so overlap them end to end — build and seed
+	// selection both: on a cold cache this halves the dominant cost of the
+	// solve on multi-core machines, and the result is identical either way.
+	// A panic on the upper goroutine is re-raised on the caller's stack, so
+	// callers' recover boundaries keep working as they did when the work ran
+	// inline.
+	var upperSeeds []int32
+	var upperStats *rrset.Stats
 	var upperErr error
 	var upperPanic any
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		defer func() { upperPanic = recover() }()
-		upperCol, upperErr = cfg.collection(g, cfg.selfKind(), upperGAP, seedsB, cfg.Seed+1)
+		upperSeeds, upperStats, upperErr = cfg.selectSeeds(g, cfg.selfKind(), upperGAP, seedsB, cfg.Seed+1)
 	}()
-	lowerCol, err := cfg.collection(g, cfg.selfKind(), lowerGAP, seedsB, cfg.Seed)
+	lowerSeeds, lowerStats, err := cfg.selectSeeds(g, cfg.selfKind(), lowerGAP, seedsB, cfg.Seed)
 	<-done
 	if upperPanic != nil {
 		panic(upperPanic)
@@ -204,8 +207,6 @@ func SolveSelfInfMax(g *graph.Graph, gap core.GAP, seedsB []int32, cfg Config) (
 	if upperErr != nil {
 		return nil, upperErr
 	}
-	lowerSeeds, lowerStats := rrset.SelectSeeds(lowerCol, g.N(), cfg.K)
-	upperSeeds, upperStats := rrset.SelectSeeds(upperCol, g.N(), cfg.K)
 
 	res.Candidates = []Candidate{
 		{Name: "lower", Seeds: lowerSeeds, Objective: evalObjective(lowerSeeds), Stats: lowerStats},
@@ -250,11 +251,10 @@ func SolveCompInfMax(g *graph.Graph, gap core.GAP, seedsA []int32, cfg Config) (
 	if err != nil {
 		return nil, err
 	}
-	col, err := cfg.collection(g, rrset.KindCIM, upperGAP, seedsA, cfg.Seed)
+	upperSeeds, upperStats, err := cfg.selectSeeds(g, rrset.KindCIM, upperGAP, seedsA, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	upperSeeds, upperStats := rrset.SelectSeeds(col, g.N(), cfg.K)
 
 	res := &Result{Candidates: []Candidate{
 		{Name: "upper", Seeds: upperSeeds, Objective: evalBoost(upperSeeds), Stats: upperStats},

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"comic/internal/rrset"
+)
+
+// TestIndexSelectSeedsMemoParityAndCounters pins the memoized selection
+// path's contract: byte-identical seeds to an index-free build + fresh
+// CELF, one OrderMiss then OrderHits, and exact order-byte accounting in
+// both OrderBytes and ResidentBytes.
+func TestIndexSelectSeedsMemoParityAndCounters(t *testing.T) {
+	g := testGraph(t)
+	idx := NewIndex(0)
+	req := testRequest(g, 7, 200)
+
+	refCol, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeeds, wantStats := rrset.SelectSeeds(refCol, g.N(), 5)
+
+	seeds, st, err := idx.SelectSeeds(req, g.N(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seeds, wantSeeds) {
+		t.Fatalf("memoized seeds %v != fresh %v", seeds, wantSeeds)
+	}
+	if st.Coverage != wantStats.Coverage || st.SpreadEstimate != wantStats.SpreadEstimate ||
+		st.Theta != wantStats.Theta {
+		t.Fatalf("memoized stats (%v, %v, %d) != fresh (%v, %v, %d)",
+			st.Coverage, st.SpreadEstimate, st.Theta,
+			wantStats.Coverage, wantStats.SpreadEstimate, wantStats.Theta)
+	}
+	is := idx.Stats()
+	if is.OrderMisses != 1 || is.OrderHits != 0 {
+		t.Fatalf("cold order counters = %d hits / %d misses, want 0/1", is.OrderHits, is.OrderMisses)
+	}
+	if is.OrderBytes <= 0 {
+		t.Fatalf("OrderBytes = %d after an ordering build", is.OrderBytes)
+	}
+	col, err := idx.Collection(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := col.Bytes() + is.OrderBytes; is.ResidentBytes != want {
+		t.Fatalf("ResidentBytes = %d, want collection %d + order %d",
+			is.ResidentBytes, col.Bytes(), is.OrderBytes)
+	}
+
+	for k := 0; k <= 5; k++ {
+		wk, _ := rrset.SelectSeeds(refCol, g.N(), k)
+		gk, _, err := idx.SelectSeeds(req, g.N(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gk, wk) {
+			t.Fatalf("k=%d: memoized %v != fresh %v", k, gk, wk)
+		}
+	}
+	if is := idx.Stats(); is.OrderMisses != 1 || is.OrderHits != 6 {
+		t.Fatalf("warm order counters = %d hits / %d misses, want 6/1", is.OrderHits, is.OrderMisses)
+	}
+}
+
+// TestIndexSelectSeedsBypassAboveMaxOrderK: a k beyond the memo depth must
+// select fresh — identical seeds, no order counters, no order bytes.
+func TestIndexSelectSeedsBypassAboveMaxOrderK(t *testing.T) {
+	g := testGraph(t)
+	idx := NewIndex(0)
+	idx.SetMaxOrderK(3)
+	req := testRequest(g, 7, 200)
+
+	refCol, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want5, _ := rrset.SelectSeeds(refCol, g.N(), 5)
+	got5, _, err := idx.SelectSeeds(req, g.N(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got5, want5) {
+		t.Fatalf("bypass seeds %v != fresh %v", got5, want5)
+	}
+	if is := idx.Stats(); is.OrderHits != 0 || is.OrderMisses != 0 || is.OrderBytes != 0 {
+		t.Fatalf("bypass moved order counters: %+v", is)
+	}
+
+	// At the memo depth the order kicks in.
+	want3, _ := rrset.SelectSeeds(refCol, g.N(), 3)
+	got3, _, err := idx.SelectSeeds(req, g.N(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got3, want3) {
+		t.Fatalf("memo seeds %v != fresh %v", got3, want3)
+	}
+	if is := idx.Stats(); is.OrderMisses != 1 || is.OrderBytes <= 0 {
+		t.Fatalf("memo did not engage at k = maxOrderK: %+v", is)
+	}
+
+	// SetMaxOrderK(0) disables memoization outright.
+	off := NewIndex(0)
+	off.SetMaxOrderK(0)
+	if _, _, err := off.SelectSeeds(req, g.N(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if is := off.Stats(); is.OrderHits != 0 || is.OrderMisses != 0 || is.OrderBytes != 0 {
+		t.Fatalf("disabled memo still moved counters: %+v", is)
+	}
+}
+
+// TestIndexOrderSingleflightExactlyOneMiss: G concurrent warm selections
+// over one collection must share a single CELF ordering build — exactly one
+// OrderMiss, G-1 OrderHits — and all return identical seeds.
+func TestIndexOrderSingleflightExactlyOneMiss(t *testing.T) {
+	g := testGraph(t)
+	idx := NewIndex(0)
+	req := testRequest(g, 9, 300)
+	if _, err := idx.Collection(req); err != nil {
+		t.Fatal(err) // warm the collection so only the ordering is cold
+	}
+
+	const G = 16
+	var (
+		start   = make(chan struct{})
+		wg      sync.WaitGroup
+		results [G][]int32
+		errs    [G]error
+	)
+	for i := 0; i < G; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], _, errs[i] = idx.SelectSeeds(req, g.N(), 5)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < G; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("goroutine %d selected %v, goroutine 0 %v", i, results[i], results[0])
+		}
+	}
+	is := idx.Stats()
+	if is.OrderMisses != 1 {
+		t.Fatalf("OrderMisses = %d, want exactly 1 (singleflight)", is.OrderMisses)
+	}
+	if is.OrderHits != G-1 {
+		t.Fatalf("OrderHits = %d, want %d", is.OrderHits, G-1)
+	}
+}
+
+// TestIndexOrderEvictionChurnSafety hammers two keys through a budget that
+// cannot hold both, so ordering builds race with evictions and rebuilds of
+// the collections they were computed over. Every selection must still
+// return the right seeds, and the byte accounting must balance exactly
+// afterwards.
+func TestIndexOrderEvictionChurnSafety(t *testing.T) {
+	g := testGraph(t)
+	reqA := testRequest(g, 1, 300)
+	reqB := testRequest(g, 2, 300)
+
+	colA, err := reqA.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	colB, err := reqB.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, _ := rrset.SelectSeeds(colA, g.N(), 5)
+	wantB, _ := rrset.SelectSeeds(colB, g.N(), 5)
+
+	// Budget below two collections: every alternation evicts the other key.
+	idx := NewIndex(colA.Bytes() + colB.Bytes()/2)
+
+	const workers, iters = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				req, want := reqA, wantA
+				if (w+i)%2 == 0 {
+					req, want = reqB, wantB
+				}
+				seeds, _, err := idx.SelectSeeds(req, g.N(), 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(seeds, want) {
+					t.Errorf("worker %d iter %d: seeds %v, want %v", w, i, seeds, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The running totals must equal a fresh walk of the resident entries —
+	// any attach/evict/drop that double-counted or leaked would show here.
+	idx.mu.Lock()
+	var sumBytes, sumOrder int64
+	for el := idx.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*indexEntry)
+		sumBytes += e.bytes + e.orderBytes
+		sumOrder += e.orderBytes
+	}
+	gotBytes, gotOrder := idx.bytes, idx.orderBytes
+	idx.mu.Unlock()
+	if gotBytes != sumBytes || gotOrder != sumOrder {
+		t.Fatalf("accounting drifted: bytes %d (entries sum %d), orderBytes %d (entries sum %d)",
+			gotBytes, sumBytes, gotOrder, sumOrder)
+	}
+}
+
+// TestIndexDropGraphReleasesOrders: DropGraph must release the memoized
+// orders along with their collections — counters and bytes return to zero.
+func TestIndexDropGraphReleasesOrders(t *testing.T) {
+	g := testGraph(t)
+	idx := NewIndex(0)
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, _, err := idx.SelectSeeds(testRequest(g, seed, 150), g.N(), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if is := idx.Stats(); is.OrderBytes <= 0 || is.ResidentCollections != 3 {
+		t.Fatalf("precondition: %+v", is)
+	}
+	if dropped := idx.DropGraph(g); dropped != 3 {
+		t.Fatalf("dropped %d, want 3", dropped)
+	}
+	is := idx.Stats()
+	if is.OrderBytes != 0 || is.ResidentBytes != 0 || is.ResidentCollections != 0 {
+		t.Fatalf("drop leaked: %+v", is)
+	}
+}

@@ -1,0 +1,207 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"comic/internal/graph"
+	"comic/internal/server"
+)
+
+// TestWarmPathBatchJobSingleParity pins the warm path end to end over HTTP:
+// a k-sweep under a fixed θ shares one collection and one memoized CELF
+// ordering across /v1/selfinfmax, /v1/batch and /v1/jobs, and every route
+// returns byte-identical results for the same query. With the strict-Q+
+// Flixster GAPs each solve needs the lower and upper bound collections, so
+// the whole sweep costs exactly 2 collection builds and 2 ordering builds
+// no matter how many k values or routes it spans.
+func TestWarmPathBatchJobSingleParity(t *testing.T) {
+	s := newTestServer(t, testDataset(t))
+	t.Cleanup(s.Close)
+
+	query := func(k int) string {
+		return fmt.Sprintf(`{"dataset":"Flixster","k":%d,"seedsB":[1,2],"fixedTheta":2000,"evalRuns":300,"seed":5}`, k)
+	}
+	const kmax = 6
+
+	// Singles, k ascending: first solve builds, the rest slice the memo.
+	singles := make([]solveResp, kmax+1)
+	for k := 1; k <= kmax; k++ {
+		if rec := do(t, s, http.MethodPost, "/v1/selfinfmax", query(k), &singles[k]); rec.Code != http.StatusOK {
+			t.Fatalf("k=%d solve = %d %q", k, rec.Code, rec.Body.String())
+		}
+	}
+
+	st := s.Index().Stats()
+	if st.Misses != 2 || st.OrderMisses != 2 {
+		t.Fatalf("k-sweep stats = %d misses / %d orderMisses, want 2/2 (one collection pair, one ordering pair)",
+			st.Misses, st.OrderMisses)
+	}
+	if st.OrderHits != 2*(kmax-1) {
+		t.Fatalf("orderHits = %d, want %d (two bounds × %d warm solves)",
+			st.OrderHits, 2*(kmax-1), kmax-1)
+	}
+	if st.OrderBytes <= 0 {
+		t.Fatalf("orderBytes = %d after memoized sweep", st.OrderBytes)
+	}
+
+	// The same sweep through /v1/batch must be answered fully warm and
+	// byte-identical per k.
+	var ops []string
+	for k := 1; k <= kmax; k++ {
+		ops = append(ops, fmt.Sprintf(`{"op":"selfinfmax",%s`, query(k)[1:]))
+	}
+	wrapped := fmt.Sprintf(`{"queries":[%s]}`, join(ops, ","))
+	var batch batchResp
+	if rec := do(t, s, http.MethodPost, "/v1/batch", wrapped, &batch); rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d %q", rec.Code, rec.Body.String())
+	}
+	if batch.Succeeded != kmax {
+		t.Fatalf("batch succeeded = %d, want %d", batch.Succeeded, kmax)
+	}
+	for i := 0; i < kmax; i++ {
+		var got solveResp
+		if err := json.Unmarshal(batch.Results[i].Result, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, singles[i+1]) {
+			t.Fatalf("batch k=%d %+v != single %+v", i+1, got, singles[i+1])
+		}
+	}
+
+	// And through /v1/jobs.
+	var submitted jobStatusResp
+	if rec := do(t, s, http.MethodPost, "/v1/jobs", wrapped, &submitted); rec.Code != http.StatusAccepted {
+		t.Fatalf("job submit = %d %q", rec.Code, rec.Body.String())
+	}
+	finished := pollJob(t, s, submitted.ID)
+	if finished.State != "done" || finished.Result == nil || finished.Result.Succeeded != kmax {
+		t.Fatalf("job outcome = %+v", finished)
+	}
+	for i := 0; i < kmax; i++ {
+		var got solveResp
+		if err := json.Unmarshal(finished.Result.Results[i].Result, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, singles[i+1]) {
+			t.Fatalf("job k=%d %+v != single %+v", i+1, got, singles[i+1])
+		}
+	}
+
+	// Batch and job added zero builds of either kind.
+	end := s.Index().Stats()
+	if end.Misses != 2 || end.OrderMisses != 2 {
+		t.Fatalf("after batch+job: %d misses / %d orderMisses, want still 2/2",
+			end.Misses, end.OrderMisses)
+	}
+
+	// /v1/stats serves the order counters.
+	var wire struct {
+		Index struct {
+			OrderHits   int64 `json:"orderHits"`
+			OrderMisses int64 `json:"orderMisses"`
+			OrderBytes  int64 `json:"orderBytes"`
+		} `json:"index"`
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/stats", "", &wire); rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d %q", rec.Code, rec.Body.String())
+	}
+	if wire.Index.OrderMisses != end.OrderMisses || wire.Index.OrderHits != end.OrderHits ||
+		wire.Index.OrderBytes != end.OrderBytes {
+		t.Fatalf("/v1/stats order counters %+v != index stats %+v", wire.Index, end)
+	}
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}
+
+// TestSnapshotPersistsSeedOrders: a save/load cycle must carry the memoized
+// orderings across the restart — the first warm solve after a restore is an
+// order hit, not a rebuild.
+func TestSnapshotPersistsSeedOrders(t *testing.T) {
+	g := snapGraph(t)
+	dir := t.TempDir()
+
+	idx := server.NewIndex(0)
+	req := snapReq(g, 400)
+	want, _, err := idx.SelectSeeds(req, g.N(), 5) // builds collection + order
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := server.NewIndex(0)
+	n, err := restored.LoadSnapshot(dir, map[string]*graph.Graph{"snap#1": g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d collections, want 1", n)
+	}
+	if st := restored.Stats(); st.OrderBytes <= 0 {
+		t.Fatalf("restore did not carry the seed order: %+v", st)
+	}
+	got, _, err := restored.SelectSeeds(req, g.N(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored selection %v != original %v", got, want)
+	}
+	st := restored.Stats()
+	if st.OrderMisses != 0 || st.OrderHits != 1 {
+		t.Fatalf("first post-restore selection: %d hits / %d misses, want 1/0 (restored order must serve it)",
+			st.OrderHits, st.OrderMisses)
+	}
+}
+
+// TestSnapshotRewritesOrderlessEntryOnce: an entry file saved before its
+// ordering existed must be rewritten by the next save to include it — and
+// only then; later saves reuse the file.
+func TestSnapshotRewritesOrderlessEntryOnce(t *testing.T) {
+	g := snapGraph(t)
+	dir := t.TempDir()
+	idx := server.NewIndex(0)
+	req := snapReq(g, 300)
+
+	if _, err := idx.Collection(req); err != nil { // collection only, no order yet
+		t.Fatal(err)
+	}
+	if err := idx.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	cold := server.NewIndex(0)
+	if _, err := cold.LoadSnapshot(dir, map[string]*graph.Graph{"snap#1": g}); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.OrderBytes != 0 {
+		t.Fatalf("order restored from an order-less save: %+v", st)
+	}
+
+	if _, _, err := idx.SelectSeeds(req, g.N(), 5); err != nil { // memoize the ordering
+		t.Fatal(err)
+	}
+	if err := idx.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm := server.NewIndex(0)
+	if _, err := warm.LoadSnapshot(dir, map[string]*graph.Graph{"snap#1": g}); err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.OrderBytes <= 0 {
+		t.Fatalf("second save did not rewrite the order-less entry: %+v", st)
+	}
+}

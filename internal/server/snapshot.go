@@ -38,7 +38,10 @@ import (
 //	                          preloaded datasets are rebuilt from Config)
 //	  index/
 //	    MANIFEST.json         RR-index snapshot manifest, LRU order (MRU first)
-//	    <digest(key)>.rrs     one rrset.Snapshot per resident collection
+//	    <digest(key)>.rrs     one rrset.Snapshot per resident collection,
+//	                          plus its memoized seed ordering when one was
+//	                          computed (an optional, checksummed trailing
+//	                          section; old order-less files still load)
 //
 // Every file is written atomically (temp file in the same directory,
 // fsync, rename), so a crash mid-snapshot leaves only the previous
@@ -139,6 +142,11 @@ type manifestEntry struct {
 	File    string `json:"file"`
 	GraphID string `json:"graphID"`
 	Bytes   int64  `json:"bytes"`
+	// HasOrder records whether the entry file carries the optional
+	// seed-order section. SaveSnapshot's skip-if-exists optimization
+	// consults it: a file written before the entry's ordering was memoized
+	// is rewritten once to include it, then skipped again.
+	HasOrder bool `json:"hasOrder,omitempty"`
 }
 
 // SaveSnapshot persists every resident collection whose cache key names a
@@ -168,6 +176,7 @@ type savedEntry struct {
 	graphN       int
 	graphM       int
 	col          *rrset.Collection
+	order        *rrset.SeedOrder
 	bytes        int64
 }
 
@@ -184,10 +193,23 @@ func (x *Index) saveSnapshotLocked(dir string) error {
 		if e.graphID == "" {
 			continue
 		}
-		list = append(list, savedEntry{e.key, e.graphID, e.graph.N(), e.graph.M(), e.col, e.bytes})
+		list = append(list, savedEntry{e.key, e.graphID, e.graph.N(), e.graph.M(), e.col, e.order, e.bytes})
 	}
 	x.snapDir = dir
 	x.mu.Unlock()
+
+	// The previous manifest records which entry files already carry a
+	// seed-order section, so a file written before its entry's ordering
+	// was memoized is rewritten exactly once to include it.
+	prevHasOrder := map[string]bool{}
+	if data, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		var prev snapshotManifest
+		if json.Unmarshal(data, &prev) == nil && prev.Version == manifestVersion {
+			for _, me := range prev.Entries {
+				prevHasOrder[me.File] = me.HasOrder
+			}
+		}
+	}
 
 	man := snapshotManifest{Version: manifestVersion}
 	keep := map[string]bool{manifestName: true}
@@ -197,12 +219,23 @@ func (x *Index) saveSnapshotLocked(dir string) error {
 			continue // digest collision between live keys: keep the hotter entry
 		}
 		keep[name] = true
-		man.Entries = append(man.Entries, manifestEntry{File: name, GraphID: s.graphID, Bytes: s.bytes})
 		path := filepath.Join(dir, name)
-		if _, err := os.Stat(path); err == nil {
+		_, statErr := os.Stat(path)
+		exists := statErr == nil
+		if exists && (prevHasOrder[name] || s.order == nil) {
+			// Collections are deterministic per key and the file is at
+			// least as complete as the resident entry: reuse it. The file
+			// may carry an order the entry has not (re)computed yet.
+			man.Entries = append(man.Entries, manifestEntry{
+				File: name, GraphID: s.graphID, Bytes: s.bytes, HasOrder: prevHasOrder[name],
+			})
 			continue
 		}
-		snap := &rrset.Snapshot{Key: s.key, GraphID: s.graphID, GraphN: s.graphN, GraphM: s.graphM, Collection: s.col}
+		man.Entries = append(man.Entries, manifestEntry{
+			File: name, GraphID: s.graphID, Bytes: s.bytes, HasOrder: s.order != nil,
+		})
+		snap := &rrset.Snapshot{Key: s.key, GraphID: s.graphID, GraphN: s.graphN, GraphM: s.graphM,
+			Collection: s.col, Order: s.order}
 		if err := writeFileAtomic(path, func(w io.Writer) error {
 			_, err := snap.WriteTo(w)
 			return err
@@ -272,8 +305,10 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 	type loadedEntry struct {
 		key, graphID string
 		col          *rrset.Collection
+		order        *rrset.SeedOrder
 		g            *graph.Graph
 		bytes        int64
+		orderBytes   int64
 	}
 	var accepted []loadedEntry
 	var acceptedBytes int64
@@ -315,16 +350,21 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 			continue
 		}
 		b := snap.Collection.Bytes()
-		if x.maxBytes > 0 && acceptedBytes+b > x.maxBytes {
+		var ob int64
+		if snap.Order != nil {
+			ob = snap.Order.Bytes()
+		}
+		if x.maxBytes > 0 && acceptedBytes+b+ob > x.maxBytes {
 			// The restored set is always the most-recently-used prefix:
 			// once an entry exceeds the budget, nothing colder is admitted
-			// either, exactly as if the rest had been evicted.
+			// either, exactly as if the rest had been evicted. The memoized
+			// order counts too — it is resident memory like the arena.
 			budgetFull = true
 			rejects++
 			continue
 		}
-		acceptedBytes += b
-		accepted = append(accepted, loadedEntry{snap.Key, me.GraphID, snap.Collection, g, b})
+		acceptedBytes += b + ob
+		accepted = append(accepted, loadedEntry{snap.Key, me.GraphID, snap.Collection, snap.Order, g, b, ob})
 	}
 
 	x.mu.Lock()
@@ -335,9 +375,11 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 		if _, ok := x.entries[l.key]; ok {
 			continue
 		}
-		e := &indexEntry{key: l.key, graphID: l.graphID, col: l.col, graph: l.g, bytes: l.bytes}
+		e := &indexEntry{key: l.key, graphID: l.graphID, col: l.col, graph: l.g, bytes: l.bytes,
+			order: l.order, orderBytes: l.orderBytes}
 		x.entries[l.key] = x.lru.PushFront(e)
-		x.bytes += l.bytes
+		x.bytes += l.bytes + l.orderBytes
+		x.orderBytes += l.orderBytes
 		restored++
 	}
 	x.snapDir = dir

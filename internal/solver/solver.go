@@ -393,7 +393,7 @@ func SolveCompInfMax(g *graph.Graph, gap core.GAP, seedsA []int32, cfg Config) (
 // sandwich exact branch byte for byte — same collection request (and hence
 // same cache key), same evaluation seed, same candidate shape.
 func solveExactTIM(g *graph.Graph, gap, buildGAP core.GAP, seedsB []int32, cfg Config) (*Result, error) {
-	col, err := rrset.Obtain(cfg.Collections, rrset.CollectionRequest{
+	sel, st, err := rrset.ObtainSeeds(cfg.Collections, rrset.CollectionRequest{
 		GraphID:  cfg.GraphID,
 		Graph:    g,
 		Kind:     cfg.selfKind(),
@@ -402,11 +402,10 @@ func solveExactTIM(g *graph.Graph, gap, buildGAP core.GAP, seedsB []int32, cfg C
 		K:        cfg.K,
 		Opts:     cfg.TIM,
 		Seed:     cfg.Seed,
-	})
+	}, g.N(), cfg.K)
 	if err != nil {
 		return nil, err
 	}
-	sel, st := rrset.SelectSeeds(col, g.N(), cfg.K)
 	est := montecarlo.New(g, gap)
 	obj := est.SpreadA(sel, seedsB, cfg.EvalRuns, cfg.Seed^0xe7a1)
 	res := &Result{}
