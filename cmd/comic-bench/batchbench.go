@@ -99,8 +99,8 @@ func runBatchBench(cfg experiments.Config) (*batchBenchRecord, error) {
 		var r struct {
 			Seeds []int32 `json:"seeds"`
 		}
-		err := json.Unmarshal(raw, &r)
-		return r.Seeds, err
+		uerr := json.Unmarshal(raw, &r)
+		return r.Seeds, uerr
 	}
 
 	rec := &batchBenchRecord{
@@ -131,8 +131,8 @@ func runBatchBench(cfg experiments.Config) (*batchBenchRecord, error) {
 			Result json.RawMessage `json:"result"`
 		} `json:"results"`
 	}
-	if err := json.Unmarshal(body, &batchOut); err != nil {
-		return nil, err
+	if uerr := json.Unmarshal(body, &batchOut); uerr != nil {
+		return nil, uerr
 	}
 	for i, r := range batchOut.Results {
 		if r.Status != http.StatusOK {

@@ -31,8 +31,8 @@ func TestRestoreBenchRecord(t *testing.T) {
 
 	path := filepath.Join(t.TempDir(), "BENCH_restore.json")
 	var buf bytes.Buffer
-	if err := rec.render(&buf, path); err != nil {
-		t.Fatal(err)
+	if rerr := rec.render(&buf, path); rerr != nil {
+		t.Fatal(rerr)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -65,6 +65,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -394,8 +395,13 @@ func run(id string, cfg experiments.Config) ([]*stats.Table, error) {
 			return nil, err
 		}
 		t := r.Table()
-		for name, s := range r.BaselineSpread {
-			t.AddRow(name, "sigmaA(SA, empty)", "-", stats.F2(s))
+		baselines := make([]string, 0, len(r.BaselineSpread))
+		for name := range r.BaselineSpread {
+			baselines = append(baselines, name)
+		}
+		sort.Strings(baselines)
+		for _, name := range baselines {
+			t.AddRow(name, "sigmaA(SA, empty)", "-", stats.F2(r.BaselineSpread[name]))
 		}
 		return []*stats.Table{t}, nil
 	case "fig7a":

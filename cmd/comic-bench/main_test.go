@@ -87,8 +87,8 @@ func TestBatchBenchRecord(t *testing.T) {
 
 	path := filepath.Join(t.TempDir(), "BENCH_batch.json")
 	var buf bytes.Buffer
-	if err := rec.render(&buf, path); err != nil {
-		t.Fatal(err)
+	if rerr := rec.render(&buf, path); rerr != nil {
+		t.Fatal(rerr)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -125,8 +125,8 @@ func TestSelfInfMaxBenchRecord(t *testing.T) {
 
 	path := filepath.Join(t.TempDir(), "BENCH_selfinfmax.json")
 	var buf bytes.Buffer
-	if err := rec.render(&buf, path); err != nil {
-		t.Fatal(err)
+	if rerr := rec.render(&buf, path); rerr != nil {
+		t.Fatal(rerr)
 	}
 	if buf.Len() == 0 {
 		t.Fatal("render printed nothing")

@@ -92,8 +92,8 @@ func runRestoreBench(cfg experiments.Config) (*restoreBenchRecord, error) {
 			return nil, fmt.Errorf("/v1/selfinfmax = %d: %s", rec.Code, rec.Body.String())
 		}
 		var out solveRespRecord
-		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
-			return nil, err
+		if uerr := json.Unmarshal(rec.Body.Bytes(), &out); uerr != nil {
+			return nil, uerr
 		}
 		return &out, nil
 	}
@@ -126,9 +126,9 @@ func runRestoreBench(cfg experiments.Config) (*restoreBenchRecord, error) {
 
 	// Snapshot and "restart".
 	t1 := time.Now()
-	if err := s1.SaveState(); err != nil {
+	if serr := s1.SaveState(); serr != nil {
 		s1.Close()
-		return nil, err
+		return nil, serr
 	}
 	rec.SaveNs = time.Since(t1).Nanoseconds()
 	s1.Close()

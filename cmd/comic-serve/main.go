@@ -48,6 +48,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -120,7 +121,13 @@ func main() {
 			name, d.Graph.N(), d.Graph.M(), *scale)
 	}
 	gap := comic.GAP{QA0: *qa0, QAB: *qab, QB0: *qb0, QBA: *qba}
-	for name, path := range graphs {
+	graphNames := make([]string, 0, len(graphs))
+	for name := range graphs {
+		graphNames = append(graphNames, name)
+	}
+	sort.Strings(graphNames)
+	for _, name := range graphNames {
+		path := graphs[name]
 		f, err := os.Open(path)
 		if err != nil {
 			fatal(err)

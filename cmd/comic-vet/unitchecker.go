@@ -1,0 +1,100 @@
+package main
+
+// The vettool protocol, as spoken by cmd/go (see $GOROOT/src/cmd/go/internal/
+// work/exec.go, (*Builder).vet): for every package in the build graph the go
+// command writes a vet.cfg describing the type-checker inputs — source files,
+// an import map, and compiled export data for every dependency — and invokes
+// the tool as `comic-vet <flags> /path/to/vet.cfg`. Dependency packages are
+// visited with VetxOnly=true purely to produce analysis facts; since comic's
+// analyzers are package-local (no facts), those invocations only touch the
+// VetxOutput file and exit, which keeps `go vet -vettool` runs cheap.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/version"
+	"log"
+	"os"
+
+	"comic/internal/lint/analysis"
+	"comic/internal/lint/driver"
+)
+
+// vetConfig mirrors the JSON written by cmd/go; field meanings are
+// documented in cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker executes one vet.cfg invocation and returns the process
+// exit code: 0 clean, 2 diagnostics reported.
+func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if uerr := json.Unmarshal(data, &cfg); uerr != nil {
+		log.Fatalf("parsing %s: %v", cfgPath, uerr)
+	}
+
+	// Always produce the facts file, even when skipping analysis: cmd/go
+	// caches it so dependency invocations are not repeated.
+	if cfg.VetxOutput != "" {
+		if werr := os.WriteFile(cfg.VetxOutput, []byte("comic-vet: no facts\n"), 0o666); werr != nil {
+			log.Fatal(werr)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	resolve := func(importPath string) (string, error) {
+		path := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			path = mapped
+		}
+		exportFile, ok := cfg.PackageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return exportFile, nil
+	}
+	goVersion := ""
+	if version.IsValid(cfg.GoVersion) {
+		goVersion = version.Lang(cfg.GoVersion)
+	}
+	fset := token.NewFileSet()
+	pkg, err := driver.Check(cfg.ImportPath, fset, cfg.GoFiles, resolve, goVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+	findings, err := driver.Run([]*driver.Package{pkg}, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

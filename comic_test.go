@@ -96,8 +96,8 @@ func TestFacadeActionLog(t *testing.T) {
 		t.Fatalf("learned GAP %+v", est.GAP)
 	}
 	var buf bytes.Buffer
-	if err := comic.WriteActionLog(&buf, log); err != nil {
-		t.Fatal(err)
+	if werr := comic.WriteActionLog(&buf, log); werr != nil {
+		t.Fatal(werr)
 	}
 	back, err := comic.ReadActionLog(&buf)
 	if err != nil {

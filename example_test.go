@@ -157,8 +157,8 @@ func ExampleServeConfig_persistentState() {
 		var out struct {
 			Seeds []int32 `json:"seeds"`
 		}
-		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
-			fmt.Println(err)
+		if uerr := json.Unmarshal(rec.Body.Bytes(), &out); uerr != nil {
+			fmt.Println(uerr)
 		}
 		return out.Seeds
 	}
@@ -169,8 +169,8 @@ func ExampleServeConfig_persistentState() {
 		return
 	}
 	before := solve(s1)
-	if err := s1.SaveState(); err != nil {
-		fmt.Println(err)
+	if serr := s1.SaveState(); serr != nil {
+		fmt.Println(serr)
 		return
 	}
 	s1.Close()

@@ -127,6 +127,10 @@ type CurveResult struct {
 	BaselineSpread map[string]float64
 }
 
+// algorithmOrder fixes the emission order of the per-algorithm curves:
+// CurvePoints and rendered tables must not depend on map iteration.
+var algorithmOrder = []string{"RR", "HighDegree", "PageRank", "Random"}
+
 // kGrid returns the paper's {1,10,20,30,40,50} scaled to kMax.
 func kGrid(kMax int) []int {
 	if kMax <= 5 {
@@ -162,7 +166,8 @@ func Figure5(cfg Config) (*CurveResult, error) {
 			"Random":     seeds.Random(g, cfg.K, rng.New(cfg.Seed^uint64(55+di))),
 		}
 		for _, k := range kGrid(cfg.K) {
-			for alg, sel := range algorithms {
+			for _, alg := range algorithmOrder {
+				sel := algorithms[alg]
 				prefix := sel
 				if k < len(sel) {
 					prefix = sel[:k]
@@ -204,7 +209,8 @@ func Figure6(cfg Config) (*CurveResult, error) {
 			"Random":     seeds.Random(g, cfg.K, rng.New(cfg.Seed^uint64(66+di))),
 		}
 		for _, k := range kGrid(cfg.K) {
-			for alg, sel := range algorithms {
+			for _, alg := range algorithmOrder {
+				sel := algorithms[alg]
 				prefix := sel
 				if k < len(sel) {
 					prefix = sel[:k]

@@ -221,11 +221,11 @@ func ForwardReachable(g *Graph, roots []int32) int {
 			queue = append(queue, r)
 		}
 	}
-	count := 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		count++
+	// Walk with a head index: popping via queue = queue[1:] strands the
+	// consumed prefix's capacity, so append regrows the backing array even
+	// though the queue never holds more than N live nodes.
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		nbrs, _ := g.OutNeighbors(u)
 		for _, v := range nbrs {
 			if !seen[v] {
@@ -234,5 +234,5 @@ func ForwardReachable(g *Graph, roots []int32) int {
 			}
 		}
 	}
-	return count
+	return len(queue)
 }

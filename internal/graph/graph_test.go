@@ -398,6 +398,27 @@ func TestForwardReachable(t *testing.T) {
 	}
 }
 
+// TestForwardReachableAllocs pins the BFS queue discipline: the head-index
+// walk allocates the seen bitmap plus O(log N) queue growths. The old
+// queue = queue[1:] pop stranded the consumed prefix's capacity, forcing a
+// fresh backing array on nearly every append (~N allocations on a path).
+func TestForwardReachableAllocs(t *testing.T) {
+	const n = 1024
+	g := Path(n, 1)
+	roots := []int32{0}
+	if got := ForwardReachable(g, roots); got != n {
+		t.Fatalf("reachable = %d, want %d", got, n)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		ForwardReachable(g, roots)
+	})
+	// seen bitmap + ~log2(n) append doublings; the old pop-resliced walk
+	// measured ~n here.
+	if allocs > 16 {
+		t.Fatalf("ForwardReachable allocated %.0f times on a %d-node path; head-index walk should stay under 16", allocs, n)
+	}
+}
+
 func TestEdgeListRoundTrip(t *testing.T) {
 	g := ErdosRenyi(30, 120, rng.New(77))
 	AssignTrivalency(g, rng.New(78))

@@ -1,0 +1,97 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface used by comic's lint suite.
+//
+// The container this repository builds in has no module proxy access, so
+// golang.org/x/tools cannot be added as a dependency. Rather than giving up
+// on mechanical enforcement of the determinism contract, this package mirrors
+// the upstream Analyzer/Pass/Diagnostic shapes exactly: an analyzer written
+// against it is source-compatible with the real framework up to the import
+// path, so the suite can be migrated to x/tools by swapping imports once the
+// dependency is allowed.
+//
+// Differences from upstream, all deliberate omissions rather than behavioral
+// changes: no Facts (comic's analyzers are package-local), no Requires graph
+// (none of the analyzers share intermediate results), and no SuggestedFixes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass: a name for diagnostics and
+// command-line toggles, a Doc string shown by `comic-vet help`, and the Run
+// function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc documents the analyzer. The first line is used as a summary.
+	Doc string
+
+	// Run applies the analyzer to a package. It may return a result (unused
+	// by comic-vet, kept for upstream shape compatibility) and an error.
+	// Diagnostics are reported via Pass.Report / Pass.Reportf, not the error.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+
+	// Fset maps token positions to file locations for every file in Files.
+	Fset *token.FileSet
+
+	// Files is the package's syntax, with comments retained.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type information for Files. Types, Defs, Uses,
+	// Selections, Implicits, and Scopes are always populated.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install this.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ObjectOf returns the object denoted by id, consulting Defs then Uses,
+// mirroring types.Info.ObjectOf.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }
+
+// TypeOf returns the type of expression e, or nil if not found.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// A Diagnostic is a message associated with a source location.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // optional sub-category within the analyzer
+	Message  string
+}
+
+// NewInfo returns a types.Info with every map the lint suite relies on
+// allocated. Both drivers (the multichecker and analysistest) use it so the
+// analyzers can assume complete type information.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

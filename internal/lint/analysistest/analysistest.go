@@ -1,0 +1,263 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against "// want" expectations, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest workflow on the stdlib-only
+// framework in comic/internal/lint/analysis.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/ and may import standard
+// library packages and real module packages (e.g. comic/internal/rng); the
+// loader resolves them to compiled export data through the go build cache.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// on the line where the diagnostics are expected. A relative offset
+// ("// want-1 ...") shifts the expected line — needed when the diagnostic
+// position is itself a full-line comment (the directive analyzer reports at
+// the directive's own position, and a line comment cannot share its line
+// with another comment). Every diagnostic must match exactly one want on
+// its line, and every want must be matched.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"comic/internal/lint/analysis"
+	"comic/internal/lint/driver"
+)
+
+// Run loads each fixture package named by patterns (an import path under
+// dir/src, or such a path ending in "/..." to include its subtree), runs the
+// analyzer on it, and reports expectation mismatches on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgDirs, err := expandPatterns(filepath.Join(dir, "src"), patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) == 0 {
+		t.Fatalf("no fixture packages match %v", patterns)
+	}
+
+	fset := token.NewFileSet()
+	type fixturePkg struct {
+		path  string
+		files []*ast.File
+		names []string
+	}
+	var pkgs []*fixturePkg
+	importSet := map[string]bool{}
+	for _, pd := range pkgDirs {
+		names, gerr := filepath.Glob(filepath.Join(pd.dir, "*.go"))
+		if gerr != nil || len(names) == 0 {
+			t.Fatalf("fixture package %s: no Go files (%v)", pd.path, gerr)
+		}
+		sort.Strings(names)
+		fp := &fixturePkg{path: pd.path, names: names}
+		for _, name := range names {
+			f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if perr != nil {
+				t.Fatalf("parsing fixture: %v", perr)
+			}
+			fp.files = append(fp.files, f)
+			for _, imp := range f.Imports {
+				if path, iperr := strconv.Unquote(imp.Path.Value); iperr == nil {
+					importSet[path] = true
+				}
+			}
+		}
+		pkgs = append(pkgs, fp)
+	}
+
+	var imports []string
+	for path := range importSet {
+		imports = append(imports, path)
+	}
+	sort.Strings(imports)
+	exports, err := driver.ListExports(".", imports)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	resolve := func(path string) (string, error) {
+		e, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return e, nil
+	}
+
+	for _, fp := range pkgs {
+		pkg, err := driver.Check(fp.path, fset, fp.names, resolve, "")
+		if err != nil {
+			t.Errorf("fixture %s: %v", fp.path, err)
+			continue
+		}
+		findings, err := driver.Run([]*driver.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("fixture %s: %v", fp.path, err)
+			continue
+		}
+		checkExpectations(t, fset, pkg.Files, findings)
+	}
+}
+
+type patternDir struct {
+	path string // fixture import path (slash-separated, relative to src)
+	dir  string // filesystem directory
+}
+
+func expandPatterns(srcRoot string, patterns []string) ([]patternDir, error) {
+	var out []patternDir
+	seen := map[string]bool{}
+	add := func(dir string) error {
+		rel, err := filepath.Rel(srcRoot, dir)
+		if err != nil {
+			return err
+		}
+		path := filepath.ToSlash(rel)
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, patternDir{path: path, dir: dir})
+		}
+		return nil
+	}
+	for _, pattern := range patterns {
+		if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+			root := filepath.Join(srcRoot, filepath.FromSlash(rest))
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				if m, _ := filepath.Glob(filepath.Join(p, "*.go")); len(m) > 0 {
+					return add(p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := filepath.Join(srcRoot, filepath.FromSlash(pattern))
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("fixture package %q not found under %s", pattern, srcRoot)
+		}
+		if err := add(dir); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// A want is one parsed expectation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want([+-]\d+)?\s+(.*)$`)
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				for _, raw := range splitQuoted(m[2]) {
+					text, err := strconv.Unquote(raw)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %s: %v", pos, raw, err)
+						continue
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, text, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line + offset, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the sequence of Go-quoted or backquoted strings from
+// s, e.g. `"a" "b c"` → ["a", "b c"] (still quoted).
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+				i = j
+			}
+		case '`':
+			j := i + 1
+			for j < len(s) && s[j] != '`' {
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+				i = j
+			}
+		}
+	}
+	return out
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []driver.Finding) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}

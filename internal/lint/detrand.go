@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"comic/internal/lint/analysis"
+)
+
+// DetrandAnalyzer rejects ambient nondeterminism in determinism-critical
+// packages: math/rand (v1 and v2) imports, and wall-clock reads outside
+// annotated timing-stat sites.
+var DetrandAnalyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: `forbid ambient randomness and wall-clock reads in determinism-critical packages
+
+The seed-selection pipeline (internal/rrset, internal/rng, internal/sandwich,
+internal/solver, internal/montecarlo, internal/multi, internal/exact,
+internal/seeds) must produce byte-identical results for a given master seed
+regardless of worker count or scheduling. math/rand draws from global,
+schedule-dependent state, and wall-clock reads leak real time into the
+computation; both are banned there. Randomness comes from comic/internal/rng
+splittable streams. Timing-statistics sites (build-duration counters that
+never influence a result) opt out with "//comic:timing <reason>".`,
+	Run: runDetrand,
+}
+
+// forbiddenImports are the ambient-randomness packages detrand bans outright
+// in critical packages. There is deliberately no directive escape hatch: the
+// blessed source of randomness is comic/internal/rng.
+var forbiddenImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func runDetrand(pass *analysis.Pass) (interface{}, error) {
+	if !isCriticalPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		dirs := fileDirectives(pass.Fset, file)
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if forbiddenImports[path] {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden in determinism-critical package %s: use comic/internal/rng streams", path, pass.Pkg.Path())
+			}
+		}
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := clockCall(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			if !suppressed(pass.Fset, dirs, verbTiming, "", enclosingStmt(stack), call) {
+				pass.Reportf(call.Pos(), "call to %s in determinism-critical package %s: remove it or annotate the statement with //comic:timing <reason>", name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,232 @@
+// Package driver loads type-checked packages for comic's lint suite and runs
+// analyzers over them.
+//
+// It deliberately avoids golang.org/x/tools/go/packages (unavailable in the
+// build environment): packages are enumerated with `go list -deps -export
+// -json`, which also produces compiled export data for every dependency via
+// the build cache, and each target package is parsed with go/parser and
+// type-checked with go/types using the stdlib gc importer in lookup mode.
+// This is the same pipeline go/packages uses in its export-data load mode,
+// minus cgo and overlays, neither of which this repository uses.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"comic/internal/lint/analysis"
+)
+
+// A Package is one type-checked target package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Finding is one diagnostic produced by an analyzer, with its position
+// resolved to a file location.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// listedPackage is the subset of `go list -json` output the driver consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Dir,Export,DepOnly,GoFiles,Incomplete,Error"
+
+// ListExports resolves the given import paths (and their transitive
+// dependencies) to compiled export-data files, building them through the go
+// build cache as needed. dir chooses the module context.
+func ListExports(dir string, paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	pkgs, err := goList(dir, append([]string{"-deps", "-export", listFields}, paths...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// Check parses and type-checks one package from explicit file names. resolve
+// maps an import path as written in the source to a compiled export-data
+// file. goVersion may be empty (language version of the toolchain).
+func Check(path string, fset *token.FileSet, filenames []string, resolve func(string) (string, error), goVersion string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		exportFile, err := resolve(importPath)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(exportFile)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load enumerates, parses, and type-checks the packages matching the go list
+// patterns (e.g. "./..."), run from dir. Only the matched packages are
+// returned; dependencies are consumed as export data. Test files are not
+// loaded — the `go vet -vettool` path feeds them to comic-vet per package
+// instead.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	pkgs, err := goList(dir, append([]string{"-deps", "-export", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	resolve := func(importPath string) (string, error) {
+		exportFile, ok := exports[importPath]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", importPath)
+		}
+		return exportFile, nil
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range pkgs {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Incomplete || p.Error != nil {
+			msg := "package has errors"
+			if p.Error != nil {
+				msg = p.Error.Err
+			}
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, msg)
+		}
+		filenames := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			filenames[i] = filepath.Join(p.Dir, name)
+		}
+		pkg, err := Check(p.ImportPath, fset, filenames, resolve, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by file position then analyzer name. An analyzer returning an error
+// aborts the run.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,268 @@
+package lint
+
+// This file holds lightweight reimplementations of selected upstream vet
+// passes. The build environment cannot vendor golang.org/x/tools, so the
+// multichecker bundles these stdlib-only ports instead:
+//
+//   - shadow: as upstream, reports an inner declaration hiding an outer
+//     function-local variable, filtered by the same core heuristic (the
+//     shadowed variable must be used after the shadowing scope ends,
+//     otherwise the shadow cannot cause confusion).
+//   - lostcancel: the CFG-free core of upstream lostcancel — a context
+//     cancel function discarded with _ or never referenced. (The upstream
+//     pass additionally proves "not called on all paths" with a control-flow
+//     graph; that refinement needs x/tools/go/cfg.)
+//   - nilfunc: comparison of a declared function against nil, which is
+//     always vacuous. (Stands in for the SSA-based nilness pass, which is
+//     out of reach without x/tools/go/ssa.)
+//
+// All three accept the //comic:allow <analyzer> <reason> directive.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"comic/internal/lint/analysis"
+)
+
+// ShadowAnalyzer reports shadowed variables in the style of
+// golang.org/x/tools/go/analysis/passes/shadow.
+var ShadowAnalyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: `report likely-confusing shadowed variables
+
+An inner := that redeclares an outer function-local variable is reported
+when the outer variable is still used after the inner scope closes — the
+pattern where an "if err := f(); err != nil" silently stops updating the
+err the function later returns. Suppress a deliberate shadow with
+"//comic:allow shadow <reason>".`,
+	Run: runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (interface{}, error) {
+	maxUse := maxReadPos(pass)
+	pkgScope := pass.Pkg.Scope()
+	for _, file := range pass.Files {
+		dirs := fileDirectives(pass.Fset, file)
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						checkShadow(pass, dirs, maxUse, pkgScope, id, n)
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, id := range vs.Names {
+						checkShadow(pass, dirs, maxUse, pkgScope, id, n)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// maxReadPos computes, per object, the last position at which it is read.
+// Pure writes — the identifier as the target of an assignment, a short
+// redeclaration that reuses the variable (`x, err := f()`), an ++/-- target,
+// or a range-loop assignment target — do not count: only a later *read* of
+// the shadowed variable can turn a shadow into a bug.
+func maxReadPos(pass *analysis.Pass) map[types.Object]token.Pos {
+	writes := make(map[*ast.Ident]bool)
+	markWrite := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			writes[id] = true
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					markWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				markWrite(n.X)
+			case *ast.RangeStmt:
+				markWrite(n.Key)
+				markWrite(n.Value)
+			}
+			return true
+		})
+	}
+	maxUse := make(map[types.Object]token.Pos)
+	for id, obj := range pass.TypesInfo.Uses {
+		if !writes[id] && id.End() > maxUse[obj] {
+			maxUse[obj] = id.End()
+		}
+	}
+	return maxUse
+}
+
+func checkShadow(pass *analysis.Pass, dirs []directive, maxUse map[types.Object]token.Pos, pkgScope *types.Scope, id *ast.Ident, stmt ast.Node) {
+	if id.Name == "_" {
+		return
+	}
+	inner, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok || inner.IsField() {
+		return
+	}
+	innerScope := inner.Parent()
+	if innerScope == nil || innerScope == pkgScope {
+		return
+	}
+	parent := innerScope.Parent()
+	if parent == nil {
+		return
+	}
+	_, outerObj := parent.LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer.IsField() || outer.Parent() == nil || outer.Parent() == pkgScope || outer.Parent() == types.Universe {
+		return
+	}
+	// Heuristic (as upstream): only a shadow whose victim is read again
+	// after the shadowing scope closes can bite.
+	if maxUse[outer] <= innerScope.End() {
+		return
+	}
+	if stmt != nil && suppressed(pass.Fset, dirs, verbAllow, "shadow", stmt, id) {
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d", id.Name, pass.Fset.Position(outer.Pos()).Line)
+}
+
+// LostcancelAnalyzer reports context cancel functions that are discarded or
+// never used.
+var LostcancelAnalyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc: `report discarded or unused context cancel functions
+
+The cancel function returned by context.WithCancel, WithTimeout,
+WithDeadline, and WithCancelCause must be called, or the new context and its
+resources leak until the parent is canceled. Assigning it to _ or binding it
+to a variable that is never referenced is reported. Suppress with
+"//comic:allow lostcancel <reason>".`,
+	Run: runLostcancel,
+}
+
+// cancelFuncs are the context constructors whose second result must be
+// called.
+var cancelFuncs = map[string]bool{
+	"WithCancel":      true,
+	"WithDeadline":    true,
+	"WithTimeout":     true,
+	"WithCancelCause": true,
+}
+
+func runLostcancel(pass *analysis.Pass) (interface{}, error) {
+	// A cancel variable that is only ever assigned is still lost:
+	// Info.Uses records assignment-LHS mentions too, so "referenced"
+	// means read, per maxReadPos.
+	maxUse := maxReadPos(pass)
+	for _, file := range pass.Files {
+		dirs := fileDirectives(pass.Fset, file)
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+				return true
+			}
+			call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := typeutilCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !cancelFuncs[fn.Name()] {
+				return true
+			}
+			cancel, ok := ast.Unparen(assign.Lhs[1]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if suppressed(pass.Fset, dirs, verbAllow, "lostcancel", assign, cancel) {
+				return true
+			}
+			if cancel.Name == "_" {
+				pass.Reportf(cancel.Pos(), "the cancel function returned by context.%s should be called, not discarded", fn.Name())
+				return true
+			}
+			if obj := pass.TypesInfo.ObjectOf(cancel); obj != nil && maxUse[obj] == token.NoPos {
+				pass.Reportf(cancel.Pos(), "the cancel function %s returned by context.%s is never used", cancel.Name, fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// NilfuncAnalyzer reports vacuous comparisons of functions against nil.
+var NilfuncAnalyzer = &analysis.Analyzer{
+	Name: "nilfunc",
+	Doc: `report useless comparisons between declared functions and nil
+
+A declared function or method value is never nil, so "f == nil" is always
+false and "f != nil" always true; the author almost certainly meant to call
+f. Suppress with "//comic:allow nilfunc <reason>".`,
+	Run: runNilfunc,
+}
+
+func runNilfunc(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		dirs := fileDirectives(pass.Fset, file)
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			var fnExpr ast.Expr
+			switch {
+			case isNilIdent(pass.TypesInfo, bin.Y):
+				fnExpr = bin.X
+			case isNilIdent(pass.TypesInfo, bin.X):
+				fnExpr = bin.Y
+			default:
+				return true
+			}
+			var obj types.Object
+			switch e := ast.Unparen(fnExpr).(type) {
+			case *ast.Ident:
+				obj = pass.TypesInfo.Uses[e]
+			case *ast.SelectorExpr:
+				obj = pass.TypesInfo.Uses[e.Sel]
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			stmt := enclosingStmt(stack)
+			if suppressed(pass.Fset, dirs, verbAllow, "nilfunc", stmt, bin) {
+				return true
+			}
+			pass.Reportf(bin.Pos(), "comparison of function %s %s nil is always %v", fn.Name(), bin.Op, bin.Op == token.NEQ)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

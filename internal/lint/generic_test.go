@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"comic/internal/lint"
+	"comic/internal/lint/analysistest"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ShadowAnalyzer, "shadow")
+}
+
+func TestLostcancel(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LostcancelAnalyzer, "lostcancel")
+}
+
+func TestNilfunc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NilfuncAnalyzer, "nilfunc")
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"comic/internal/lint/analysis"
+)
+
+// MaporderAnalyzer flags map iteration whose order can leak into an
+// observable result: loops over a map that append to a slice or write to an
+// encoder/writer. Go randomizes map iteration order per run, so any such
+// site is a determinism bug unless the accumulated slice is sorted before
+// use. A slice that is sorted later in the same block is accepted; anything
+// else needs "//comic:unordered <reason>".
+var MaporderAnalyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `flag map iteration that builds ordered output
+
+A "for … range" over a map visits keys in a different order on every run.
+Appending to a slice or writing to an encoder/io.Writer inside such a loop
+therefore produces run-dependent output — which breaks the contract that the
+same query returns byte-identical responses. The analyzer accepts the
+collect-then-sort idiom (the appended slice is passed to a sort or slices
+call later in the same block) and sites annotated "//comic:unordered
+<reason>".`,
+	Run: runMaporder,
+}
+
+// writerNames are call names that emit output in iteration order: stream
+// encoders, io.Writer methods, and the fmt printing family.
+var writerNames = map[string]bool{
+	"Encode": true, "EncodeToken": true, "Marshal": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true, "WriteTo": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	// Repo-specific response builders: stats.Table rows render unsorted.
+	"AddRow": true,
+}
+
+func runMaporder(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		dirs := fileDirectives(pass.Fset, file)
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.TypesInfo, rng) {
+				return true
+			}
+			checkMapRange(pass, dirs, rng, stack)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMapRange reports the first order-leaking operation in the body of a
+// map-range statement, unless every leak is provably repaired by a later
+// sort or the site carries //comic:unordered.
+func checkMapRange(pass *analysis.Pass, dirs []directive, rng *ast.RangeStmt, stack []ast.Node) {
+	appends, writer := collectLeaks(pass.TypesInfo, rng)
+	if len(appends) == 0 && writer == nil {
+		return
+	}
+	if suppressed(pass.Fset, dirs, verbUnordered, "", rng, nil) {
+		return
+	}
+	if writer != nil {
+		pass.Reportf(rng.Pos(), "map iteration writes to %s in nondeterministic order: sort the keys first or annotate with //comic:unordered <reason>", callName(pass.TypesInfo, writer))
+		return
+	}
+	for _, app := range appends {
+		if app.target == nil || !sortedAfter(pass.TypesInfo, rng, stack, app.target) {
+			name := "a slice"
+			if app.target != nil {
+				name = app.target.Name()
+			}
+			pass.Reportf(rng.Pos(), "map iteration appends to %s in nondeterministic order: sort it afterwards or annotate with //comic:unordered <reason>", name)
+			return
+		}
+	}
+}
+
+// appendLeak is one append call inside a map-range body. target is the
+// variable the result is assigned to, when that is a plain identifier;
+// appends into fields or index expressions have a nil target and are always
+// reported (their later sorting cannot be tracked reliably).
+type appendLeak struct {
+	call   *ast.CallExpr
+	target types.Object
+}
+
+// collectLeaks gathers order-leaking operations in the body of a map range:
+// appends and writer/encoder calls. Nested map ranges are skipped — they are
+// checked (and reported) on their own.
+func collectLeaks(info *types.Info, rng *ast.RangeStmt) (appends []appendLeak, writer *ast.CallExpr) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRange(info, n) {
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) {
+					continue
+				}
+				leak := appendLeak{call: call}
+				if len(n.Lhs) > i {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						leak.target = info.ObjectOf(id)
+					}
+				}
+				appends = append(appends, leak)
+			}
+		case *ast.CallExpr:
+			if writer == nil && isWriterCall(info, n) {
+				writer = n
+			}
+		}
+		return true
+	})
+	return appends, writer
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isWriterCall reports whether the call looks like an ordered output
+// operation: a method or function from the writerNames set. Only calls that
+// resolve to a function or method are considered, so locally-defined
+// helpers that happen to share a name are still flagged only when actually
+// named like an output call (deliberate: a Write method on any receiver
+// emits bytes in loop order).
+func isWriterCall(info *types.Info, call *ast.CallExpr) bool {
+	name := callName(info, call)
+	return writerNames[name]
+}
+
+// callName returns the bare name of the called function or method, or "".
+func callName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Func); ok {
+			return fun.Name
+		}
+	case *ast.SelectorExpr:
+		if fn := typeutilCallee(info, call); fn != nil {
+			return fn.Name()
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether the slice object is passed to a sort.* or
+// slices.* call in a statement that follows the range statement within the
+// nearest enclosing statement list. This accepts the collect-then-sort idiom
+// used by registry.list and jobQueue.list.
+func sortedAfter(info *types.Info, rng *ast.RangeStmt, stack []ast.Node, target types.Object) bool {
+	list, idx := enclosingStmtList(stack, rng)
+	if list == nil {
+		return false
+	}
+	for _, stmt := range list[idx+1:] {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if exprUsesObject(info, arg, target) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingStmtList finds the statement list (block, switch case, or select
+// case body) that directly contains stmt, and the index of stmt within it.
+func enclosingStmtList(stack []ast.Node, stmt ast.Stmt) ([]ast.Stmt, int) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			continue
+		}
+		for j, s := range list {
+			if s == stmt {
+				return list, j
+			}
+		}
+	}
+	return nil, 0
+}
+
+// isSortCall reports whether the call resolves to a function in package sort
+// or slices.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := typeutilCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "sort" || path == "slices"
+}
+
+// exprUsesObject reports whether the expression references the object.
+func exprUsesObject(info *types.Info, expr ast.Expr, target types.Object) bool {
+	uses := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == target {
+			uses = true
+			return false
+		}
+		return true
+	})
+	return uses
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"comic/internal/lint/analysis"
+)
+
+// QueuepopAnalyzer flags the `q = q[1:]` pop inside a loop. Each pop shrinks
+// both the length and the capacity of the slice header while the backing
+// array stays put, so the queue strands the popped prefix and reallocates
+// every time append catches up with the dwindling capacity — O(n) extra
+// allocations and copies over a BFS. The RR-set generators walk with a head
+// index instead (`for head := 0; head < len(q); head++`), which this
+// analyzer points to. There is no directive escape hatch: a flagged pop is
+// always replaceable by the head-index walk.
+var QueuepopAnalyzer = &analysis.Analyzer{
+	Name: "queuepop",
+	Doc: `flag the q = q[1:] pop-in-loop allocation antipattern
+
+Popping a queue with q = q[1:] inside a loop strands the backing array's
+prefix and reduces capacity by one each iteration, forcing append to regrow
+the queue repeatedly. Walk the slice with a head index instead:
+
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		...
+		queue = append(queue, v)
+	}`,
+	Run: runQueuepop,
+}
+
+func runQueuepop(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if name, ok := isSelfTailPop(pass.TypesInfo, assign); ok && inLoop(stack) {
+				pass.Reportf(assign.Pos(), "%s = %s[1:] in a loop strands capacity and regrows the queue: walk with a head index instead", name, name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSelfTailPop matches `x = x[1:]` where x is a slice-typed identifier and
+// both sides resolve to the same object.
+func isSelfTailPop(info *types.Info, assign *ast.AssignStmt) (string, bool) {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return "", false
+	}
+	lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	slice, ok := ast.Unparen(assign.Rhs[0]).(*ast.SliceExpr)
+	if !ok || slice.Slice3 || slice.High != nil || slice.Max != nil {
+		return "", false
+	}
+	low, ok := slice.Low.(*ast.BasicLit)
+	if !ok || low.Kind != token.INT || low.Value != "1" {
+		return "", false
+	}
+	rhs, ok := ast.Unparen(slice.X).(*ast.Ident)
+	if !ok || info.ObjectOf(lhs) == nil || info.ObjectOf(lhs) != info.ObjectOf(rhs) {
+		return "", false
+	}
+	t := info.TypeOf(rhs)
+	if t == nil {
+		return "", false
+	}
+	// Strings pop with s = s[1:] too, but that is allocation-free; only
+	// slices exhibit the regrow pathology.
+	if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+		return "", false
+	}
+	return lhs.Name, true
+}
+
+// inLoop reports whether the ancestor stack contains a for or range
+// statement, i.e. the assignment executes repeatedly.
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+// Package rrset is a detrand fixture standing in for a determinism-critical
+// package (its import path ends in internal/rrset).
+package rrset
+
+import (
+	"math/rand" // want `import of math/rand is forbidden in determinism-critical package detrand/internal/rrset: use comic/internal/rng streams`
+	"time"
+
+	"comic/internal/rng"
+)
+
+// shuffle smuggles ambient randomness in through the forbidden import; the
+// import line itself is the diagnostic site.
+func shuffle(xs []int32) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// blessed uses the repo's splittable streams: no diagnostic.
+func blessed(xs []int32, seed uint64) {
+	r := rng.New(seed)
+	r.Shuffle(xs)
+}
+
+func naked() int64 {
+	t := time.Now() // want `call to time.Now in determinism-critical package detrand/internal/rrset: remove it or annotate the statement with //comic:timing <reason>`
+	return t.UnixNano()
+}
+
+func annotated() (d time.Duration) {
+	//comic:timing build-duration stat, never feeds selection
+	t := time.Now()
+	//comic:timing build-duration stat, never feeds selection
+	d = time.Since(t)
+	return d
+}
+
+// reasonless directives do not suppress: both the clock call and (under the
+// directive analyzer) the directive itself are reported.
+func reasonless() int64 {
+	//comic:timing
+	t := time.Now() // want `call to time.Now in determinism-critical package detrand/internal/rrset`
+	return t.UnixNano()
+}

@@ -1,0 +1,8 @@
+// Package solver is a detrand fixture: math/rand/v2 is just as banned as v1.
+package solver
+
+import "math/rand/v2" // want `import of math/rand/v2 is forbidden in determinism-critical package detrand/internal/solver: use comic/internal/rng streams`
+
+func pick(n int) int {
+	return rand.IntN(n)
+}

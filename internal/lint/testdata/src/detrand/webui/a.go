@@ -1,0 +1,16 @@
+// Package webui is a detrand fixture for a non-critical package: ambient
+// randomness and wall-clock reads are fine outside the determinism contract.
+package webui
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Int63n(int64(d)))
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

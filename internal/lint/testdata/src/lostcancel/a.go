@@ -1,0 +1,43 @@
+// Package lostcancel exercises the discarded-cancel analyzer.
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `the cancel function returned by context.WithCancel should be called, not discarded`
+	return ctx
+}
+
+// bgCancel is never referenced anywhere; only a package-level variable can
+// be unused and still compile, which is exactly the leak this catches.
+var bgCancel context.CancelFunc
+
+func unused(parent context.Context) context.Context {
+	var ctx context.Context
+	ctx, bgCancel = context.WithTimeout(parent, time.Second) // want `the cancel function bgCancel returned by context.WithTimeout is never used`
+	return ctx
+}
+
+// deferred is the correct shape: no diagnostic.
+func deferred(parent context.Context) context.Context {
+	ctx, cancel := context.WithDeadline(parent, time.Time{})
+	defer cancel()
+	return ctx
+}
+
+// passed hands the cancel function to someone else, which counts as use.
+func passed(parent context.Context, sink func(context.CancelFunc)) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	sink(cancel)
+	return ctx
+}
+
+// allowed carries the escape hatch for a context that lives until exit.
+func allowed(parent context.Context) context.Context {
+	//comic:allow lostcancel process-lifetime context, canceled by exit
+	ctx, _ := context.WithCancel(parent)
+	return ctx
+}

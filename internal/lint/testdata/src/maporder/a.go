@@ -1,0 +1,128 @@
+// Package maporder exercises the map-iteration-order analyzer.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// leak appends map keys and never sorts: flagged.
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to out in nondeterministic order: sort it afterwards or annotate with //comic:unordered <reason>`
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectThenSort is the blessed idiom: the appended slice is sorted in a
+// later statement of the same block.
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// registryStyle mirrors internal/server registry.list: collect under a lock,
+// unlock, then sort — the intervening statement does not break the idiom.
+type registryStyle struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+func (r *registryStyle) list() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// slicesSort accepts the slices package as a sorter too.
+func slicesSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// encode writes each entry straight to a stream encoder: flagged.
+func encode(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range m { // want `map iteration writes to Encode in nondeterministic order: sort the keys first or annotate with //comic:unordered <reason>`
+		enc.Encode(map[string]int{k: v})
+	}
+}
+
+// report prints in iteration order: flagged.
+func report(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration writes to Fprintf in nondeterministic order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// annotated carries a valid directive: accepted.
+func annotated(m map[string]int) []string {
+	var out []string
+	//comic:unordered order is rehashed by the caller
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// reasonless directives suppress nothing.
+func reasonless(m map[string]int) []string {
+	var out []string
+	//comic:unordered
+	for k := range m { // want `map iteration appends to out in nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// fieldTarget appends into a struct field; later sorting of fields is not
+// tracked, so this is always flagged.
+type collector struct {
+	items []string
+}
+
+func (c *collector) fieldTarget(m map[string]int) {
+	for k := range m { // want `map iteration appends to a slice in nondeterministic order`
+		c.items = append(c.items, k)
+	}
+	sort.Strings(c.items)
+}
+
+// nested map ranges are reported on their own, not through the outer loop.
+func nested(m map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range m { // want `map iteration appends to out in nondeterministic order`
+		for k := range inner { // want `map iteration appends to out in nondeterministic order`
+			out = append(out, k)
+		}
+		out = append(out, "sep")
+	}
+	return out
+}
+
+// sliceRange iterates a slice, which is ordered: no diagnostic.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package nilfunc exercises the function-vs-nil comparison analyzer.
+package nilfunc
+
+func f() {}
+
+type t struct{}
+
+func (t) m() {}
+
+func eq() bool {
+	return f == nil // want `comparison of function f == nil is always false`
+}
+
+func neq(v t) bool {
+	return v.m != nil // want `comparison of function m != nil is always true`
+}
+
+// funcValue compares a function-typed variable, which really can be nil: no
+// diagnostic.
+func funcValue(cb func()) bool {
+	return cb == nil
+}
+
+// allowed carries the escape hatch.
+func allowed() bool {
+	//comic:allow nilfunc demonstrating the suppression path
+	return f != nil
+}

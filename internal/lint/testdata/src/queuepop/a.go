@@ -1,0 +1,67 @@
+// Package queuepop exercises the pop-in-loop allocation analyzer.
+package queuepop
+
+// bfsPop is the antipattern: each pop shrinks capacity, so the trailing
+// appends regrow the backing array over and over.
+func bfsPop(adj [][]int32, root int32) int {
+	queue := []int32{root}
+	count := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:] // want `queue = queue\[1:\] in a loop strands capacity and regrows the queue: walk with a head index instead`
+		count++
+		queue = append(queue, adj[u]...)
+	}
+	return count
+}
+
+// bfsHead is the fix: the queue only ever grows and the consumed prefix
+// keeps backing the array.
+func bfsHead(adj [][]int32, root int32) int {
+	queue := []int32{root}
+	for head := 0; head < len(queue); head++ {
+		queue = append(queue, adj[queue[head]]...)
+	}
+	return len(queue)
+}
+
+// rangePop is flagged inside range loops too.
+func rangePop(batches [][]int32) []int32 {
+	var q []int32
+	for _, b := range batches {
+		q = append(q, b...)
+		if len(q) > 0 {
+			q = q[1:] // want `q = q\[1:\] in a loop strands capacity and regrows the queue`
+		}
+	}
+	return q
+}
+
+// stringPop is allocation-free: strings share the backing array without a
+// capacity, so s = s[1:] is fine.
+func stringPop(s string) int {
+	n := 0
+	for len(s) > 0 {
+		s = s[1:]
+		n++
+	}
+	return n
+}
+
+// oncePop outside a loop cannot regrow anything: not flagged.
+func oncePop(q []int32) []int32 {
+	if len(q) > 0 {
+		q = q[1:]
+	}
+	return q
+}
+
+// reslice of a different variable is ordinary slicing, not a pop.
+func reslice(p []int32) []int32 {
+	var q []int32
+	for len(p) > 3 {
+		q = p[1:]
+		p = p[2:3]
+	}
+	return q
+}

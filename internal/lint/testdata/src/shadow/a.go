@@ -1,0 +1,75 @@
+// Package shadow exercises the shadowed-variable analyzer.
+package shadow
+
+import "errors"
+
+func g() (int, error) { return 1, nil }
+func h() error        { return errors.New("h") }
+
+// classic is the bug the pass exists for: the inner err stops updating the
+// one the function returns.
+func classic() error {
+	x, err := g()
+	if err != nil {
+		return err
+	}
+	if x > 0 {
+		err := h() // want `declaration of "err" shadows declaration at line \d+`
+		_ = err
+	}
+	return err
+}
+
+// harmless shadows are not reported: the outer variable is never read after
+// the inner scope closes.
+func harmless() error {
+	x, err := g()
+	if err != nil {
+		return err
+	}
+	if x > 0 {
+		err := h()
+		return err
+	}
+	return nil
+}
+
+// reuse is not a shadow at all: x, err := reuses the outer err in the same
+// scope.
+func reuse() error {
+	x, err := g()
+	if err != nil {
+		return err
+	}
+	y, err := g()
+	return errorsJoin(err, x, y)
+}
+
+// allowed carries the escape hatch.
+func allowed() error {
+	x, err := g()
+	if err != nil {
+		return err
+	}
+	if x > 0 {
+		//comic:allow shadow scratch err local to the probe
+		err := h()
+		_ = err
+	}
+	return err
+}
+
+func errorsJoin(err error, xs ...int) error { return err }
+
+// varDecl shadows through a var declaration, not just :=.
+func varDecl() error {
+	x, err := g()
+	if err != nil {
+		return err
+	}
+	if x > 0 {
+		var err error // want `declaration of "err" shadows declaration at line \d+`
+		_ = err
+	}
+	return err
+}

@@ -119,8 +119,10 @@ func BuildCollection(gen Generator, m, k int, opts Options, seed uint64) *Collec
 
 	theta := opts.FixedTheta
 	if theta <= 0 {
+		//comic:timing reported phase duration; never feeds seed selection
 		t0 := time.Now()
 		col.KPT = EstimateKPT(gen, m, k, opts.Ell, seed^0x5bf03635, opts.Workers)
+		//comic:timing reported phase duration; never feeds seed selection
 		col.KPTDuration = time.Since(t0)
 		col.Lambda = Lambda(n, k, opts.Epsilon, opts.Ell)
 		theta = Theta(col.Lambda, col.KPT, opts.MaxTheta)
@@ -131,8 +133,10 @@ func BuildCollection(gen Generator, m, k int, opts Options, seed uint64) *Collec
 	}
 	col.Theta = theta
 
+	//comic:timing reported phase duration; never feeds seed selection
 	t1 := time.Now()
 	col.offsets, col.nodes, col.roots, col.widths = collectFlat(gen, theta, opts.Workers, seed)
+	//comic:timing reported phase duration; never feeds seed selection
 	col.GenDuration = time.Since(t1)
 	col.TotalNodes = int64(len(col.nodes))
 	for _, w := range col.widths {
@@ -191,8 +195,10 @@ func SelectSeeds(col *Collection, n, k int) ([]int32, *Stats) {
 		KPTDuration: col.KPTDuration,
 		GenDuration: col.GenDuration,
 	}
+	//comic:timing reported phase duration; never feeds seed selection
 	t := time.Now()
 	seeds, covered := celfCover(col.coverFor(n), col.offsets, col.nodes, k, nil)
+	//comic:timing reported phase duration; never feeds seed selection
 	st.SelectDuration = time.Since(t)
 	if col.Len() > 0 {
 		st.Coverage = float64(covered) / float64(col.Len())

@@ -97,8 +97,10 @@ func SelectFromOrder(col *Collection, o *SeedOrder, n, k int) ([]int32, *Stats, 
 		KPTDuration: col.KPTDuration,
 		GenDuration: col.GenDuration,
 	}
+	//comic:timing reported phase duration; never feeds seed selection
 	t := time.Now()
 	seeds, covered := o.Prefix(k)
+	//comic:timing reported phase duration; never feeds seed selection
 	st.SelectDuration = time.Since(t)
 	if col.Len() > 0 {
 		st.Coverage = float64(covered) / float64(col.Len())

@@ -433,6 +433,7 @@ func (x *Index) DropGraph(g *graph.Graph) int {
 	x.mu.Lock()
 	dropped := 0
 	var files []string
+	//comic:unordered every matching entry is dropped and each file removed independently; order is immaterial
 	for key, el := range x.entries {
 		e := el.Value.(*indexEntry)
 		if e.graph == g {

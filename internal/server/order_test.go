@@ -139,8 +139,8 @@ func TestSnapshotPersistsSeedOrders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 
 	restored := server.NewIndex(0)
@@ -180,8 +180,8 @@ func TestSnapshotRewritesOrderlessEntryOnce(t *testing.T) {
 	if _, err := idx.Collection(req); err != nil { // collection only, no order yet
 		t.Fatal(err)
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 	cold := server.NewIndex(0)
 	if _, err := cold.LoadSnapshot(dir, map[string]*graph.Graph{"snap#1": g}); err != nil {
@@ -194,8 +194,8 @@ func TestSnapshotRewritesOrderlessEntryOnce(t *testing.T) {
 	if _, _, err := idx.SelectSeeds(req, g.N(), 5); err != nil { // memoize the ordering
 		t.Fatal(err)
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 	warm := server.NewIndex(0)
 	if _, err := warm.LoadSnapshot(dir, map[string]*graph.Graph{"snap#1": g}); err != nil {

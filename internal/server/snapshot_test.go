@@ -93,8 +93,8 @@ func TestIndexSnapshotRoundTrip(t *testing.T) {
 		}
 		want[i] = col
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 	if st := idx.Stats(); st.Snapshots != 1 || st.SnapshotErrors != 0 {
 		t.Fatalf("save stats %+v", st)
@@ -144,8 +144,8 @@ func TestLoadSnapshotPreservesLRUOrderAndBudget(t *testing.T) {
 	if _, err := idx.Collection(reqA); err != nil { // touch A: LRU order is now A,C,B
 		t.Fatal(err)
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 
 	// Budget for exactly A+C: B (the coldest) must be left behind, and
@@ -203,8 +203,8 @@ func TestLoadSnapshotSkipsCorruptEntries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 	files := rrsFiles(t, dir)
 	if len(files) != 3 {
@@ -216,16 +216,16 @@ func TestLoadSnapshotSkipsCorruptEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
-		t.Fatal(err)
+	if werr := os.WriteFile(files[0], data[:len(data)/2], 0o644); werr != nil {
+		t.Fatal(werr)
 	}
 	data, err = os.ReadFile(files[1])
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[4]++ // version field sits right after the 4-byte magic
-	if err := os.WriteFile(files[1], data, 0o644); err != nil {
-		t.Fatal(err)
+	if werr := os.WriteFile(files[1], data, 0o644); werr != nil {
+		t.Fatal(werr)
 	}
 
 	fresh := server.NewIndex(0)
@@ -250,8 +250,8 @@ func TestLoadSnapshotSkipsCorruptEntries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := fresh.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := fresh.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 	repaired := server.NewIndex(0)
 	if n, err := repaired.LoadSnapshot(dir, map[string]*graph.Graph{"snap#1": g}); err != nil || n != 3 {
@@ -266,8 +266,8 @@ func TestLoadSnapshotRejectsUnknownOrMismatchedGraph(t *testing.T) {
 	if _, err := idx.Collection(snapReq(g, 250)); err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 
 	// Unknown GraphID: the graph is gone from the registry.
@@ -298,8 +298,8 @@ func TestDropGraphDeletesSnapshotFiles(t *testing.T) {
 	if _, err := idx.Collection(snapReq(g, 250)); err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 	if got := len(rrsFiles(t, dir)); got != 1 {
 		t.Fatalf("want 1 entry file, got %d", got)
@@ -329,13 +329,13 @@ func TestLoadSnapshotIgnoresCrashedWriterLeftovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := idx.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := idx.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 	// Simulate the crash debris: a half-written entry and manifest.
 	for _, name := range []string{"0123456789abcdef0123456789abcdef.rrs.tmp-42", "MANIFEST.json.tmp-7"} {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial garbage"), 0o644); err != nil {
-			t.Fatal(err)
+		if werr := os.WriteFile(filepath.Join(dir, name), []byte("partial garbage"), 0o644); werr != nil {
+			t.Fatal(werr)
 		}
 	}
 	fresh := server.NewIndex(0)
@@ -351,8 +351,8 @@ func TestLoadSnapshotIgnoresCrashedWriterLeftovers(t *testing.T) {
 		t.Fatal("restored collection differs after crash-debris load")
 	}
 	// The next snapshot prunes the debris.
-	if err := fresh.SaveSnapshot(dir); err != nil {
-		t.Fatal(err)
+	if serr := fresh.SaveSnapshot(dir); serr != nil {
+		t.Fatal(serr)
 	}
 	leftover, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
 	if err != nil {
@@ -399,8 +399,8 @@ func TestServerRestoreParity(t *testing.T) {
 	if preStats.Misses == 0 {
 		t.Fatal("cold server built nothing — test is vacuous")
 	}
-	if err := s1.SaveState(); err != nil {
-		t.Fatal(err)
+	if serr := s1.SaveState(); serr != nil {
+		t.Fatal(serr)
 	}
 	s1.Close()
 
@@ -459,8 +459,8 @@ func TestServerRestoreAfterDelete(t *testing.T) {
 	}
 	var out solveResp
 	do(t, s1, http.MethodPost, "/v1/selfinfmax", `{"dataset":"mine","k":2,"fixedTheta":500,"evalRuns":200,"seed":3}`, &out)
-	if err := s1.SaveState(); err != nil {
-		t.Fatal(err)
+	if serr := s1.SaveState(); serr != nil {
+		t.Fatal(serr)
 	}
 	if rec := do(t, s1, http.MethodDelete, "/v1/graphs/mine", "", nil); rec.Code != http.StatusOK {
 		t.Fatalf("delete = %d", rec.Code)
@@ -525,8 +525,8 @@ func TestServerStaleDatasetSnapshotRejected(t *testing.T) {
 	}
 	var out solveResp
 	do(t, s1, http.MethodPost, "/v1/selfinfmax", snapSolveBody, &out)
-	if err := s1.SaveState(); err != nil {
-		t.Fatal(err)
+	if serr := s1.SaveState(); serr != nil {
+		t.Fatal(serr)
 	}
 	s1.Close()
 
@@ -560,8 +560,8 @@ func TestStatsExposeSnapshotCounters(t *testing.T) {
 	}
 	var out solveResp
 	do(t, s1, http.MethodPost, "/v1/selfinfmax", snapSolveBody, &out)
-	if err := s1.SaveState(); err != nil {
-		t.Fatal(err)
+	if serr := s1.SaveState(); serr != nil {
+		t.Fatal(serr)
 	}
 	s1.Close()
 	s2, err := server.New(stateConfig(d, dir))
@@ -627,12 +627,12 @@ func TestServeListenerSnapshotOnShutdown(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("solve = %d: %s", resp.StatusCode, body)
 	}
-	if err := json.Unmarshal(body, &before); err != nil {
-		t.Fatal(err)
+	if uerr := json.Unmarshal(body, &before); uerr != nil {
+		t.Fatal(uerr)
 	}
 	cancel() // the SIGTERM
-	if err := <-errc; err != nil {
-		t.Fatalf("graceful shutdown returned %v", err)
+	if serr := <-errc; serr != nil {
+		t.Fatalf("graceful shutdown returned %v", serr)
 	}
 
 	s2, err := server.New(cfg)

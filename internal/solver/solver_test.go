@@ -184,9 +184,9 @@ func TestGreedySelfMatchesExactArgmax(t *testing.T) {
 	}
 	best := -1.0
 	for _, s := range subsets(g.N(), k) {
-		v, err := exact.SigmaA(g, gap, s, seedsB)
-		if err != nil {
-			t.Fatal(err)
+		v, xerr := exact.SigmaA(g, gap, s, seedsB)
+		if xerr != nil {
+			t.Fatal(xerr)
 		}
 		if v > best {
 			best = v
@@ -261,9 +261,9 @@ func TestAIndifferentReductionMatchesExactArgmax(t *testing.T) {
 	}
 	best, bestObj := []int32(nil), -1.0
 	for _, s := range subsets(g.N(), k) {
-		v, err := exact.SigmaA(g, gap, s, seedsB)
-		if err != nil {
-			t.Fatal(err)
+		v, xerr := exact.SigmaA(g, gap, s, seedsB)
+		if xerr != nil {
+			t.Fatal(xerr)
 		}
 		if v > bestObj {
 			best, bestObj = s, v
