@@ -179,14 +179,18 @@ func runBatchBench(cfg experiments.Config) (*batchBenchRecord, error) {
 // render prints a human-readable summary and, when jsonPath is non-empty,
 // writes the record there as indented JSON.
 func (r *batchBenchRecord) render(w io.Writer, jsonPath string) error {
-	fmt.Fprintf(w, "batch k-sweep benchmark: %s scale %g, k=1..%d, theta %d, seed %d\n",
+	var werr error
+	printf(w, &werr, "batch k-sweep benchmark: %s scale %g, k=1..%d, theta %d, seed %d\n",
 		r.Dataset, r.Scale, r.SweepK, r.FixedTheta, r.Seed)
-	fmt.Fprintf(w, "  one batch request: %v (%d builds, %d warm hits)\n",
+	printf(w, &werr, "  one batch request: %v (%d builds, %d warm hits)\n",
 		time.Duration(r.BatchNs), r.BatchBuilds, r.BatchHits)
-	fmt.Fprintf(w, "  %d sequential requests: %v (%d builds, %d warm hits)\n",
+	printf(w, &werr, "  %d sequential requests: %v (%d builds, %d warm hits)\n",
 		r.SweepK, time.Duration(r.SequentialNs), r.SequentialBuilds, r.SequentialHits)
-	fmt.Fprintf(w, "  amortization: %.2fx\n", float64(r.SequentialNs)/float64(r.BatchNs))
-	fmt.Fprintf(w, "  seeds(k=%d) %v\n", r.SweepK, r.Seeds)
+	printf(w, &werr, "  amortization: %.2fx\n", float64(r.SequentialNs)/float64(r.BatchNs))
+	printf(w, &werr, "  seeds(k=%d) %v\n", r.SweepK, r.Seeds)
+	if werr != nil {
+		return werr
+	}
 	if jsonPath == "" {
 		return nil
 	}

@@ -39,12 +39,14 @@ func runCheck(freshPath, committedPath string, out, errOut io.Writer) error {
 	var diffs, warns []string
 	compareJSON("", committed, fresh, &diffs, &warns)
 	for _, w := range warns {
+		//comic:allow errlost warn lines are advisory; a dead stderr must not fail the check
 		fmt.Fprintf(errOut, "comic-bench: check: timing drift (warn-only): %s\n", w)
 	}
 	if len(diffs) > 0 {
 		return fmt.Errorf("%s diverges from committed %s in %d deterministic field(s):\n  %s\n(if the change is intentional, regenerate and commit the trajectory file)",
 			freshPath, committedPath, len(diffs), strings.Join(diffs, "\n  "))
 	}
+	//comic:allow errlost the verdict is the exit status; the summary line is advisory
 	fmt.Fprintf(out, "comic-bench: check: %s matches %s (%d timing field(s) warn-only)\n",
 		freshPath, committedPath, len(warns))
 	return nil

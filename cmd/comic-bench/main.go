@@ -321,14 +321,18 @@ func runSelfInfMaxBench(cfg experiments.Config) (*benchRecord, error) {
 // render prints a human-readable summary and, when jsonPath is non-empty,
 // writes the record there as indented JSON.
 func (r *benchRecord) render(w io.Writer, jsonPath string) error {
-	fmt.Fprintf(w, "selfinfmax benchmark: %s scale %g, k=%d, seed %d\n", r.Dataset, r.Scale, r.K, r.Seed)
-	fmt.Fprintf(w, "  theta %d across candidates; kpt %v, gen %v, select %v\n",
+	var werr error
+	printf(w, &werr, "selfinfmax benchmark: %s scale %g, k=%d, seed %d\n", r.Dataset, r.Scale, r.K, r.Seed)
+	printf(w, &werr, "  theta %d across candidates; kpt %v, gen %v, select %v\n",
 		r.Theta, time.Duration(r.KPTNs), time.Duration(r.GenNs), time.Duration(r.SelectNs))
-	fmt.Fprintf(w, "  resident collections: %d bytes (exact)\n", r.CollectionBytes)
-	fmt.Fprintf(w, "  cold solve %v, warm solve %v (%.1fx); warm selection alone %v\n",
+	printf(w, &werr, "  resident collections: %d bytes (exact)\n", r.CollectionBytes)
+	printf(w, &werr, "  cold solve %v, warm solve %v (%.1fx); warm selection alone %v\n",
 		time.Duration(r.ColdNs), time.Duration(r.WarmNs), float64(r.ColdNs)/float64(r.WarmNs),
 		time.Duration(r.SelectWarmNs))
-	fmt.Fprintf(w, "  seeds %v\n", r.Seeds)
+	printf(w, &werr, "  seeds %v\n", r.Seeds)
+	if werr != nil {
+		return werr
+	}
 	if jsonPath == "" {
 		return nil
 	}

@@ -154,11 +154,15 @@ func runRegimesBench(cfg experiments.Config) (*regimeBenchRecord, error) {
 // render prints a human-readable summary and, when jsonPath is non-empty,
 // writes the record there as indented JSON.
 func (r *regimeBenchRecord) render(w io.Writer, jsonPath string) error {
-	fmt.Fprintf(w, "regimes benchmark: %s scale %g, k=%d, theta %d, seed %d\n",
+	var werr error
+	printf(w, &werr, "regimes benchmark: %s scale %g, k=%d, theta %d, seed %d\n",
 		r.Dataset, r.Scale, r.K, r.FixedTheta, r.Seed)
 	for _, e := range r.Entries {
-		fmt.Fprintf(w, "  %-24s -> %-9s cold %-12v seeds %v\n",
+		printf(w, &werr, "  %-24s -> %-9s cold %-12v seeds %v\n",
 			e.Regime, e.Algorithm, time.Duration(e.ColdNs), e.Seeds)
+	}
+	if werr != nil {
+		return werr
 	}
 	if jsonPath == "" {
 		return nil

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"fmt"
+	"io"
+)
+
+// printf writes one line of a human-readable summary, capturing the first
+// write error in *errp. The render methods emit several lines before their
+// JSON epilogue; funneling the error lets them report a dead writer (a full
+// disk behind a redirected stdout, a closed pipe) instead of dropping it.
+func printf(w io.Writer, errp *error, format string, args ...any) {
+	if _, err := fmt.Fprintf(w, format, args...); err != nil && *errp == nil {
+		*errp = err
+	}
+}

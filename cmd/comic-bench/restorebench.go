@@ -75,6 +75,7 @@ func runRestoreBench(cfg experiments.Config) (*restoreBenchRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	//comic:allow errlost best-effort cleanup of a bench-scoped temp dir
 	defer os.RemoveAll(dir)
 
 	sCfg := server.Config{
@@ -178,14 +179,18 @@ type solveRespRecord struct {
 // render prints a human-readable summary and, when jsonPath is non-empty,
 // writes the record there as indented JSON.
 func (r *restoreBenchRecord) render(w io.Writer, jsonPath string) error {
-	fmt.Fprintf(w, "restore benchmark: %s scale %g, k=%d, theta %d, seed %d\n",
+	var werr error
+	printf(w, &werr, "restore benchmark: %s scale %g, k=%d, theta %d, seed %d\n",
 		r.Dataset, r.Scale, r.K, r.FixedTheta, r.Seed)
-	fmt.Fprintf(w, "  cold solve %v; snapshot save %v\n", time.Duration(r.ColdNs), time.Duration(r.SaveNs))
-	fmt.Fprintf(w, "  restart restore %v (%d collections, %d bytes); warm solve %v, %d builds\n",
+	printf(w, &werr, "  cold solve %v; snapshot save %v\n", time.Duration(r.ColdNs), time.Duration(r.SaveNs))
+	printf(w, &werr, "  restart restore %v (%d collections, %d bytes); warm solve %v, %d builds\n",
 		time.Duration(r.RestoreNs), r.RestoredCollections, r.RestoredBytes, time.Duration(r.WarmNs), r.WarmBuilds)
-	fmt.Fprintf(w, "  cold vs restore+warm: %.1fx\n",
+	printf(w, &werr, "  cold vs restore+warm: %.1fx\n",
 		float64(r.ColdNs)/float64(r.RestoreNs+r.WarmNs))
-	fmt.Fprintf(w, "  seeds %v\n", r.Seeds)
+	printf(w, &werr, "  seeds %v\n", r.Seeds)
+	if werr != nil {
+		return werr
+	}
 	if jsonPath == "" {
 		return nil
 	}

@@ -176,19 +176,23 @@ func runWarmPathBench(cfg experiments.Config) (*warmPathRecord, error) {
 // render prints a human-readable summary and, when jsonPath is non-empty,
 // writes the record there as indented JSON.
 func (r *warmPathRecord) render(w io.Writer, jsonPath string) error {
-	fmt.Fprintf(w, "warmpath benchmark: %s scale %g, k=%d, seed %d\n", r.Dataset, r.Scale, r.K, r.Seed)
-	fmt.Fprintf(w, "  theta %d across candidates; cold solve %v\n", r.Theta, time.Duration(r.ColdNs))
-	fmt.Fprintf(w, "  ordering build (cold select) %v -> warm selection %v\n",
+	var werr error
+	printf(w, &werr, "warmpath benchmark: %s scale %g, k=%d, seed %d\n", r.Dataset, r.Scale, r.K, r.Seed)
+	printf(w, &werr, "  theta %d across candidates; cold solve %v\n", r.Theta, time.Duration(r.ColdNs))
+	printf(w, &werr, "  ordering build (cold select) %v -> warm selection %v\n",
 		time.Duration(r.OrderBuildNs), time.Duration(r.WarmSelectNs))
 	if r.WarmSelectNs >= int64(time.Millisecond) {
-		fmt.Fprintf(w, "  WARNING: warm selection above 1ms\n")
+		printf(w, &werr, "  WARNING: warm selection above 1ms\n")
 	}
-	fmt.Fprintf(w, "  memoized orderings: %d bytes, %d misses, %d hits\n",
+	printf(w, &werr, "  memoized orderings: %d bytes, %d misses, %d hits\n",
 		r.OrderBytes, r.OrderMisses, r.OrderHits)
-	fmt.Fprintf(w, "  seeds %v\n", r.Seeds)
-	fmt.Fprintf(w, "  k-sweep (theta %d): %d build(s), %d ordering build(s), %d warm slices; seeds(k=%d) %v\n",
+	printf(w, &werr, "  seeds %v\n", r.Seeds)
+	printf(w, &werr, "  k-sweep (theta %d): %d build(s), %d ordering build(s), %d warm slices; seeds(k=%d) %v\n",
 		r.SweepFixedTheta, r.SweepBuilds, r.SweepOrderMisses, r.SweepOrderHits,
 		r.K, r.SweepSeeds[len(r.SweepSeeds)-1])
+	if werr != nil {
+		return werr
+	}
 	if jsonPath == "" {
 		return nil
 	}

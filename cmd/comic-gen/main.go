@@ -41,7 +41,6 @@ func main() {
 		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
-	defer w.Flush()
 
 	switch *kind {
 	case "powerlaw":
@@ -75,6 +74,11 @@ func main() {
 			len(log.Entries), log.NumUsers)
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	// A deferred Flush would silently truncate the output on a write error;
+	// the generated file is the whole point of the command.
+	if err := w.Flush(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		fatal(err)
 	}
 	log, err := comic.ReadActionLog(f)
+	//comic:allow errlost read path; the log was fully parsed before close
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -59,6 +60,7 @@ func main() {
 			fatal(err)
 		}
 		g, err := comic.ReadGraph(gf)
+		//comic:allow errlost read path; the graph was fully parsed before close
 		gf.Close()
 		if err != nil {
 			fatal(err)

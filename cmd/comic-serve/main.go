@@ -133,6 +133,7 @@ func main() {
 			fatal(err)
 		}
 		g, err := comic.ReadGraph(f)
+		//comic:allow errlost read path; the graph was fully parsed before close
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))

@@ -41,6 +41,7 @@ func main() {
 		fatal(err)
 	}
 	g, err := comic.ReadGraph(f)
+	//comic:allow errlost read path; the graph was fully parsed before close
 	f.Close()
 	if err != nil {
 		fatal(err)

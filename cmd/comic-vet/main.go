@@ -1,16 +1,21 @@
-// Command comic-vet is the multichecker for comic's determinism lint suite.
+// Command comic-vet is the multichecker for comic's determinism and
+// concurrency-contract lint suite.
 //
 // It bundles the repo-specific analyzers from comic/internal/lint — detrand,
-// maporder, queuepop, directive — with lightweight ports of the upstream
-// shadow, lostcancel, and nilfunc passes, and runs them in either of two
-// modes:
+// maporder, queuepop, lockorder, errlost, fpdet, directive — with
+// lightweight ports of the upstream shadow, lostcancel, nilfunc, and
+// copylocks passes, and runs them in either of two modes:
 //
 //	comic-vet ./...                       standalone: load packages and check them
 //	go vet -vettool=$(pwd)/comic-vet ./...  vettool: driven by the go command
 //
 // The vettool mode speaks cmd/go's vet protocol (-flags discovery plus one
-// vet.cfg invocation per package) and therefore also checks test files,
-// which the standalone mode skips. CI runs the vettool form.
+// vet.cfg invocation per package, with gob-serialized analysis facts flowing
+// between invocations through the .facts files the go command caches) and
+// therefore also checks test files, which the standalone mode skips. CI runs
+// the vettool form. Both modes compose facts across packages, so e.g.
+// detrand flags a solver-package call whose wall-clock read hides behind a
+// helper chain in another package.
 //
 // Analyzers can be selected with per-analyzer boolean flags, mirroring the
 // upstream multichecker: with no analyzer flags every analyzer runs; naming
@@ -18,6 +23,7 @@
 //
 //	comic-vet help            list analyzers
 //	comic-vet help detrand    full documentation for one analyzer
+//	comic-vet -json ./...     structured findings (one JSON object per line)
 //
 // Exit status: 0 for a clean tree, 2 when diagnostics were reported, 1 on
 // operational errors (unloadable packages, bad flags).
@@ -25,6 +31,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +54,7 @@ func main() {
 		enabled[a.Name] = flag.Bool(a.Name, false, "run only the "+a.Name+" analyzer (with other selected analyzers)")
 	}
 	flagsJSON := flag.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line (file/line/column/analyzer/message/directive)")
 	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for the go command)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: comic-vet [-analyzer]... package...\n")
@@ -78,7 +86,7 @@ func main() {
 
 	// A single argument ending in .cfg is cmd/go driving us as a vettool.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runUnitchecker(args[0], selected))
+		os.Exit(runUnitchecker(args[0], selected, *jsonOut))
 	}
 
 	pkgs, err := driver.Load(".", args)
@@ -89,11 +97,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
-	}
+	printFindings(findings, *jsonOut)
 	if len(findings) > 0 {
 		os.Exit(2)
+	}
+}
+
+// printFindings writes findings in the text form ("file:line:col: message
+// [analyzer]", stderr) or, with -json, as one JSON object per line on
+// stdout. The JSON form carries the suggested //comic: directive for
+// analyzers that have an annotation escape hatch, so CI can render "fix or
+// annotate" guidance next to each finding.
+func printFindings(findings []driver.Finding, jsonOut bool) {
+	if !jsonOut {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		return
+	}
+	type jsonFinding struct {
+		File      string `json:"file"`
+		Line      int    `json:"line"`
+		Column    int    `json:"column"`
+		Analyzer  string `json:"analyzer"`
+		Message   string `json:"message"`
+		Directive string `json:"directive,omitempty"`
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:      f.Pos.Filename,
+			Line:      f.Pos.Line,
+			Column:    f.Pos.Column,
+			Analyzer:  f.Analyzer,
+			Message:   f.Message,
+			Directive: lint.SuggestedDirective(f.Analyzer),
+		}
+		if err := enc.Encode(jf); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

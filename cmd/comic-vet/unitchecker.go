@@ -3,11 +3,17 @@ package main
 // The vettool protocol, as spoken by cmd/go (see $GOROOT/src/cmd/go/internal/
 // work/exec.go, (*Builder).vet): for every package in the build graph the go
 // command writes a vet.cfg describing the type-checker inputs — source files,
-// an import map, and compiled export data for every dependency — and invokes
-// the tool as `comic-vet <flags> /path/to/vet.cfg`. Dependency packages are
-// visited with VetxOnly=true purely to produce analysis facts; since comic's
-// analyzers are package-local (no facts), those invocations only touch the
-// VetxOutput file and exit, which keeps `go vet -vettool` runs cheap.
+// an import map, compiled export data for every dependency, and the .facts
+// ("vetx") files those dependencies produced — and invokes the tool as
+// `comic-vet <flags> /path/to/vet.cfg`. Dependency packages are visited with
+// VetxOnly=true purely to produce analysis facts: comic-vet runs its
+// fact-producing analyzers over them (diagnostics suppressed), gob-encodes
+// the accumulated fact set to VetxOutput, and the go command caches that
+// file so each dependency is visited once per build. Standard-library
+// packages are skipped outright — comic's analyzers treat stdlib entry
+// points (time.Now, math/rand, channel operations) as intrinsic roots, so
+// stdlib packages can never contribute facts — which keeps `go vet
+// -vettool` runs cheap.
 
 import (
 	"encoding/json"
@@ -32,6 +38,7 @@ type vetConfig struct {
 
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string // dependency import path -> its .facts file
 	Standard    map[string]bool
 	VetxOnly    bool
 	VetxOutput  string
@@ -42,7 +49,7 @@ type vetConfig struct {
 
 // runUnitchecker executes one vet.cfg invocation and returns the process
 // exit code: 0 clean, 2 diagnostics reported.
-func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
+func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		log.Fatal(err)
@@ -52,15 +59,42 @@ func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
 		log.Fatalf("parsing %s: %v", cfgPath, uerr)
 	}
 
-	// Always produce the facts file, even when skipping analysis: cmd/go
-	// caches it so dependency invocations are not repeated.
-	if cfg.VetxOutput != "" {
-		if werr := os.WriteFile(cfg.VetxOutput, []byte("comic-vet: no facts\n"), 0o666); werr != nil {
+	writeVetx := func(facts *driver.FactSet) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		payload := []byte("comic-vet: no facts\n")
+		if facts != nil {
+			if enc, eerr := facts.Encode(); eerr == nil {
+				payload = enc
+			}
+		}
+		if werr := os.WriteFile(cfg.VetxOutput, payload, 0o666); werr != nil {
 			log.Fatal(werr)
 		}
 	}
-	if cfg.VetxOnly {
+
+	// Standard-library packages produce no comic facts by construction;
+	// write the placeholder and skip the (expensive) type-check entirely.
+	if cfg.Standard[cfg.ImportPath] {
+		writeVetx(nil)
 		return 0
+	}
+
+	// Merge the facts of every dependency. Each dependency's facts file
+	// carries its own exports plus everything it inherited, so direct
+	// dependencies suffice. Files from before the facts protocol (or from
+	// other tools) lack the magic header and decode as empty.
+	driver.RegisterFactTypes(analyzers)
+	facts := driver.NewFactSet()
+	for _, vetx := range cfg.PackageVetx {
+		data, rerr := os.ReadFile(vetx)
+		if rerr != nil {
+			continue // missing dependency facts degrade to package-local analysis
+		}
+		if derr := facts.Decode(data); derr != nil {
+			log.Fatalf("reading facts %s: %v", vetx, derr)
+		}
 	}
 
 	resolve := func(importPath string) (string, error) {
@@ -79,20 +113,21 @@ func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
 		goVersion = version.Lang(cfg.GoVersion)
 	}
 	fset := token.NewFileSet()
-	pkg, err := driver.Check(cfg.ImportPath, fset, cfg.GoFiles, resolve, goVersion)
+	pkg, err := driver.Check(cfg.ImportPath, fset, cfg.GoFiles, driver.ExportImporter(fset, resolve), goVersion)
 	if err != nil {
+		writeVetx(nil)
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		log.Fatal(err)
 	}
-	findings, err := driver.Run([]*driver.Package{pkg}, analyzers)
+	pkg.FactsOnly = cfg.VetxOnly
+	findings, err := driver.RunWithFacts([]*driver.Package{pkg}, analyzers, facts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
-	}
+	writeVetx(facts)
+	printFindings(findings, jsonOut)
 	if len(findings) > 0 {
 		return 2
 	}

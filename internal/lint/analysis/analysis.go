@@ -10,8 +10,14 @@
 // dependency is allowed.
 //
 // Differences from upstream, all deliberate omissions rather than behavioral
-// changes: no Facts (comic's analyzers are package-local), no Requires graph
-// (none of the analyzers share intermediate results), and no SuggestedFixes.
+// changes: no Requires graph (none of the analyzers share intermediate
+// results) and no SuggestedFixes. Facts — object facts and package facts —
+// are supported with upstream semantics: an analyzer declares its fact types
+// in FactTypes, exports facts while analyzing a package, and imports facts
+// previously exported for dependency packages, which is what makes passes
+// like detrand transitive across package boundaries. Fact serialization
+// (gob, alongside export data and through the go vet .facts files) lives in
+// comic/internal/lint/driver.
 package analysis
 
 import (
@@ -36,6 +42,13 @@ type Analyzer struct {
 	// by comic-vet, kept for upstream shape compatibility) and an error.
 	// Diagnostics are reported via Pass.Report / Pass.Reportf, not the error.
 	Run func(*Pass) (interface{}, error)
+
+	// FactTypes declares, by example value, the types of facts this analyzer
+	// produces and consumes. Each must be a pointer to a gob-encodable struct
+	// implementing Fact. An analyzer with no FactTypes is package-local: the
+	// driver runs it only on the packages under analysis, never on
+	// dependencies.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -60,6 +73,54 @@ type Pass struct {
 
 	// Report delivers one diagnostic. Drivers install this.
 	Report func(Diagnostic)
+
+	// ImportObjectFact copies into fact the fact most recently exported for
+	// obj (by this analyzer, in this package or a dependency) and reports
+	// whether one existed. fact must be a pointer of one of the analyzer's
+	// declared FactTypes. Drivers install this.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ExportObjectFact records fact for obj, visible to this analyzer in
+	// every package that depends on this one. obj must belong to the package
+	// being analyzed. Drivers install this.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportPackageFact copies into fact the fact most recently exported for
+	// pkg and reports whether one existed. Drivers install this.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+
+	// ExportPackageFact records fact for the package being analyzed. Drivers
+	// install this.
+	ExportPackageFact func(fact Fact)
+
+	// AllObjectFacts returns all object facts of this analyzer's fact types
+	// currently visible to the pass. Drivers install this.
+	AllObjectFacts func() []ObjectFact
+
+	// AllPackageFacts returns all package facts of this analyzer's fact
+	// types currently visible to the pass. Drivers install this.
+	AllPackageFacts func() []PackageFact
+}
+
+// A Fact is an intermediate result of analysis, attached to an object or a
+// package, that flows to the analyses of dependent packages. Facts are
+// serialized by the driver (gob), so a fact type must be a pointer to a
+// struct with exported fields, registered via the driver from
+// Analyzer.FactTypes. The AFact method is a marker.
+type Fact interface {
+	AFact()
+}
+
+// An ObjectFact is a fact about a named object.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// A PackageFact is a fact about a package.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
 }
 
 // Reportf reports a formatted diagnostic at pos.

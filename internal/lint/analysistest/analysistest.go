@@ -1,22 +1,30 @@
 // Package analysistest runs an analyzer over fixture packages and checks its
-// diagnostics against "// want" expectations, mirroring the upstream
-// golang.org/x/tools/go/analysis/analysistest workflow on the stdlib-only
-// framework in comic/internal/lint/analysis.
+// diagnostics and exported facts against "// want" expectations, mirroring
+// the upstream golang.org/x/tools/go/analysis/analysistest workflow on the
+// stdlib-only framework in comic/internal/lint/analysis.
 //
 // Fixtures live under <testdata>/src/<pkgpath>/ and may import standard
-// library packages and real module packages (e.g. comic/internal/rng); the
-// loader resolves them to compiled export data through the go build cache.
+// library packages, real module packages (e.g. comic/internal/rng), and —
+// new with the facts protocol — each other: a fixture package whose import
+// path names another fixture package is type-checked against that package's
+// source, fixture packages are analyzed in dependency order, and one fact
+// set threads through the whole run, so interprocedural analyzers can be
+// exercised across fixture package boundaries.
 //
 // An expectation is a comment of the form
 //
-//	// want "regexp" "another regexp"
+//	// want "diag regexp" ObjectName:"fact regexp"
 //
-// on the line where the diagnostics are expected. A relative offset
-// ("// want-1 ...") shifts the expected line — needed when the diagnostic
-// position is itself a full-line comment (the directive analyzer reports at
-// the directive's own position, and a line comment cannot share its line
-// with another comment). Every diagnostic must match exactly one want on
-// its line, and every want must be matched.
+// on the line where the diagnostic (or the named object's declaration) is
+// expected. A relative offset ("// want-1 ...") shifts the expected line —
+// needed when the diagnostic position is itself a full-line comment (the
+// directive analyzer reports at the directive's own position, and a line
+// comment cannot share its line with another comment). Every diagnostic must
+// match exactly one want on its line, and every want must be matched. Fact
+// expectations are positive-only: a fact want must match an exported fact on
+// the named object at that line (its fmt.Sprint rendering), but facts without
+// expectations are not errors — unlike upstream, which would force exhaustive
+// annotation of every lock-summary fact in every fixture.
 package analysistest
 
 import (
@@ -24,6 +32,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -38,7 +47,8 @@ import (
 
 // Run loads each fixture package named by patterns (an import path under
 // dir/src, or such a path ending in "/..." to include its subtree), runs the
-// analyzer on it, and reports expectation mismatches on t.
+// analyzer over all of them in dependency order with a shared fact set, and
+// reports expectation mismatches on t.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
 	pkgDirs, err := expandPatterns(filepath.Join(dir, "src"), patterns)
@@ -51,12 +61,13 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 
 	fset := token.NewFileSet()
 	type fixturePkg struct {
-		path  string
-		files []*ast.File
-		names []string
+		path    string
+		files   []*ast.File
+		names   []string
+		imports []string
 	}
+	byPath := map[string]*fixturePkg{}
 	var pkgs []*fixturePkg
-	importSet := map[string]bool{}
 	for _, pd := range pkgDirs {
 		names, gerr := filepath.Glob(filepath.Join(pd.dir, "*.go"))
 		if gerr != nil || len(names) == 0 {
@@ -72,13 +83,25 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 			fp.files = append(fp.files, f)
 			for _, imp := range f.Imports {
 				if path, iperr := strconv.Unquote(imp.Path.Value); iperr == nil {
-					importSet[path] = true
+					fp.imports = append(fp.imports, path)
 				}
 			}
 		}
+		byPath[fp.path] = fp
 		pkgs = append(pkgs, fp)
 	}
 
+	// External imports resolve to compiled export data; fixture-to-fixture
+	// imports resolve to the source-checked package, which therefore must be
+	// checked first: topologically sort the fixtures by their mutual imports.
+	importSet := map[string]bool{}
+	for _, fp := range pkgs {
+		for _, path := range fp.imports {
+			if byPath[path] == nil {
+				importSet[path] = true
+			}
+		}
+	}
 	var imports []string
 	for path := range importSet {
 		imports = append(imports, path)
@@ -88,27 +111,110 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	if err != nil {
 		t.Fatalf("resolving fixture imports: %v", err)
 	}
-	resolve := func(path string) (string, error) {
-		e, ok := exports[path]
-		if !ok {
-			return "", fmt.Errorf("no export data for %q", path)
+
+	ordered, err := topoSort(pkgs, func(fp *fixturePkg) (string, []string) {
+		var deps []string
+		for _, path := range fp.imports {
+			if byPath[path] != nil {
+				deps = append(deps, path)
+			}
 		}
-		return e, nil
+		return fp.path, deps
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 
-	for _, fp := range pkgs {
-		pkg, err := driver.Check(fp.path, fset, fp.names, resolve, "")
-		if err != nil {
-			t.Errorf("fixture %s: %v", fp.path, err)
-			continue
-		}
-		findings, err := driver.Run([]*driver.Package{pkg}, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Errorf("fixture %s: %v", fp.path, err)
-			continue
-		}
-		checkExpectations(t, fset, pkg.Files, findings)
+	checked := map[string]*types.Package{}
+	imp := &fixtureImporter{
+		checked: checked,
+		fallback: driver.ExportImporter(fset, func(path string) (string, error) {
+			e, ok := exports[path]
+			if !ok {
+				return "", fmt.Errorf("no export data for %q", path)
+			}
+			return e, nil
+		}),
 	}
+
+	var loaded []*driver.Package
+	var allFiles []*ast.File
+	for _, fp := range ordered {
+		pkg, cerr := driver.Check(fp.path, fset, fp.names, imp, "")
+		if cerr != nil {
+			t.Fatalf("fixture %s: %v", fp.path, cerr)
+		}
+		checked[fp.path] = pkg.Types
+		loaded = append(loaded, pkg)
+		allFiles = append(allFiles, pkg.Files...)
+	}
+
+	facts := driver.NewFactSet()
+	findings, err := driver.RunWithFacts(loaded, []*analysis.Analyzer{a}, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objFacts := facts.ResolveObjectFacts(func(pkgPath string) *types.Package { return checked[pkgPath] })
+	checkExpectations(t, fset, allFiles, findings, objFacts)
+}
+
+// fixtureImporter resolves fixture packages from their already-checked
+// source form and everything else from export data.
+type fixtureImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.checked[path]; ok {
+		return pkg, nil
+	}
+	return im.fallback.Import(path)
+}
+
+// topoSort orders items so that every dependency precedes its dependents.
+func topoSort[T any](items []T, deps func(T) (string, []string)) ([]T, error) {
+	byKey := map[string]T{}
+	var keys []string
+	for _, it := range items {
+		k, _ := deps(it)
+		byKey[k] = it
+		keys = append(keys, k)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var out []T
+	var visit func(string) error
+	visit = func(k string) error {
+		switch state[k] {
+		case gray:
+			return fmt.Errorf("fixture import cycle through %q", k)
+		case black:
+			return nil
+		}
+		state[k] = gray
+		_, ds := deps(byKey[k])
+		for _, d := range ds {
+			if _, ok := byKey[d]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[k] = black
+		out = append(out, byKey[k])
+		return nil
+	}
+	for _, k := range keys {
+		if err := visit(k); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 type patternDir struct {
@@ -162,16 +268,22 @@ func expandPatterns(srcRoot string, patterns []string) ([]patternDir, error) {
 	return out, nil
 }
 
-// A want is one parsed expectation.
+// A want is one parsed expectation: a diagnostic regexp, or (when factObj is
+// non-empty) a fact expectation on the named object.
 type want struct {
 	file    string
 	line    int
+	factObj string
 	re      *regexp.Regexp
 	raw     string
 	matched bool
 }
 
 var wantRe = regexp.MustCompile(`^//\s*want([+-]\d+)?\s+(.*)$`)
+
+// wantItemRe matches one expectation item: an optional ObjectName: prefix
+// followed by a double- or back-quoted regexp.
+var wantItemRe = regexp.MustCompile("(?:([A-Za-z_][A-Za-z0-9_]*):)?(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
 
 func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 	t.Helper()
@@ -188,7 +300,13 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 				if m[1] != "" {
 					offset, _ = strconv.Atoi(m[1])
 				}
-				for _, raw := range splitQuoted(m[2]) {
+				items := wantItemRe.FindAllStringSubmatch(m[2], -1)
+				if len(items) == 0 {
+					t.Errorf("%s: malformed want comment: %s", pos, c.Text)
+					continue
+				}
+				for _, item := range items {
+					raw := item[2]
 					text, err := strconv.Unquote(raw)
 					if err != nil {
 						t.Errorf("%s: malformed want pattern %s: %v", pos, raw, err)
@@ -199,7 +317,10 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 						t.Errorf("%s: bad want regexp %q: %v", pos, text, err)
 						continue
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line + offset, re: re, raw: raw})
+					wants = append(wants, &want{
+						file: pos.Filename, line: pos.Line + offset,
+						factObj: item[1], re: re, raw: raw,
+					})
 				}
 			}
 		}
@@ -207,45 +328,13 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 	return wants
 }
 
-// splitQuoted extracts the sequence of Go-quoted or backquoted strings from
-// s, e.g. `"a" "b c"` → ["a", "b c"] (still quoted).
-func splitQuoted(s string) []string {
-	var out []string
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '"':
-			j := i + 1
-			for j < len(s) && s[j] != '"' {
-				if s[j] == '\\' {
-					j++
-				}
-				j++
-			}
-			if j < len(s) {
-				out = append(out, s[i:j+1])
-				i = j
-			}
-		case '`':
-			j := i + 1
-			for j < len(s) && s[j] != '`' {
-				j++
-			}
-			if j < len(s) {
-				out = append(out, s[i:j+1])
-				i = j
-			}
-		}
-	}
-	return out
-}
-
-func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []driver.Finding) {
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []driver.Finding, objFacts []analysis.ObjectFact) {
 	t.Helper()
 	wants := parseWants(t, fset, files)
 	for _, f := range findings {
 		matched := false
 		for _, w := range wants {
-			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			if !w.matched && w.factObj == "" && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
 				w.matched = true
 				matched = true
 				break
@@ -255,9 +344,23 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, fin
 			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
 		}
 	}
+	for _, of := range objFacts {
+		pos := fset.Position(of.Object.Pos())
+		rendered := fmt.Sprint(of.Fact)
+		for _, w := range wants {
+			if !w.matched && w.factObj == of.Object.Name() && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(rendered) {
+				w.matched = true
+				break
+			}
+		}
+	}
 	for _, w := range wants {
 		if !w.matched {
-			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+			kind := "diagnostic"
+			if w.factObj != "" {
+				kind = "fact on " + w.factObj
+			}
+			t.Errorf("%s:%d: no %s matching %s", w.file, w.line, kind, w.raw)
 		}
 	}
 }

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"comic/internal/lint/analysis"
+)
+
+// CopylocksAnalyzer is a stdlib-only port of the upstream copylocks vet
+// pass, sized to what comic needs: values containing a sync primitive must
+// never be copied, because the copy shares the primitive's internal state
+// with the original while callers believe the two are independent.
+var CopylocksAnalyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc: `flag values containing sync primitives passed or assigned by value
+
+Copying a sync.Mutex (or any struct embedding one) forks its state: both
+copies believe they own the lock, and the duplicated waiter lists corrupt
+blocking behavior in ways the race detector rarely catches. The analyzer
+reports lock-bearing values that are
+
+  - received or passed by value in a function signature,
+  - copied by assignment, short variable declaration, or var initializer,
+  - passed by value as a call argument,
+  - copied by a range clause, or
+  - returned by value.
+
+Composite literals and function results are not flagged — constructing a
+fresh value is fine; it is copying a live one that shares state. A sanctioned
+copy (e.g. a snapshot of a stats struct taken while its lock is provably
+unreachable) is annotated in place:
+
+	//comic:allow copylocks <reason>`,
+	Run: runCopylocks,
+}
+
+// lockTypes are the sync package types that must not be copied after first
+// use. sync.Once, sync.Pool, and sync.Map embed their own mutexes.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Cond": true, "Once": true, "Pool": true, "Map": true,
+}
+
+// lockIn returns the name of the sync primitive reachable inside t by value
+// ("sync.Mutex"), or "" when t is freely copyable. Pointers, slices, maps,
+// channels, interfaces, and funcs are references, so recursion stops there.
+func lockIn(t types.Type, depth int) string {
+	if t == nil || depth > 12 {
+		return ""
+	}
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && lockTypes[named.Obj().Name()] {
+			return "sync." + named.Obj().Name()
+		}
+		return lockIn(named.Underlying(), depth+1)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := lockIn(u.Field(i).Type(), depth+1); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+// describeLock renders a lock-bearing type for a diagnostic: the sync
+// primitive itself, or "outer contains primitive".
+func describeLock(pass *analysis.Pass, t types.Type) (string, bool) {
+	inner := lockIn(t, 0)
+	if inner == "" {
+		return "", false
+	}
+	qual := func(p *types.Package) string { return p.Name() }
+	outer := types.TypeString(t, qual)
+	if outer == inner {
+		return inner, true
+	}
+	return outer + " contains " + inner, true
+}
+
+// copiesValue reports whether the expression reads an existing value (so
+// using it in a by-value position copies live state). Composite literals,
+// calls, and conversions construct fresh values and are exempt.
+func copiesValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func runCopylocks(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		dirs := fileDirectives(pass.Fset, file)
+		report := func(stmt, site ast.Node, format string, args ...interface{}) {
+			if !suppressed(pass.Fset, dirs, verbAllow, "copylocks", stmt, site) {
+				pass.Reportf(site.Pos(), format+"; annotate with //comic:allow copylocks <reason> only if the copy is provably dead", args...)
+			}
+		}
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				name := n.Name.Name
+				checkFuncFields(pass, report, n, n.Recv, name)
+				checkFuncFields(pass, report, n, n.Type.Params, name)
+			case *ast.FuncLit:
+				checkFuncFields(pass, report, n, n.Type.Params, "function literal")
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					// Discarding to _ performs no copy anyone can use.
+					if lhs, ok := n.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+						continue
+					}
+					if !copiesValue(rhs) {
+						continue
+					}
+					if desc, ok := describeLock(pass, pass.TypesInfo.TypeOf(rhs)); ok {
+						report(n, rhs, "assignment copies lock value to %s: %s", types.ExprString(n.Lhs[i]), desc)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range n.Values {
+					if i >= len(n.Names) || !copiesValue(rhs) {
+						continue
+					}
+					if desc, ok := describeLock(pass, pass.TypesInfo.TypeOf(rhs)); ok {
+						report(n, rhs, "variable declaration copies lock value to %s: %s", n.Names[i].Name, desc)
+					}
+				}
+			case *ast.CallExpr:
+				if _, _, _, isMutex := mutexOp(pass.TypesInfo, n); isMutex {
+					return true
+				}
+				if isConversion(pass.TypesInfo, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if !copiesValue(arg) {
+						continue
+					}
+					if desc, ok := describeLock(pass, pass.TypesInfo.TypeOf(arg)); ok {
+						report(enclosingStmt(stack), arg, "call of %s copies lock value: %s", calleeName(pass.TypesInfo, n), desc)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if desc, ok := describeLock(pass, pass.TypesInfo.TypeOf(n.Value)); ok {
+					report(n, n.Value, "range variable %s copies lock: %s", types.ExprString(n.Value), desc)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if !copiesValue(res) {
+						continue
+					}
+					if desc, ok := describeLock(pass, pass.TypesInfo.TypeOf(res)); ok {
+						report(n, res, "return copies lock value: %s", desc)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFuncFields reports by-value lock-bearing receivers and parameters.
+func checkFuncFields(pass *analysis.Pass, report func(stmt, site ast.Node, format string, args ...interface{}), decl ast.Node, fields *ast.FieldList, fname string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr || t == nil {
+			continue
+		}
+		if desc, ok := describeLock(pass, t); ok {
+			report(decl, f.Type, "%s passes lock by value: %s", fname, desc)
+		}
+	}
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -19,16 +19,21 @@ var DirectiveAnalyzer = &analysis.Analyzer{
 
 Grammar:
 
-	//comic:timing <reason>            suppress detrand for a wall-clock read
+	//comic:timing <reason>            suppress detrand for a wall-clock read,
+	                                   direct or reached through an impure helper
 	//comic:unordered <reason>         suppress maporder for a map iteration
-	//comic:allow <analyzer> <reason>  suppress shadow, lostcancel, or nilfunc
+	//comic:allow <analyzer> <reason>  suppress shadow, lostcancel, nilfunc,
+	                                   errlost, lockorder, fpdet, or copylocks
 
 Directives are written like //go: pragmas (no space after the slashes), on
 the line above the statement they excuse or on the statement's line. The
 analyzer reports unknown verbs, missing reasons, //comic:allow naming an
 analyzer without that escape hatch, near-miss spellings ("// comic:"), and
-directives not attached to a site of the kind they suppress.`,
-	Run: runDirective,
+directives not attached to a site of the kind they suppress. A timing site
+can be a call to a function another package marked impure, so the analyzer
+imports detrand's Impure facts to validate attachment.`,
+	Run:       runDirective,
+	FactTypes: []analysis.Fact{new(ImpureFact)},
 }
 
 // nearMissRe matches comments that were probably meant as directives but
@@ -111,6 +116,8 @@ func collectDirectiveSites(pass *analysis.Pass, file *ast.File) directiveSites {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if _, ok := clockCall(pass.TypesInfo, n); ok {
+				mark(sites.timing, attachmentLines(pass.Fset, enclosingStmt(stack), n))
+			} else if impureCallSite(pass, n) {
 				mark(sites.timing, attachmentLines(pass.Fset, enclosingStmt(stack), n))
 			}
 		case *ast.RangeStmt:

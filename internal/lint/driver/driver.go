@@ -36,6 +36,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// FactsOnly marks a dependency package loaded solely so fact-producing
+	// analyzers can see its source: analyzers still run on it (to export
+	// facts), but its diagnostics are discarded, mirroring cmd/go's
+	// VetxOnly visits.
+	FactsOnly bool
 }
 
 // A Finding is one diagnostic produced by an analyzer, with its position
@@ -56,6 +62,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	DepOnly    bool
+	Standard   bool
 	GoFiles    []string
 	Incomplete bool
 	Error      *struct{ Err string }
@@ -86,7 +93,7 @@ func goList(dir string, args ...string) ([]*listedPackage, error) {
 	return pkgs, nil
 }
 
-const listFields = "-json=ImportPath,Dir,Export,DepOnly,GoFiles,Incomplete,Error"
+const listFields = "-json=ImportPath,Dir,Export,DepOnly,Standard,GoFiles,Incomplete,Error"
 
 // ListExports resolves the given import paths (and their transitive
 // dependencies) to compiled export-data files, building them through the go
@@ -108,10 +115,25 @@ func ListExports(dir string, paths []string) (map[string]string, error) {
 	return exports, nil
 }
 
-// Check parses and type-checks one package from explicit file names. resolve
-// maps an import path as written in the source to a compiled export-data
-// file. goVersion may be empty (language version of the toolchain).
-func Check(path string, fset *token.FileSet, filenames []string, resolve func(string) (string, error), goVersion string) (*Package, error) {
+// ExportImporter returns a types.Importer that reads compiled export data.
+// resolve maps an import path as written in the source to an export-data
+// file produced by `go list -export`.
+func ExportImporter(fset *token.FileSet, resolve func(string) (string, error)) types.Importer {
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		exportFile, err := resolve(importPath)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(exportFile)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Check parses and type-checks one package from explicit file names,
+// resolving imports through imp (usually an ExportImporter, optionally
+// layered under source-checked packages — see analysistest). goVersion may
+// be empty (language version of the toolchain).
+func Check(path string, fset *token.FileSet, filenames []string, imp types.Importer, goVersion string) (*Package, error) {
 	files := make([]*ast.File, 0, len(filenames))
 	for _, name := range filenames {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -120,16 +142,9 @@ func Check(path string, fset *token.FileSet, filenames []string, resolve func(st
 		}
 		files = append(files, f)
 	}
-	lookup := func(importPath string) (io.ReadCloser, error) {
-		exportFile, err := resolve(importPath)
-		if err != nil {
-			return nil, err
-		}
-		return os.Open(exportFile)
-	}
 	info := analysis.NewInfo()
 	conf := types.Config{
-		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		Importer:  imp,
 		GoVersion: goVersion,
 		Sizes:     types.SizesFor("gc", "amd64"),
 	}
@@ -141,10 +156,15 @@ func Check(path string, fset *token.FileSet, filenames []string, resolve func(st
 }
 
 // Load enumerates, parses, and type-checks the packages matching the go list
-// patterns (e.g. "./..."), run from dir. Only the matched packages are
-// returned; dependencies are consumed as export data. Test files are not
-// loaded — the `go vet -vettool` path feeds them to comic-vet per package
-// instead.
+// patterns (e.g. "./..."), run from dir. Matched packages are returned for
+// analysis; module-internal dependency packages are also loaded — in
+// dependency order, marked FactsOnly — so fact-producing analyzers can see
+// their source, while standard-library dependencies are consumed as export
+// data only (comic's fact-producing analyzers treat stdlib entry points as
+// intrinsic roots). `go list -deps` emits packages in dependency order
+// (post-order traversal), which Run relies on: a package's facts are always
+// computed before any dependent is analyzed. Test files are not loaded —
+// the `go vet -vettool` path feeds them to comic-vet per package instead.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	pkgs, err := goList(dir, append([]string{"-deps", "-export", listFields}, patterns...)...)
 	if err != nil {
@@ -164,9 +184,10 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		return exportFile, nil
 	}
 	fset := token.NewFileSet()
+	imp := ExportImporter(fset, resolve)
 	var out []*Package
 	for _, p := range pkgs {
-		if p.DepOnly || len(p.GoFiles) == 0 {
+		if (p.DepOnly && p.Standard) || len(p.GoFiles) == 0 {
 			continue
 		}
 		if p.Incomplete || p.Error != nil {
@@ -180,22 +201,35 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		for i, name := range p.GoFiles {
 			filenames[i] = filepath.Join(p.Dir, name)
 		}
-		pkg, err := Check(p.ImportPath, fset, filenames, resolve, "")
+		pkg, err := Check(p.ImportPath, fset, filenames, imp, "")
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = p.DepOnly
 		out = append(out, pkg)
 	}
 	return out, nil
 }
 
-// Run applies every analyzer to every package and returns the findings
-// sorted by file position then analyzer name. An analyzer returning an error
-// aborts the run.
+// Run applies every analyzer to every package with a fresh fact set and
+// returns the findings sorted by file position then analyzer name.
 func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	return RunWithFacts(pkgs, analyzers, NewFactSet())
+}
+
+// RunWithFacts applies every analyzer to every package in the given order —
+// which must put dependencies before dependents for cross-package facts to
+// compose — threading all fact imports and exports through fs. Packages
+// marked FactsOnly are visited by fact-producing analyzers only and their
+// diagnostics are discarded. An analyzer returning an error aborts the run.
+func RunWithFacts(pkgs []*Package, analyzers []*analysis.Analyzer, fs *FactSet) ([]Finding, error) {
+	RegisterFactTypes(analyzers)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if pkg.FactsOnly && len(a.FactTypes) == 0 {
+				continue // a factless analyzer has nothing to contribute downstream
+			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -203,13 +237,18 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 			}
+			factsOnly := pkg.FactsOnly
 			pass.Report = func(d analysis.Diagnostic) {
+				if factsOnly {
+					return
+				}
 				findings = append(findings, Finding{
 					Analyzer: a.Name,
 					Pos:      pkg.Fset.Position(d.Pos),
 					Message:  d.Message,
 				})
 			}
+			installFacts(pass, a, fs)
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 			}

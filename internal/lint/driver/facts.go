@@ -1,0 +1,346 @@
+package driver
+
+// Fact storage and serialization. A FactSet carries every fact exported
+// during a run, keyed by (package, object, concrete fact type), and encodes
+// to a gob stream so facts can cross process boundaries: the standalone
+// driver threads one FactSet through a whole `go list -deps` load, while the
+// vettool path (cmd/comic-vet) decodes the .facts files cmd/go hands it for
+// each dependency and encodes the current package's accumulated set to
+// VetxOutput. Objects are named by a stable key — the object's name for
+// package-level objects, "Type.Method" for methods — playing the role
+// golang.org/x/tools/go/types/objectpath plays upstream; objects outside
+// those forms (locals, struct fields) simply don't get serialized facts,
+// which none of comic's analyzers need.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"comic/internal/lint/analysis"
+)
+
+// factSetMagic begins every serialized fact stream. Files without it (the
+// empty placeholder written for standard-library packages, or a .facts file
+// from an older comic-vet) decode as an empty set.
+const factSetMagic = "comicvetx1\n"
+
+// A FactSet holds the facts exported by analyzers during a run.
+type FactSet struct {
+	mu sync.Mutex
+	m  map[factKey]analysis.Fact
+}
+
+// factKey identifies one fact: the defining package's import path, the
+// object's stable key within it ("" for a package fact), and the concrete
+// fact type (a pointer type), which namespaces analyzers from one another.
+type factKey struct {
+	pkg string
+	obj string
+	typ reflect.Type
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{m: make(map[factKey]analysis.Fact)}
+}
+
+// objectKey returns the stable serialization key for obj, or ok=false when
+// the object has no stable cross-package name (locals, struct fields,
+// imported package names).
+func objectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch o := obj.(type) {
+	case *types.PkgName:
+		return "", false
+	case *types.Func:
+		if recv := o.Type().(*types.Signature).Recv(); recv != nil {
+			named := namedOf(recv.Type())
+			if named == nil {
+				return "", false
+			}
+			return named.Obj().Name() + "." + o.Name(), true
+		}
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// namedOf unwraps pointers and aliases to the receiver's named type.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// lookupObject resolves an object key produced by objectKey back to the
+// object in pkg, or nil if it no longer exists.
+func lookupObject(pkg *types.Package, key string) types.Object {
+	if typeName, method, ok := strings.Cut(key, "."); ok {
+		tn, _ := pkg.Scope().Lookup(typeName).(*types.TypeName)
+		if tn == nil {
+			return nil
+		}
+		named, _ := types.Unalias(tn.Type()).(*types.Named)
+		if named == nil {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == method {
+				return m
+			}
+		}
+		return nil
+	}
+	return pkg.Scope().Lookup(key)
+}
+
+// copyFact copies src's pointee into dst, which must be a pointer to the
+// same concrete struct type.
+func copyFact(dst, src analysis.Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+// get copies the stored fact for (pkgPath, objKey) into ptr and reports
+// whether one existed.
+func (s *FactSet) get(pkgPath, objKey string, ptr analysis.Fact) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.m[factKey{pkgPath, objKey, reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	copyFact(ptr, f)
+	return true
+}
+
+// set stores fact for (pkgPath, objKey), replacing any previous fact of the
+// same concrete type.
+func (s *FactSet) set(pkgPath, objKey string, fact analysis.Fact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[factKey{pkgPath, objKey, reflect.TypeOf(fact)}] = fact
+}
+
+// gobFact is the serialized form of one fact.
+type gobFact struct {
+	Pkg  string // defining package import path
+	Obj  string // object key; "" for a package fact
+	Fact analysis.Fact
+}
+
+// Encode serializes the whole set (magic header + gob stream) in a
+// deterministic order.
+func (s *FactSet) Encode() ([]byte, error) {
+	s.mu.Lock()
+	gobs := make([]gobFact, 0, len(s.m))
+	for k, f := range s.m {
+		gobs = append(gobs, gobFact{Pkg: k.pkg, Obj: k.obj, Fact: f})
+	}
+	s.mu.Unlock()
+	sort.Slice(gobs, func(i, j int) bool {
+		a, b := gobs[i], gobs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return fmt.Sprintf("%T", a.Fact) < fmt.Sprintf("%T", b.Fact)
+	})
+	var buf bytes.Buffer
+	buf.WriteString(factSetMagic)
+	if err := gob.NewEncoder(&buf).Encode(gobs); err != nil {
+		return nil, fmt.Errorf("encoding facts: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges a previously encoded fact stream into the set. Data without
+// the comic fact magic — including the legacy "no facts" placeholder and
+// empty files — is treated as an empty set, not an error: the go command
+// may hand us .facts files written by other tools or older versions.
+func (s *FactSet) Decode(data []byte) error {
+	rest, ok := bytes.CutPrefix(data, []byte(factSetMagic))
+	if !ok {
+		return nil
+	}
+	var gobs []gobFact
+	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&gobs); err != nil {
+		return fmt.Errorf("decoding facts: %v", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range gobs {
+		if g.Fact == nil {
+			continue
+		}
+		s.m[factKey{g.Pkg, g.Obj, reflect.TypeOf(g.Fact)}] = g.Fact
+	}
+	return nil
+}
+
+var (
+	factTypesMu         sync.Mutex
+	registeredFactTypes = map[reflect.Type]bool{}
+)
+
+// RegisterFactTypes registers every declared fact type of the given
+// analyzers with gob, validating that each is a pointer type. It is called
+// by the run entry points; repeated calls (including with overlapping
+// analyzer sets, or the same fact type declared by several analyzers) are
+// harmless — each concrete type is registered once per process.
+func RegisterFactTypes(analyzers []*analysis.Analyzer) {
+	factTypesMu.Lock()
+	defer factTypesMu.Unlock()
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if t.Kind() != reflect.Ptr {
+				panic(fmt.Sprintf("analyzer %s: fact type %T is not a pointer", a.Name, f))
+			}
+			if !registeredFactTypes[t] {
+				registeredFactTypes[t] = true
+				gob.Register(f)
+			}
+		}
+	}
+}
+
+// ResolveObjectFacts returns every object fact in the set, resolving each
+// object key through lookup (a map from package path to type-checked
+// package); facts about unknown packages or vanished objects are skipped.
+// The result is sorted by object position. analysistest uses this to check
+// "// want name:" fact expectations.
+func (s *FactSet) ResolveObjectFacts(lookup func(pkgPath string) *types.Package) []analysis.ObjectFact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []analysis.ObjectFact
+	for k, f := range s.m {
+		if k.obj == "" {
+			continue
+		}
+		pkg := lookup(k.pkg)
+		if pkg == nil {
+			continue
+		}
+		if obj := lookupObject(pkg, k.obj); obj != nil {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.Pos() < out[j].Object.Pos() })
+	return out
+}
+
+// installFacts wires the fact accessors of one pass to the shared set.
+// Import/export calls with a fact type the analyzer did not declare panic:
+// that is a programming error in the analyzer, exactly as upstream treats
+// it, and catching it here keeps the fact store coherent.
+func installFacts(pass *analysis.Pass, a *analysis.Analyzer, fs *FactSet) {
+	declared := make(map[reflect.Type]bool, len(a.FactTypes))
+	for _, f := range a.FactTypes {
+		declared[reflect.TypeOf(f)] = true
+	}
+	check := func(fact analysis.Fact) {
+		if !declared[reflect.TypeOf(fact)] {
+			panic(fmt.Sprintf("analyzer %s did not declare fact type %T in FactTypes", a.Name, fact))
+		}
+	}
+	pkgPath := pass.Pkg.Path()
+
+	pass.ImportObjectFact = func(obj types.Object, fact analysis.Fact) bool {
+		check(fact)
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		key, ok := objectKey(obj)
+		if !ok {
+			return false
+		}
+		return fs.get(obj.Pkg().Path(), key, fact)
+	}
+	pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+		check(fact)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+			panic(fmt.Sprintf("analyzer %s: ExportObjectFact on object %v outside package %s", a.Name, obj, pkgPath))
+		}
+		if key, ok := objectKey(obj); ok {
+			fs.set(pkgPath, key, fact)
+		}
+	}
+	pass.ImportPackageFact = func(pkg *types.Package, fact analysis.Fact) bool {
+		check(fact)
+		if pkg == nil {
+			return false
+		}
+		return fs.get(pkg.Path(), "", fact)
+	}
+	pass.ExportPackageFact = func(fact analysis.Fact) {
+		check(fact)
+		fs.set(pkgPath, "", fact)
+	}
+
+	// The All* accessors resolve stored keys back to live objects. Only the
+	// current package and its (transitively) imported packages are
+	// reachable from a pass, so facts about anything else are omitted —
+	// they could not be acted on anyway.
+	reachable := map[string]*types.Package{pkgPath: pass.Pkg}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if _, ok := reachable[imp.Path()]; !ok {
+				reachable[imp.Path()] = imp
+				walk(imp)
+			}
+		}
+	}
+	walk(pass.Pkg)
+
+	pass.AllObjectFacts = func() []analysis.ObjectFact {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		var out []analysis.ObjectFact
+		for k, f := range fs.m {
+			if k.obj == "" || !declared[k.typ] {
+				continue
+			}
+			pkg := reachable[k.pkg]
+			if pkg == nil {
+				continue
+			}
+			if obj := lookupObject(pkg, k.obj); obj != nil {
+				out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Object.Pos() < out[j].Object.Pos() })
+		return out
+	}
+	pass.AllPackageFacts = func() []analysis.PackageFact {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		var out []analysis.PackageFact
+		for k, f := range fs.m {
+			if k.obj != "" || !declared[k.typ] {
+				continue
+			}
+			pkg := reachable[k.pkg]
+			if pkg == nil {
+				continue
+			}
+			out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Package.Path() < out[j].Package.Path() })
+		return out
+	}
+}

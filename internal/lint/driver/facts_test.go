@@ -1,0 +1,173 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+
+	"comic/internal/lint/analysis"
+)
+
+// tripFact is a minimal gob-serializable fact for round-trip tests.
+type tripFact struct {
+	Tag string
+	N   int
+}
+
+func (*tripFact) AFact()           {}
+func (f *tripFact) String() string { return "trip(" + f.Tag + ")" }
+
+// pkgTripFact is a second concrete type so object and package facts of
+// different analyzers don't collide.
+type pkgTripFact struct {
+	Names []string
+}
+
+func (*pkgTripFact) AFact() {}
+
+func registerTripFacts(t *testing.T) {
+	t.Helper()
+	a := &analysis.Analyzer{
+		Name:      "triptest",
+		Doc:       "test analyzer",
+		Run:       func(*analysis.Pass) (interface{}, error) { return nil, nil },
+		FactTypes: []analysis.Fact{new(tripFact), new(pkgTripFact)},
+	}
+	// Registering twice must be harmless: the real entry points call
+	// RegisterFactTypes once per Run invocation.
+	RegisterFactTypes([]*analysis.Analyzer{a})
+	RegisterFactTypes([]*analysis.Analyzer{a})
+}
+
+func TestFactSetGobRoundTrip(t *testing.T) {
+	registerTripFacts(t)
+
+	src := NewFactSet()
+	src.set("example.com/p", "Solve", &tripFact{Tag: "clock", N: 2})
+	src.set("example.com/p", "Graph.Run", &tripFact{Tag: "rand", N: 7})
+	src.set("example.com/q", "", &pkgTripFact{Names: []string{"a", "b"}})
+
+	data, err := src.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.HasPrefix(data, []byte(factSetMagic)) {
+		t.Fatalf("encoded stream does not start with magic %q", factSetMagic)
+	}
+
+	dst := NewFactSet()
+	if err := dst.Decode(data); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	var got tripFact
+	if !dst.get("example.com/p", "Solve", &got) {
+		t.Fatal("object fact for Solve lost in round trip")
+	}
+	if got.Tag != "clock" || got.N != 2 {
+		t.Errorf("Solve fact = %+v, want {clock 2}", got)
+	}
+	if !dst.get("example.com/p", "Graph.Run", &got) {
+		t.Fatal("method fact for Graph.Run lost in round trip")
+	}
+	if got.Tag != "rand" {
+		t.Errorf("Graph.Run fact = %+v, want tag rand", got)
+	}
+	var pf pkgTripFact
+	if !dst.get("example.com/q", "", &pf) {
+		t.Fatal("package fact lost in round trip")
+	}
+	if len(pf.Names) != 2 || pf.Names[0] != "a" || pf.Names[1] != "b" {
+		t.Errorf("package fact = %+v, want names [a b]", pf)
+	}
+
+	// A fact of one concrete type must not satisfy a lookup for another.
+	if dst.get("example.com/p", "Solve", &pkgTripFact{}) {
+		t.Error("lookup with wrong fact type unexpectedly succeeded")
+	}
+}
+
+func TestFactSetEncodeDeterministic(t *testing.T) {
+	registerTripFacts(t)
+
+	build := func() *FactSet {
+		s := NewFactSet()
+		s.set("example.com/b", "Y", &tripFact{Tag: "y"})
+		s.set("example.com/a", "X", &tripFact{Tag: "x"})
+		s.set("example.com/a", "", &pkgTripFact{})
+		return s
+	}
+	first, err := build().Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		again, err := build().Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding is not deterministic: attempt %d differs", i)
+		}
+	}
+}
+
+func TestFactSetDecodeForeignData(t *testing.T) {
+	registerTripFacts(t)
+
+	// Data without the comic magic — the legacy placeholder cmd/go sees for
+	// standard-library packages, an empty file, another tool's stream —
+	// must decode as an empty set, not an error.
+	for _, data := range [][]byte{
+		nil,
+		{},
+		[]byte("comic-vet: no facts\n"),
+		[]byte("not a fact stream at all"),
+	} {
+		s := NewFactSet()
+		if err := s.Decode(data); err != nil {
+			t.Errorf("Decode(%q) = %v, want nil", data, err)
+		}
+		if len(s.m) != 0 {
+			t.Errorf("Decode(%q) produced %d facts, want 0", data, len(s.m))
+		}
+	}
+
+	// Truncated data *with* the magic is corruption and must error.
+	s := NewFactSet()
+	if err := s.Decode([]byte(factSetMagic + "garbage")); err == nil {
+		t.Error("Decode(magic+garbage) = nil, want error")
+	}
+}
+
+func TestFactSetDecodeMerges(t *testing.T) {
+	registerTripFacts(t)
+
+	a := NewFactSet()
+	a.set("example.com/a", "X", &tripFact{Tag: "x"})
+	b := NewFactSet()
+	b.set("example.com/b", "Y", &tripFact{Tag: "y"})
+
+	dataA, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dataB, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	merged := NewFactSet()
+	if err := merged.Decode(dataA); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := merged.Decode(dataB); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var got tripFact
+	if !merged.get("example.com/a", "X", &got) || got.Tag != "x" {
+		t.Error("fact from first stream missing after merge")
+	}
+	if !merged.get("example.com/b", "Y", &got) || got.Tag != "y" {
+		t.Error("fact from second stream missing after merge")
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"comic/internal/lint/analysis"
+)
+
+// ErrlostAnalyzer is comic's repo-scoped errcheck: a call whose error result
+// vanishes because the call is its own statement.
+var ErrlostAnalyzer = &analysis.Analyzer{
+	Name: "errlost",
+	Doc: `flag statements in internal/* and cmd/* that drop a returned error
+
+A call used as a bare statement (including go and defer statements) whose
+callee returns an error silently discards it. In comic's server that has
+bitten twice: snapshot save paths that ignored os.Remove and os.Rename
+failures left the on-disk state inconsistent with the in-memory index. The
+analyzer flags every such statement in internal/* and cmd/* packages.
+
+Pragmatic exclusions, so the signal stays high:
+
+  - fmt.Print, fmt.Printf, fmt.Println, and their Fprint variants writing to
+    os.Stdout or os.Stderr (terminal output; errors not actionable) — an
+    Fprint to any other writer is still flagged
+  - writes to strings.Builder and bytes.Buffer (documented to return nil)
+  - deferred Close calls (idiomatic on read paths; write paths must check
+    the explicit Close or Sync they already perform)
+  - assigning to blank (_ = f()) — that is an explicit, reviewable decision
+
+Genuine best-effort calls are annotated in place:
+
+	//comic:allow errlost <reason>`,
+	Run: runErrlost,
+}
+
+// errlostScope reports whether the package's import path is inside the
+// repo-owned internal/* or cmd/* trees the analyzer polices.
+func errlostScope(path string) bool {
+	return pathHasSegment(path, "internal") || pathHasSegment(path, "cmd")
+}
+
+// pathHasSegment reports whether the slash-separated import path contains
+// seg as a whole segment.
+func pathHasSegment(path, seg string) bool {
+	for len(path) > 0 {
+		i := 0
+		for i < len(path) && path[i] != '/' {
+			i++
+		}
+		if path[:i] == seg {
+			return true
+		}
+		if i == len(path) {
+			break
+		}
+		path = path[i+1:]
+	}
+	return false
+}
+
+func runErrlost(pass *analysis.Pass) (interface{}, error) {
+	if !errlostScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		dirs := fileDirectives(pass.Fset, file)
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			var call *ast.CallExpr
+			deferred := false
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call, deferred = n.Call, true
+			default:
+				return true
+			}
+			if call == nil || !returnsError(pass.TypesInfo, call) || errlostExcluded(pass.TypesInfo, call, deferred) {
+				return true
+			}
+			if !suppressed(pass.Fset, dirs, verbAllow, "errlost", n, call) {
+				pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or annotate with //comic:allow errlost <reason>", calleeName(pass.TypesInfo, call))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// returnsError reports whether any result of the call has declared type
+// error. Concrete error-ish types (e.g. *os.PathError) are deliberately not
+// matched: callees expose them as error when dropping them matters.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// errlostExcluded applies the pragmatic exclusion list.
+func errlostExcluded(info *types.Info, call *ast.CallExpr, deferred bool) bool {
+	fn := typeutilCallee(info, call)
+	if fn == nil {
+		return false
+	}
+	if deferred && fn.Name() == "Close" {
+		return true
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if named := namedOfType(recv.Type()); named != nil && named.Obj().Pkg() != nil {
+			switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+			case "strings.Builder", "bytes.Buffer":
+				return true
+			}
+		}
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && isStdStream(info, call.Args[0])
+		}
+	}
+	return false
+}
+
+// isStdStream reports whether the expression is os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, _ := info.Uses[sel.Sel].(*types.Var)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// calleeName renders the called function for a diagnostic: pkg-qualified for
+// resolvable functions, the call expression's text otherwise.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := typeutilCallee(info, call); fn != nil {
+		return shortFuncName(fn)
+	}
+	return types.ExprString(call.Fun)
+}
+
+// namedOfType unwraps pointers and aliases to a named type, or nil.
+func namedOfType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"comic/internal/lint"
+	"comic/internal/lint/analysistest"
+)
+
+func TestFpdet(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.FpdetAnalyzer, "fpdet/...")
+}

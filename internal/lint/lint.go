@@ -6,29 +6,40 @@
 // # Analyzers
 //
 //   - detrand: forbids math/rand imports and wall-clock reads (time.Now,
-//     time.Since, time.Until) in determinism-critical packages; randomness
-//     must come from comic/internal/rng streams. Timing-stat sites opt out
-//     with //comic:timing.
+//     time.Since, time.Until) in determinism-critical packages — including
+//     reads reached transitively through helper functions in any package,
+//     tracked by Impure object facts. Randomness must come from
+//     comic/internal/rng streams. Timing-stat sites opt out with
+//     //comic:timing.
 //   - maporder: flags `for … range` over a map whose body appends to a slice
 //     or writes to an encoder/writer, unless the accumulated slice is sorted
 //     afterwards in the same block or the loop carries //comic:unordered.
 //   - queuepop: flags the `q = q[1:]` pop-in-loop antipattern, which strands
 //     backing-array capacity and regrows the queue; BFS loops walk with a
 //     head index instead.
+//   - lockorder: exports per-function lock-acquisition and may-block facts,
+//     builds the cross-package lock-ordering graph, and flags ordering
+//     cycles and mutexes held across blocking operations.
+//   - errlost: flags call statements in internal/* and cmd/* that drop a
+//     returned error on the floor.
+//   - fpdet: flags floating-point accumulation merged across goroutines
+//     outside the pinned-merge-order idiom (per-worker partials merged
+//     sequentially, as in internal/montecarlo).
 //   - directive: validates every //comic: directive — known verb, non-empty
 //     reason, attached to a site the corresponding analyzer would actually
 //     consider — so the escape hatch cannot rot.
-//   - shadow, lostcancel, nilfunc: lightweight ports of the corresponding
-//     upstream vet passes (see generic.go); they accept //comic:allow.
+//   - shadow, lostcancel, nilfunc, copylocks: lightweight ports of the
+//     corresponding upstream vet passes; they accept //comic:allow.
 //
 // # Directive grammar
 //
 // A directive is a //-comment with no space after the slashes, in the style
-// of //go: pragmas:
+// of //go: pragmas (full reference: docs/directives.md):
 //
-//	//comic:timing <reason>            suppress detrand for a clock read
+//	//comic:timing <reason>            suppress detrand for a (possibly transitive) clock read
 //	//comic:unordered <reason>         suppress maporder for a map loop
-//	//comic:allow <analyzer> <reason>  suppress shadow, lostcancel, or nilfunc
+//	//comic:allow <analyzer> <reason>  suppress shadow, lostcancel, nilfunc,
+//	                                   errlost, lockorder, fpdet, or copylocks
 //
 // A directive takes effect when written on the line immediately above the
 // statement it excuses, on the statement's first line, or (for clock reads
@@ -53,11 +64,32 @@ func Analyzers() []*analysis.Analyzer {
 		DetrandAnalyzer,
 		MaporderAnalyzer,
 		QueuepopAnalyzer,
+		LockorderAnalyzer,
+		ErrlostAnalyzer,
+		FpdetAnalyzer,
 		DirectiveAnalyzer,
 		ShadowAnalyzer,
 		LostcancelAnalyzer,
 		NilfuncAnalyzer,
+		CopylocksAnalyzer,
 	}
+}
+
+// SuggestedDirective returns the //comic: directive that would annotate a
+// finding of the named analyzer away, or "" for analyzers whose findings
+// must be fixed (queuepop, directive). Used by comic-vet's -json output so
+// CI can render fix-or-annotate guidance.
+func SuggestedDirective(analyzer string) string {
+	switch analyzer {
+	case "detrand":
+		return "//comic:timing <reason>"
+	case "maporder":
+		return "//comic:unordered <reason>"
+	}
+	if allowableAnalyzers[analyzer] {
+		return "//comic:allow " + analyzer + " <reason>"
+	}
+	return ""
 }
 
 // criticalRoots lists the determinism-critical package subtrees, relative to
@@ -158,13 +190,21 @@ func (d directive) valid() bool {
 	return false
 }
 
-// allowableAnalyzers are the generic passes //comic:allow may suppress. The
-// determinism analyzers are deliberately absent: detrand has //comic:timing,
-// maporder has //comic:unordered, and queuepop findings must be fixed.
+// allowableAnalyzers are the passes //comic:allow may suppress. The
+// core determinism analyzers are deliberately absent: detrand has
+// //comic:timing, maporder has //comic:unordered, and queuepop findings
+// must be fixed. The concurrency-contract passes (lockorder, errlost,
+// fpdet, copylocks) take allow directives because their findings sometimes
+// mark deliberate, documented behavior — a snapshot mutex held across file
+// I/O on purpose, a best-effort cleanup whose error is meaningless.
 var allowableAnalyzers = map[string]bool{
 	"shadow":     true,
 	"lostcancel": true,
 	"nilfunc":    true,
+	"errlost":    true,
+	"lockorder":  true,
+	"fpdet":      true,
+	"copylocks":  true,
 }
 
 // suppressed reports whether a valid directive with the given verb (and, for
@@ -268,6 +308,25 @@ func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 	}
 	fn, _ := obj.(*types.Func)
 	return fn
+}
+
+// shortFuncName renders a function as pkgname.Func or pkgname.Type.Method
+// for diagnostics and fact chains.
+func shortFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
 }
 
 // isMapRange reports whether the range statement iterates a map, looking

@@ -1,0 +1,621 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"comic/internal/lint/analysis"
+)
+
+// LocksFact records the lock classes a function may acquire, directly or
+// through any callee. A lock class names the mutex declaration, not the
+// instance: "server.Index.snapMu" for a field, "locks.mu" for a package-level
+// variable — the granularity at which ordering must be consistent.
+type LocksFact struct {
+	Locks []string
+}
+
+// AFact marks LocksFact as an analysis fact.
+func (*LocksFact) AFact() {}
+
+func (f *LocksFact) String() string {
+	return "acquires(" + strings.Join(f.Locks, ", ") + ")"
+}
+
+// BlocksFact marks a function that may block: file I/O, an unguarded channel
+// operation, sync.WaitGroup.Wait, time.Sleep — directly or transitively. Via
+// records one chain to the blocking root for diagnostics.
+type BlocksFact struct {
+	Via string
+}
+
+// AFact marks BlocksFact as an analysis fact.
+func (*BlocksFact) AFact() {}
+
+func (f *BlocksFact) String() string { return "blocks(" + f.Via + ")" }
+
+// A LockEdge records that From was held while To was acquired, at Pos
+// (file:line:column, file basename only).
+type LockEdge struct {
+	From, To, Pos string
+}
+
+// LockGraphFact is a package fact carrying every lock-ordering edge the
+// package establishes. Dependents merge these into their own edges, so a
+// cycle split across packages is still closed.
+type LockGraphFact struct {
+	Edges []LockEdge
+}
+
+// AFact marks LockGraphFact as an analysis fact.
+func (*LockGraphFact) AFact() {}
+
+func (f *LockGraphFact) String() string {
+	parts := make([]string, len(f.Edges))
+	for i, e := range f.Edges {
+		parts[i] = e.From + "→" + e.To
+	}
+	return "lockgraph(" + strings.Join(parts, ", ") + ")"
+}
+
+// LockorderAnalyzer enforces the server's locking contract.
+var LockorderAnalyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `detect lock-ordering cycles and locks held across blocking operations
+
+The scale-out server holds several mutexes with a documented order
+(Index.snapMu before Index.mu; registry.persistMu and registry.mu never
+nested). This analyzer checks that contract mechanically, across packages:
+
+  - Every function's lock acquisitions are summarized in a Locks fact and
+    every "A held while acquiring B" pair becomes an edge in a package-level
+    lock-ordering graph, merged with the graphs of all dependencies. A local
+    edge whose reverse is reachable in the merged graph — the classic ABBA
+    deadlock, even when the two halves live in different packages — is
+    reported at the acquisition site.
+  - A mutex held across a blocking operation (file I/O, a channel send or
+    receive outside select-with-default, sync.WaitGroup.Wait, time.Sleep, or
+    a call to any function that transitively blocks) is reported: it extends
+    the critical section by an unbounded wait.
+
+Lock identity is the declaration, not the instance ("server.Index.snapMu"),
+and the per-function scan is a linear approximation of control flow: an
+unlock is matched to the most recent acquisition of the same class, deferred
+unlocks hold to function end, and goroutine bodies are analyzed as separate
+functions. Deliberate violations — a snapshot mutex held across file I/O on
+purpose — are annotated in place:
+
+	//comic:allow lockorder <reason>`,
+	Run:       runLockorder,
+	FactTypes: []analysis.Fact{new(LocksFact), new(BlocksFact), new(LockGraphFact)},
+}
+
+// lockEvent kinds, in the linear per-function event stream.
+type lockEventKind int
+
+const (
+	evLock lockEventKind = iota
+	evUnlock
+	evDeferUnlock
+	evBlock
+	evCall
+)
+
+type lockEvent struct {
+	kind lockEventKind
+	lock string      // evLock/evUnlock/evDeferUnlock: the lock class
+	expr string      // evLock/evUnlock: the receiver expression text (instance identity)
+	desc string      // evBlock: human description of the operation
+	fn   *types.Func // evCall: resolvable callee
+	pos  token.Pos
+	stmt ast.Node // innermost enclosing statement, for directives
+	site ast.Node // the flagged node itself
+}
+
+// lockFuncInfo is the per-function analysis state.
+type lockFuncInfo struct {
+	obj       *types.Func // nil for goroutine bodies
+	events    []lockEvent
+	locks     []string // resolved lock set (direct + callees), after fixpoint
+	lockSet   map[string]bool
+	blocksVia string        // non-empty once the function may block
+	calls     []*types.Func // same-package callees, for the fixpoint
+}
+
+func runLockorder(pass *analysis.Pass) (interface{}, error) {
+	var funcs []*lockFuncInfo
+	byObj := map[*types.Func]*lockFuncInfo{}
+
+	// Phase 1 — linear event streams. Goroutine and deferred closures become
+	// separate anonymous functions: their bodies do not run under the locks
+	// the spawning function holds.
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			collectLockEvents(pass, fd.Body, fn, &funcs, byObj)
+		}
+	}
+
+	// Phase 2 — fixpoint over the same-package call graph for the exported
+	// summaries: a function acquires what its callees acquire and blocks if
+	// any callee blocks. Cross-package callees contribute through imported
+	// facts, resolved inline during phase 1's event replay below.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			for _, callee := range fi.calls {
+				ci := byObj[callee]
+				var locks []string
+				var blocksVia string
+				if ci != nil {
+					locks, blocksVia = ci.locks, ci.blocksVia
+					if blocksVia != "" {
+						blocksVia = shortFuncName(callee) + " → " + blocksVia
+					}
+				} else if callee.Pkg() != pass.Pkg {
+					var lf LocksFact
+					if pass.ImportObjectFact(callee, &lf) {
+						locks = lf.Locks
+					}
+					var bf BlocksFact
+					if pass.ImportObjectFact(callee, &bf) {
+						blocksVia = shortFuncName(callee) + " → " + bf.Via
+					}
+				}
+				for _, l := range locks {
+					if !fi.lockSet[l] {
+						fi.lockSet[l] = true
+						fi.locks = append(fi.locks, l)
+						changed = true
+					}
+				}
+				if blocksVia != "" && fi.blocksVia == "" {
+					fi.blocksVia = blocksVia
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Phase 3 — export per-function facts.
+	for _, fi := range funcs {
+		if fi.obj == nil {
+			continue
+		}
+		if len(fi.locks) > 0 {
+			locks := append([]string(nil), fi.locks...)
+			sort.Strings(locks)
+			pass.ExportObjectFact(fi.obj, &LocksFact{Locks: locks})
+		}
+		if fi.blocksVia != "" {
+			pass.ExportObjectFact(fi.obj, &BlocksFact{Via: fi.blocksVia})
+		}
+	}
+
+	// Phase 4 — replay each event stream with a held-lock set, producing
+	// ordering edges and held-across-blocking reports.
+	type localEdge struct {
+		LockEdge
+		stmt, site   ast.Node
+		pos          token.Pos
+		sameInstance bool // From == To on the very same mutex expression
+	}
+	var localEdges []localEdge
+	dirsByFile := map[*ast.File][]directive{}
+	fileOf := func(pos token.Pos) *ast.File {
+		for _, f := range pass.Files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+	directivesAt := func(pos token.Pos) []directive {
+		f := fileOf(pos)
+		if f == nil {
+			return nil
+		}
+		if _, ok := dirsByFile[f]; !ok {
+			dirsByFile[f] = fileDirectives(pass.Fset, f)
+		}
+		return dirsByFile[f]
+	}
+	allowed := func(e lockEvent) bool {
+		return suppressed(pass.Fset, directivesAt(e.pos), verbAllow, "lockorder", e.stmt, e.site)
+	}
+	posString := func(pos token.Pos) string {
+		p := pass.Fset.Position(pos)
+		return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
+	}
+
+	for _, fi := range funcs {
+		var held []heldLock
+		addEdges := func(to []string, toExpr string, e lockEvent) {
+			for _, h := range held {
+				for _, t := range to {
+					localEdges = append(localEdges, localEdge{
+						LockEdge: LockEdge{From: h.class, To: t, Pos: posString(e.pos)},
+						stmt:     e.stmt, site: e.site, pos: e.pos,
+						sameInstance: h.class == t && toExpr != "" && h.expr == toExpr,
+					})
+				}
+			}
+		}
+		for _, e := range fi.events {
+			switch e.kind {
+			case evLock:
+				addEdges([]string{e.lock}, e.expr, e)
+				held = append(held, heldLock{e.lock, e.expr})
+			case evUnlock:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].class == e.lock {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case evDeferUnlock:
+				// Held until function end: nothing to do.
+			case evBlock:
+				if len(held) > 0 && !allowed(e) {
+					pass.Reportf(e.pos, "%s held across blocking %s; shrink the critical section or annotate with //comic:allow lockorder <reason>", heldNames(held), e.desc)
+				}
+			case evCall:
+				var locks []string
+				var blocksVia string
+				if ci := byObj[e.fn]; ci != nil {
+					locks, blocksVia = ci.locks, ci.blocksVia
+					if blocksVia != "" {
+						blocksVia = shortFuncName(e.fn) + " → " + blocksVia
+					}
+				} else if e.fn.Pkg() != pass.Pkg {
+					var lf LocksFact
+					if pass.ImportObjectFact(e.fn, &lf) {
+						locks = lf.Locks
+					}
+					var bf BlocksFact
+					if pass.ImportObjectFact(e.fn, &bf) {
+						blocksVia = shortFuncName(e.fn) + " → " + bf.Via
+					}
+				}
+				if len(held) > 0 {
+					addEdges(locks, "", e)
+					if blocksVia != "" && !allowed(e) {
+						pass.Reportf(e.pos, "%s held across blocking call to %s; shrink the critical section or annotate with //comic:allow lockorder <reason>", heldNames(held), blocksVia)
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 5 — merge dependency edges and hunt cycles. Every local edge
+	// whose reverse direction is reachable in the merged graph closes a
+	// cycle; self-edges are immediate self-deadlocks.
+	adj := map[string][]LockEdge{}
+	addAdj := func(e LockEdge) { adj[e.From] = append(adj[e.From], e) }
+	for _, pf := range pass.AllPackageFacts() {
+		if lg, ok := pf.Fact.(*LockGraphFact); ok && pf.Package != pass.Pkg {
+			for _, e := range lg.Edges {
+				addAdj(e)
+			}
+		}
+	}
+	var exported []LockEdge
+	seenEdge := map[[2]string]bool{}
+	for _, le := range localEdges {
+		if !seenEdge[[2]string{le.From, le.To}] {
+			seenEdge[[2]string{le.From, le.To}] = true
+			exported = append(exported, le.LockEdge)
+			addAdj(le.LockEdge)
+		}
+	}
+	if len(exported) > 0 {
+		pass.ExportPackageFact(&LockGraphFact{Edges: exported})
+	}
+
+	reported := map[[3]string]bool{}
+	for _, le := range localEdges {
+		key := [3]string{le.From, le.To, le.Pos}
+		if reported[key] {
+			continue
+		}
+		if le.From == le.To {
+			reported[key] = true
+			if !suppressed(pass.Fset, directivesAt(le.pos), verbAllow, "lockorder", le.stmt, le.site) {
+				if le.sameInstance {
+					pass.Reportf(le.pos, "acquiring %s while it is already held: self-deadlock", le.From)
+				} else {
+					pass.Reportf(le.pos, "acquiring a second %s while one is already held: pick a fixed instance order or annotate with //comic:allow lockorder <reason>", le.From)
+				}
+			}
+			continue
+		}
+		if back, ok := findPathEdge(adj, le.To, le.From); ok {
+			reported[key] = true
+			if !suppressed(pass.Fset, directivesAt(le.pos), verbAllow, "lockorder", le.stmt, le.site) {
+				pass.Reportf(le.pos, "lock ordering cycle: acquiring %s while holding %s, but %s is acquired while holding %s at %s", le.To, le.From, le.From, back.From, back.Pos)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// A heldLock is one entry of the replay-time held set: the lock class plus
+// the receiver expression that acquired it (instance identity).
+type heldLock struct{ class, expr string }
+
+// heldNames renders a held-lock list for diagnostics.
+func heldNames(held []heldLock) string {
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = h.class
+	}
+	return strings.Join(parts, ", ")
+}
+
+// findPathEdge reports whether to is reachable from from in adj, and if so
+// returns the final edge of one such path (the edge arriving at to).
+func findPathEdge(adj map[string][]LockEdge, from, to string) (LockEdge, bool) {
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		for _, e := range adj[n] {
+			if e.To == to {
+				return e, true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return LockEdge{}, false
+}
+
+// collectLockEvents walks one function body in source order, appending its
+// event stream to funcs. Function literals — whether launched via go or
+// defer, assigned to a variable, or passed as an argument — execute on their
+// own schedule, so each body is collected as a separate anonymous stream
+// rather than replayed inline.
+func collectLockEvents(pass *analysis.Pass, body *ast.BlockStmt, obj *types.Func, funcs *[]*lockFuncInfo, byObj map[*types.Func]*lockFuncInfo) {
+	fi := &lockFuncInfo{obj: obj, lockSet: map[string]bool{}}
+	*funcs = append(*funcs, fi)
+	if obj != nil {
+		byObj[obj] = fi
+	}
+	var deferredBodies []*ast.BlockStmt
+	nonBlockingComm := map[ast.Node]bool{}
+
+	walkWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned callee runs concurrently, not under the spawning
+			// function's held set; a literal body becomes its own stream.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				deferredBodies = append(deferredBodies, lit.Body)
+			}
+			return false
+		case *ast.FuncLit:
+			deferredBodies = append(deferredBodies, n.Body)
+			return false
+		case *ast.DeferStmt:
+			if lock, expr, op, ok := mutexOp(pass.TypesInfo, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				fi.events = append(fi.events, lockEvent{kind: evDeferUnlock, lock: lock, expr: expr, pos: n.Pos(), stmt: n, site: n.Call})
+				return false
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						nonBlockingComm[cc.Comm] = true
+					}
+				}
+			} else {
+				fi.events = append(fi.events, lockEvent{kind: evBlock, desc: "select without a default case", pos: n.Pos(), stmt: n, site: n})
+			}
+			return true
+		case *ast.SendStmt:
+			if !nonBlockingComm[n] {
+				fi.events = append(fi.events, lockEvent{kind: evBlock, desc: "channel send", pos: n.Pos(), stmt: n, site: n})
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				stmt := enclosingStmt(stack)
+				if !nonBlockingComm[stmt] {
+					fi.events = append(fi.events, lockEvent{kind: evBlock, desc: "channel receive", pos: n.Pos(), stmt: stmt, site: n})
+				}
+			}
+			return true
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					fi.events = append(fi.events, lockEvent{kind: evBlock, desc: "range over a channel", pos: n.Pos(), stmt: n, site: n})
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			stmt := enclosingStmt(stack)
+			if lock, expr, op, ok := mutexOp(pass.TypesInfo, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					fi.events = append(fi.events, lockEvent{kind: evLock, lock: lock, expr: expr, pos: n.Pos(), stmt: stmt, site: n})
+					if !fi.lockSet[lock] {
+						fi.lockSet[lock] = true
+						fi.locks = append(fi.locks, lock)
+					}
+				case "Unlock", "RUnlock":
+					fi.events = append(fi.events, lockEvent{kind: evUnlock, lock: lock, expr: expr, pos: n.Pos(), stmt: stmt, site: n})
+				}
+				return true
+			}
+			if desc, ok := blockingCall(pass.TypesInfo, n); ok {
+				fi.events = append(fi.events, lockEvent{kind: evBlock, desc: "call to " + desc, pos: n.Pos(), stmt: stmt, site: n})
+				if fi.blocksVia == "" {
+					fi.blocksVia = desc
+				}
+				return true
+			}
+			if fn := typeutilCallee(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil {
+				fi.events = append(fi.events, lockEvent{kind: evCall, fn: fn, pos: n.Pos(), stmt: stmt, site: n})
+				if fn.Pkg() == pass.Pkg {
+					fi.calls = append(fi.calls, fn)
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	// Mark blocking from direct channel/select events too.
+	if fi.blocksVia == "" {
+		for _, e := range fi.events {
+			if e.kind == evBlock {
+				fi.blocksVia = e.desc
+				break
+			}
+		}
+	}
+
+	for _, b := range deferredBodies {
+		collectLockEvents(pass, b, nil, funcs, byObj)
+	}
+}
+
+// mutexOp recognizes calls to sync.Mutex / sync.RWMutex methods and returns
+// the lock class of the receiver expression, the receiver's source text
+// (instance identity), and the method name.
+func mutexOp(info *types.Info, call *ast.CallExpr) (lock, expr, op string, ok bool) {
+	fn := typeutilCallee(info, call)
+	if fn == nil {
+		return "", "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", "", false
+	}
+	named := namedOfType(recv.Type())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	sel, selOk := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOk {
+		return "", "", "", false
+	}
+	recvExpr := ast.Unparen(sel.X)
+	class, classOk := lockClass(info, recvExpr)
+	if !classOk {
+		return "", "", "", false
+	}
+	return class, types.ExprString(recvExpr), fn.Name(), true
+}
+
+// lockClass names the declaration a mutex expression refers to:
+// "pkg.Type.field" for a struct field, "pkg.var" for a package-level
+// variable, the bare name for locals.
+func lockClass(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			named := namedOfType(sel.Recv())
+			if named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name, true
+			}
+		}
+		// Package-qualified variable: pkg.mu
+		if obj := info.Uses[e.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return "", false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// blockingCall recognizes direct calls to operations that can block for an
+// unbounded or I/O-bound time. Mutex operations are excluded — they are lock
+// events, not blocking events.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := typeutilCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		named := namedOfType(recv.Type())
+		if named == nil || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		name := fn.Name()
+		switch owner {
+		case "sync.WaitGroup":
+			if name == "Wait" {
+				return "sync.WaitGroup.Wait", true
+			}
+		case "sync.Cond":
+			if name == "Wait" {
+				return "sync.Cond.Wait", true
+			}
+		case "os.File":
+			switch name {
+			case "Read", "ReadAt", "Write", "WriteAt", "WriteString", "Close", "Sync", "ReadDir", "Readdirnames":
+				return "(*os.File)." + name, true
+			}
+		}
+		return "", false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "os":
+		switch name {
+		case "Open", "OpenFile", "Create", "CreateTemp", "Remove", "RemoveAll", "Rename",
+			"ReadFile", "WriteFile", "Mkdir", "MkdirAll", "MkdirTemp", "ReadDir", "Truncate":
+			return "os." + name, true
+		}
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "WriteString":
+			return "io." + name, true
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,82 @@
+// Package a exercises copylocks: values containing sync primitives must not
+// be copied after first use.
+package a
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValue receives the lock-bearing struct by value.
+func byValue(c Counter) int { // want `byValue passes lock by value: a.Counter contains sync.Mutex; annotate with //comic:allow copylocks <reason> only if the copy is provably dead`
+	return c.n
+}
+
+// byPointer is the correct signature: no diagnostic.
+func byPointer(c *Counter) int {
+	return c.n
+}
+
+func shortDecl(c *Counter) int {
+	snapshot := *c // want `assignment copies lock value to snapshot: a.Counter contains sync.Mutex; annotate with //comic:allow copylocks <reason> only if the copy is provably dead`
+	return snapshot.n
+}
+
+func varDecl(c *Counter) int {
+	var snapshot = *c // want `variable declaration copies lock value to snapshot: a.Counter contains sync.Mutex; annotate with //comic:allow copylocks <reason> only if the copy is provably dead`
+	return snapshot.n
+}
+
+func reassign(c *Counter) int {
+	var d Counter
+	d = *c // want `assignment copies lock value to d: a.Counter contains sync.Mutex; annotate with //comic:allow copylocks <reason> only if the copy is provably dead`
+	return d.n
+}
+
+func callArg(c *Counter) {
+	sink(*c) // want `call of a.sink copies lock value: a.Counter contains sync.Mutex; annotate with //comic:allow copylocks <reason> only if the copy is provably dead`
+}
+
+func sink(c interface{}) {}
+
+func rangeCopy(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want `range variable c copies lock: a.Counter contains sync.Mutex; annotate with //comic:allow copylocks <reason> only if the copy is provably dead`
+		total += c.n
+	}
+	return total
+}
+
+func rangeByIndex(cs []Counter) int {
+	total := 0
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}
+
+func returnCopy(c *Counter) Counter {
+	return *c // want `return copies lock value: a.Counter contains sync.Mutex; annotate with //comic:allow copylocks <reason> only if the copy is provably dead`
+}
+
+// composite literals construct a fresh value before first use: no diagnostic.
+func construct() *Counter {
+	c := Counter{n: 1}
+	return &c
+}
+
+func allowedCopy(c *Counter) int {
+	//comic:allow copylocks zero-value copy taken before the counter is shared
+	snapshot := *c
+	return snapshot.n
+}
+
+// plain structs copy freely.
+type point struct{ x, y int }
+
+func movePoint(p point) point {
+	p.x++
+	return p
+}

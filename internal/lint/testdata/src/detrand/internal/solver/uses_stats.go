@@ -1,0 +1,37 @@
+// The interprocedural fixture: this file contains no clock call and no
+// forbidden import, yet detrand flags it — the nondeterminism hides behind
+// helpers in detrand/internal/stats, another package, and arrives here
+// through Impure object facts.
+package solver
+
+import (
+	"time"
+
+	"detrand/internal/stats"
+)
+
+func plan() int64 {
+	t0 := stats.Timestamp() // want `call to stats.Timestamp in determinism-critical package detrand/internal/solver reaches a wall-clock read \(time.Now\): make the helper deterministic or annotate the statement with //comic:timing <reason>`
+	return t0.UnixNano()
+}
+
+func planDeep() int64 {
+	return stats.Stamp() // want `call to stats.Stamp in determinism-critical package detrand/internal/solver reaches a wall-clock read \(stats.Timestamp → time.Now\)`
+}
+
+func seeded() int64 {
+	return stats.Jitter() // want `call to stats.Jitter in determinism-critical package detrand/internal/solver reaches math/rand.Int63: use comic/internal/rng streams`
+}
+
+// telemetry is annotated at the call site: the transitive clock read is
+// asserted to be timing-stat-only, so the finding is suppressed.
+func telemetry() int64 {
+	//comic:timing scheduler telemetry, never feeds seed selection
+	return stats.Stamp()
+}
+
+// clean calls only untainted helpers: annotated roots stop the taint before
+// it ever leaves the helper package.
+func clean(start time.Time) (int64, time.Duration) {
+	return stats.Pure(21), stats.Elapsed(start)
+}

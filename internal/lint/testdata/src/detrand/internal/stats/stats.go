@@ -1,0 +1,32 @@
+// Package stats is a detrand fixture for the interprocedural half of the
+// contract: a NON-critical helper package whose functions reach the wall
+// clock or math/rand. detrand reports nothing here, but it exports Impure
+// facts that taint every critical-package call site — see the sibling
+// solver fixture, which imports this package.
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timestamp reads the clock directly: the impurity root.
+func Timestamp() time.Time { return time.Now() } // want Timestamp:`impure\(clock via time.Now\)`
+
+// Stamp reaches the clock only through Timestamp; the intra-package
+// fixpoint extends the via-chain.
+func Stamp() int64 { return Timestamp().UnixNano() } // want Stamp:`impure\(clock via stats.Timestamp → time.Now\)`
+
+// Jitter reaches ambient randomness.
+func Jitter() int64 { return rand.Int63() } // want Jitter:`impure\(rand via math/rand.Int63\)`
+
+// Elapsed is annotated at the root: the read is asserted to be
+// timing-stat-only, so it does not taint the function and no fact is
+// exported — callers in critical packages stay clean.
+func Elapsed(start time.Time) time.Duration {
+	//comic:timing build-duration stat, never feeds selection
+	return time.Since(start)
+}
+
+// Pure has no fact: determinism flows through untainted helpers untouched.
+func Pure(x int64) int64 { return x * 2 }

@@ -65,7 +65,7 @@ func bad(m map[string]int) int {
 	}
 
 	//comic:allow detrand trying to bypass the determinism contract
-	// want-1 `//comic:allow must name one of lostcancel, nilfunc, shadow \(got "detrand"\)`
+	// want-1 `//comic:allow must name one of copylocks, errlost, fpdet, lockorder, lostcancel, nilfunc, shadow \(got "detrand"\)`
 	n++
 
 	//comic:allow shadow
@@ -73,4 +73,21 @@ func bad(m map[string]int) int {
 	n++
 
 	return n
+}
+
+// concurrency carries valid allow directives for the contract analyzers
+// added with the facts protocol: no diagnostics.
+func concurrency(paths []string) float64 {
+	//comic:allow errlost best-effort cleanup, failure leaves only a stale temp file
+	n := len(paths)
+
+	//comic:allow lockorder snapshot lock deliberately held across the fsync
+	n++
+
+	var sum float64
+	//comic:allow fpdet partials are merged in pinned order by the caller
+	sum += float64(n)
+
+	//comic:allow copylocks the copy happens before the lock is ever used
+	return sum
 }

@@ -1,0 +1,65 @@
+// Package app exercises errlost inside its internal/* scope.
+package app
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func cleanup(path string) {
+	os.Remove(path) // want `error result of os.Remove is dropped; handle it or annotate with //comic:allow errlost <reason>`
+}
+
+func allowed(path string) {
+	//comic:allow errlost best-effort cleanup of a scratch file
+	os.Remove(path)
+}
+
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func blankIsExplicit(path string) {
+	_ = os.Remove(path) // an explicit, reviewable decision: no diagnostic
+}
+
+func excludedWriters(b *strings.Builder) string {
+	fmt.Println("progress")              // fmt.Print* excluded
+	fmt.Fprintf(os.Stderr, "progress\n") // Fprint* to a std stream excluded
+	fmt.Fprintln(os.Stdout, "done")      // likewise
+	b.WriteString("x")                   // strings.Builder documented to return nil
+	return b.String()
+}
+
+func flaggedWriter(w *bufio.Writer) {
+	fmt.Fprintf(w, "header\n") // want `error result of fmt.Fprintf is dropped; handle it or annotate with //comic:allow errlost <reason>`
+	w.Flush()                  // want `error result of bufio.Writer.Flush is dropped; handle it or annotate with //comic:allow errlost <reason>`
+}
+
+func deferredClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // deferred Close excluded: idiomatic on read paths
+	return readAll(f)
+}
+
+func explicitClose(f *os.File) {
+	f.Close() // want `error result of os.File.Close is dropped; handle it or annotate with //comic:allow errlost <reason>`
+}
+
+func goDrop(work func() error) {
+	go work() // want `error result of work is dropped; handle it or annotate with //comic:allow errlost <reason>`
+}
+
+func readAll(f *os.File) ([]byte, error) {
+	var buf [1]byte
+	_, err := f.Read(buf[:])
+	return buf[:], err
+}

@@ -1,0 +1,9 @@
+// Package webui is outside errlost's internal/* and cmd/* scope: dropped
+// errors here are not reported.
+package webui
+
+import "os"
+
+func cleanup(path string) {
+	os.Remove(path)
+}

@@ -1,0 +1,125 @@
+// Package a exercises the intra-package half of lockorder: ordering cycles
+// from the linear held-set scan, self-deadlocks, instance-order hazards, and
+// locks held across blocking operations.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB establishes the order a before b; on its own that is fine, but BA
+// below inverts it, so both acquisition sites report the cycle.
+func (s *S) AB() { // want AB:`acquires\(a.S.a, a.S.b\)`
+	s.a.Lock()
+	s.b.Lock() // want `lock ordering cycle: acquiring a.S.b while holding a.S.a, but a.S.a is acquired while holding a.S.b at a.go:\d+:\d+`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock() // want `lock ordering cycle: acquiring a.S.a while holding a.S.b, but a.S.b is acquired while holding a.S.a at a.go:\d+:\d+`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// relock re-acquires the very same mutex expression: self-deadlock.
+func (s *S) relock() {
+	s.a.Lock()
+	s.a.Lock() // want `acquiring a.S.a while it is already held: self-deadlock`
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// twoInstances locks the same class on two different values: not a certain
+// deadlock, but deadlock-prone without a pinned instance order.
+func twoInstances(x, y *S) {
+	x.a.Lock()
+	y.a.Lock() // want `acquiring a second a.S.a while one is already held: pick a fixed instance order or annotate with //comic:allow lockorder <reason>`
+	y.a.Unlock()
+	x.a.Unlock()
+}
+
+// holdAcrossIO keeps the lock over file I/O.
+func (s *S) holdAcrossIO(path string) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	os.Remove(path) // want `a.S.a held across blocking call to os.Remove; shrink the critical section or annotate with //comic:allow lockorder <reason>`
+}
+
+// holdAcrossIOAllowed is the same pattern, deliberately annotated.
+func (s *S) holdAcrossIOAllowed(path string) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	//comic:allow lockorder remove must be atomic with the in-memory drop
+	os.Remove(path)
+}
+
+// holdAcrossRecv parks on a channel with the lock held.
+func (s *S) holdAcrossRecv(ch chan int) int {
+	s.a.Lock()
+	defer s.a.Unlock()
+	return <-ch // want `a.S.a held across blocking channel receive; shrink the critical section or annotate with //comic:allow lockorder <reason>`
+}
+
+// nonBlockingSend uses select-with-default under the lock: never blocks, no
+// diagnostic.
+func (s *S) nonBlockingSend(ch chan int) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// unlockedRecv releases before parking: no diagnostic.
+func (s *S) unlockedRecv(ch chan int) int {
+	s.a.Lock()
+	s.a.Unlock()
+	return <-ch
+}
+
+// goroutineBody runs its channel send in a spawned goroutine, which does not
+// hold the spawning function's lock: no diagnostic.
+func (s *S) goroutineBody(ch chan int) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// goNamedCall spawns a method that re-locks the same mutex and parks on a
+// channel: the callee runs concurrently, not under the held set, so there is
+// no diagnostic.
+func (s *S) goNamedCall(ch chan int) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	go s.drain(ch)
+}
+
+func (s *S) drain(ch chan int) {
+	for range ch {
+		s.a.Lock()
+		s.a.Unlock()
+	}
+}
+
+// assignedClosure stores a closure that locks: its body executes whenever the
+// caller invokes it, not inline, so no self-deadlock is reported.
+func (s *S) assignedClosure() func() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	f := func() {
+		s.a.Lock()
+		s.a.Unlock()
+	}
+	return f
+}

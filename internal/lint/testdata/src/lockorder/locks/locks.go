@@ -1,0 +1,26 @@
+// Package locks is the dependency half of the cross-package lockorder
+// fixture: it establishes an ordering edge and a blocking summary that the
+// sibling "use" package must respect, received purely through facts.
+package locks
+
+import "sync"
+
+// M pairs two mutexes with a documented order: A before B.
+type M struct {
+	A sync.Mutex
+	B sync.Mutex
+}
+
+// AB acquires in the documented order, exporting the locks.M.A → locks.M.B
+// edge in this package's lock-graph fact.
+func (m *M) AB() { // want AB:`acquires\(locks.M.A, locks.M.B\)`
+	m.A.Lock()
+	m.B.Lock()
+	m.B.Unlock()
+	m.A.Unlock()
+}
+
+// Wait parks on the wait group: exported as blocking.
+func Wait(wg *sync.WaitGroup) { // want Wait:`blocks\(sync.WaitGroup.Wait\)`
+	wg.Wait()
+}

@@ -1,0 +1,35 @@
+// Package use is the dependent half of the cross-package lockorder fixture:
+// nothing in this file looks wrong in isolation — the violated order and the
+// blocking callee live in the lockorder/locks package and arrive here
+// through its exported facts.
+package use
+
+import (
+	"sync"
+
+	"lockorder/locks"
+)
+
+// BA inverts the order locks.(*M).AB establishes.
+func BA(m *locks.M) {
+	m.B.Lock()
+	m.A.Lock() // want `lock ordering cycle: acquiring locks.M.A while holding locks.M.B, but locks.M.B is acquired while holding locks.M.A at locks.go:\d+:\d+`
+	m.A.Unlock()
+	m.B.Unlock()
+}
+
+// held calls a dependency function whose Blocks fact says it parks.
+func held(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	locks.Wait(wg) // want `mu held across blocking call to locks.Wait → sync.WaitGroup.Wait; shrink the critical section or annotate with //comic:allow lockorder <reason>`
+}
+
+// nested holds a local lock while calling a dependency that acquires its own
+// locks: the edges mu → locks.M.A and mu → locks.M.B exist but close no
+// cycle, so there is no diagnostic.
+func nested(mu *sync.Mutex, m *locks.M) {
+	mu.Lock()
+	defer mu.Unlock()
+	m.AB()
+}

@@ -294,6 +294,7 @@ func (req CollectionRequest) Key() string {
 		b[1] = byte(v >> 8)
 		b[2] = byte(v >> 16)
 		b[3] = byte(v >> 24)
+		//comic:allow errlost hash.Hash.Write is documented to never return an error
 		h.Write(b[:])
 	}
 	o := req.Opts.withDefaults()

@@ -452,7 +452,8 @@ func (x *Index) DropGraph(g *graph.Graph) int {
 	if len(files) > 0 {
 		x.snapMu.Lock()
 		for _, f := range files {
-			os.Remove(f) // best-effort; LoadSnapshot tolerates strays
+			//comic:allow lockorder snapMu exists to serialize snapshot I/O; the hot path takes mu, never snapMu
+			os.Remove(f) //comic:allow errlost best-effort; LoadSnapshot tolerates strays
 		}
 		x.snapMu.Unlock()
 	}

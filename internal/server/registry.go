@@ -107,6 +107,7 @@ func (r *registry) register(name string, d *datasets.Dataset, source string, lim
 	}
 
 	r.persistMu.Lock()
+	//comic:allow lockorder persistMu's only job is to serialize graph persistence I/O
 	perr := r.persistGraph(e)
 	r.persistMu.Unlock()
 
@@ -122,6 +123,7 @@ func (r *registry) register(name string, d *datasets.Dataset, source string, lim
 	r.mu.Unlock()
 	if racedDelete || rollback {
 		r.persistMu.Lock()
+		//comic:allow lockorder persistMu's only job is to serialize graph persistence I/O
 		r.unpersistGraphOwned(e)
 		r.persistMu.Unlock()
 	}
@@ -207,6 +209,7 @@ func (r *registry) remove(name string) (*regEntry, bool) {
 	r.mu.Unlock()
 	if !persisting {
 		r.persistMu.Lock()
+		//comic:allow lockorder persistMu's only job is to serialize graph persistence I/O
 		r.unpersistGraphOwned(e)
 		r.persistMu.Unlock()
 	}

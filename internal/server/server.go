@@ -415,6 +415,7 @@ func Serve(ctx context.Context, addr string, cfg Config) error {
 func ServeListener(ctx context.Context, l net.Listener, cfg Config) error {
 	s, err := New(cfg)
 	if err != nil {
+		//comic:allow errlost boot already failed; the config error is what the caller needs
 		l.Close()
 		return err
 	}

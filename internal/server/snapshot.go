@@ -90,12 +90,14 @@ func graphFingerprint(g *graph.Graph) string {
 	var b [20]byte
 	binary.LittleEndian.PutUint64(b[:8], uint64(g.N()))
 	binary.LittleEndian.PutUint64(b[8:16], uint64(g.M()))
+	//comic:allow errlost hash.Hash.Write is documented to never return an error
 	h.Write(b[:16])
 	for eid := int32(0); eid < int32(g.M()); eid++ {
 		u, v := g.EdgeEndpoints(eid)
 		binary.LittleEndian.PutUint32(b[:4], uint32(u))
 		binary.LittleEndian.PutUint32(b[4:8], uint32(v))
 		binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(g.Prob(eid)))
+		//comic:allow errlost hash.Hash.Write is documented to never return an error
 		h.Write(b[:16])
 	}
 	return hex.EncodeToString(h.Sum(nil))
@@ -123,6 +125,7 @@ func writeFileAtomic(path string, fill func(io.Writer) error) error {
 		err = os.Rename(tmp, path)
 	}
 	if err != nil {
+		//comic:allow errlost best-effort temp cleanup; the write error is what matters
 		os.Remove(tmp)
 	}
 	return err
@@ -160,6 +163,7 @@ type manifestEntry struct {
 func (x *Index) SaveSnapshot(dir string) error {
 	x.snapMu.Lock()
 	defer x.snapMu.Unlock()
+	//comic:allow lockorder snapMu exists to serialize snapshot I/O; the hot path takes mu, never snapMu
 	err := x.saveSnapshotLocked(dir)
 	x.mu.Lock()
 	if err != nil {
@@ -258,6 +262,7 @@ func (x *Index) saveSnapshotLocked(dir string) error {
 			stale := (strings.HasSuffix(name, snapshotSuffix) && !keep[name]) ||
 				strings.Contains(name, ".tmp-")
 			if stale {
+				//comic:allow errlost best-effort prune; LoadSnapshot tolerates strays
 				os.Remove(filepath.Join(dir, name))
 			}
 		}
@@ -284,6 +289,7 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 		x.snapDir = dir
 		x.mu.Unlock()
 	}
+	//comic:allow lockorder snapMu exists to serialize snapshot I/O; the hot path takes mu, never snapMu
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if errors.Is(err, fs.ErrNotExist) {
 		setDir()
@@ -293,6 +299,7 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 		return 0, err
 	}
 	var man snapshotManifest
+	//comic:allow lockorder encoding/json's one-time type-cache build parks on a WaitGroup; nothing hot blocks on snapMu
 	if err := json.Unmarshal(data, &man); err != nil || man.Version != manifestVersion {
 		// A torn or foreign manifest forfeits the snapshot, not the boot.
 		setDir()
@@ -333,20 +340,24 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 			rejects++ // graph gone (deleted, or config changed): stale entry
 			continue
 		}
+		//comic:allow lockorder snapMu exists to serialize snapshot I/O; the hot path takes mu, never snapMu
 		snap, err := readSnapshotFile(path)
 		if err != nil {
 			rejects++ // corrupt / truncated / wrong version / missing
-			os.Remove(path)
+			//comic:allow lockorder snapMu exists to serialize snapshot I/O; the hot path takes mu, never snapMu
+			os.Remove(path) //comic:allow errlost best-effort; a surviving bad file is re-rejected next boot
 			continue
 		}
 		if snap.GraphID != me.GraphID || snapshotFileName(snap.Key) != me.File {
 			rejects++ // entry file does not belong where the manifest says
-			os.Remove(path)
+			//comic:allow lockorder snapMu exists to serialize snapshot I/O; the hot path takes mu, never snapMu
+			os.Remove(path) //comic:allow errlost best-effort; a surviving bad file is re-rejected next boot
 			continue
 		}
 		if snap.GraphN != g.N() || snap.GraphM != g.M() {
 			rejects++ // the same N/M misuse guard the live index applies
-			os.Remove(path)
+			//comic:allow lockorder snapMu exists to serialize snapshot I/O; the hot path takes mu, never snapMu
+			os.Remove(path) //comic:allow errlost best-effort; a surviving bad file is re-rejected next boot
 			continue
 		}
 		b := snap.Collection.Bytes()
@@ -460,6 +471,7 @@ func (r *registry) persistGraph(e *regEntry) error {
 			return err
 		}
 	} else {
+		//comic:allow errlost best-effort; a stale edge file is shadowed by the meta's HasEdgeFile=false
 		os.Remove(filepath.Join(r.stateDir, base+graphEdgesSuffix))
 	}
 	return writeFileAtomic(filepath.Join(r.stateDir, base+graphMetaSuffix), func(w io.Writer) error {
@@ -489,7 +501,9 @@ func (r *registry) unpersistGraphOwned(e *regEntry) {
 			return // a newer registration owns these files
 		}
 	}
+	//comic:allow errlost best-effort; the meta is removed first, so a surviving edge file is unrestorable
 	os.Remove(metaPath)
+	//comic:allow errlost best-effort; the meta is removed first, so a surviving edge file is unrestorable
 	os.Remove(filepath.Join(r.stateDir, base+graphEdgesSuffix))
 }
 
