@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// ring builds the 4-node ring 0->1->2->3->0 with probability 0.5 each.
+func ring(t *testing.T) *Graph {
+	t.Helper()
+	return NewBuilder(4).
+		AddEdge(0, 1, 0.5).AddEdge(1, 2, 0.5).
+		AddEdge(2, 3, 0.5).AddEdge(3, 0, 0.5).
+		MustBuild()
+}
+
+func TestFindEdge(t *testing.T) {
+	g := ring(t)
+	for eid := int32(0); int(eid) < g.M(); eid++ {
+		u, v := g.EdgeEndpoints(eid)
+		got, ok := g.FindEdge(u, v)
+		if !ok || got != eid {
+			t.Fatalf("FindEdge(%d,%d) = %d,%v; want %d,true", u, v, got, ok, eid)
+		}
+	}
+	if _, ok := g.FindEdge(0, 2); ok {
+		t.Fatal("FindEdge(0,2) found a missing edge")
+	}
+	if _, ok := g.FindEdge(-1, 0); ok {
+		t.Fatal("FindEdge(-1,0) accepted an out-of-range source")
+	}
+	if _, ok := g.FindEdge(99, 0); ok {
+		t.Fatal("FindEdge(99,0) accepted an out-of-range source")
+	}
+}
+
+func TestApplyUpdatesMixedBatch(t *testing.T) {
+	g := ring(t)
+	e01, _ := g.FindEdge(0, 1)
+	e23, _ := g.FindEdge(2, 3)
+
+	ng, d, err := g.ApplyUpdates([]EdgeUpdate{
+		{Op: OpRemove, U: 2, V: 3},
+		{Op: OpAdd, U: 0, V: 2, P: 0.9},
+		{Op: OpReweight, U: 0, V: 1, P: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("receiver mutated: M=%d", g.M())
+	}
+	if ng.M() != 4 || ng.N() != 4 {
+		t.Fatalf("new graph N=%d M=%d; want 4, 4", ng.N(), ng.M())
+	}
+	if _, ok := ng.FindEdge(2, 3); ok {
+		t.Fatal("removed edge 2->3 still present")
+	}
+	if eid, ok := ng.FindEdge(0, 2); !ok || ng.Prob(eid) != 0.9 {
+		t.Fatalf("added edge 0->2 missing or misweighted")
+	}
+	if eid, ok := ng.FindEdge(0, 1); !ok || ng.Prob(eid) != 0.25 {
+		t.Fatalf("reweighted edge 0->1 missing or misweighted")
+	}
+
+	if d.OldM != 4 || d.NewM != 4 || !d.TopologyChanged() {
+		t.Fatalf("delta header: %+v", d)
+	}
+	if len(d.RemovedEID) != 1 || d.RemovedEID[0] != e23 {
+		t.Fatalf("RemovedEID = %v; want [%d]", d.RemovedEID, e23)
+	}
+	if d.EIDMap[e23] != -1 {
+		t.Fatalf("EIDMap[removed] = %d; want -1", d.EIDMap[e23])
+	}
+	if len(d.Reweighted) != 1 || d.Reweighted[0].OldEID != e01 ||
+		d.Reweighted[0].OldP != 0.5 || d.Reweighted[0].NewP != 0.25 {
+		t.Fatalf("Reweighted = %+v", d.Reweighted)
+	}
+	if len(d.Added) != 1 || d.Added[0].U != 0 || d.Added[0].V != 2 || d.Added[0].P != 0.9 {
+		t.Fatalf("Added = %+v", d.Added)
+	}
+	// Surviving edges map to their new ids and keep their probabilities.
+	for eid := int32(0); int(eid) < g.M(); eid++ {
+		nid := d.EIDMap[eid]
+		if nid < 0 {
+			continue
+		}
+		u, v := g.EdgeEndpoints(eid)
+		nu, nv := ng.EdgeEndpoints(nid)
+		if u != nu || v != nv {
+			t.Fatalf("EIDMap[%d]=%d maps %d->%d onto %d->%d", eid, nid, u, v, nu, nv)
+		}
+	}
+}
+
+func TestApplyUpdatesReweightOnly(t *testing.T) {
+	g := ring(t)
+	ng, d, err := g.ApplyUpdates([]EdgeUpdate{{Op: OpReweight, U: 1, V: 2, P: 0.75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TopologyChanged() {
+		t.Fatal("reweight-only batch reported a topology change")
+	}
+	// Edge ids must be stable under reweight-only batches.
+	for eid := int32(0); int(eid) < g.M(); eid++ {
+		if d.EIDMap[eid] != eid {
+			t.Fatalf("EIDMap[%d] = %d under reweight-only batch", eid, d.EIDMap[eid])
+		}
+	}
+	if eid, _ := ng.FindEdge(1, 2); ng.Prob(eid) != 0.75 {
+		t.Fatal("reweight not applied")
+	}
+	// No-op reweight (same value) is legal and yields an empty Reweighted.
+	_, d2, err := g.ApplyUpdates([]EdgeUpdate{{Op: OpReweight, U: 1, V: 2, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Reweighted) != 0 {
+		t.Fatalf("no-op reweight recorded: %+v", d2.Reweighted)
+	}
+}
+
+func TestApplyUpdatesIntraBatchCancellation(t *testing.T) {
+	g := ring(t)
+
+	// add then remove nets to nothing.
+	ng, d, err := g.ApplyUpdates([]EdgeUpdate{
+		{Op: OpAdd, U: 0, V: 2, P: 0.9},
+		{Op: OpRemove, U: 0, V: 2},
+		{Op: OpReweight, U: 0, V: 1, P: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.M() != 4 || len(d.Added) != 0 || len(d.RemovedEID) != 0 {
+		t.Fatalf("add+remove did not cancel: M=%d delta=%+v", ng.M(), d)
+	}
+
+	// remove then re-add appears as removed old edge + added new edge.
+	_, d, err = g.ApplyUpdates([]EdgeUpdate{
+		{Op: OpRemove, U: 0, V: 1},
+		{Op: OpAdd, U: 0, V: 1, P: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.RemovedEID) != 1 || len(d.Added) != 1 || d.Added[0].P != 0.8 {
+		t.Fatalf("remove+re-add delta: %+v", d)
+	}
+
+	// add then reweight nets to a single add at the final probability.
+	_, d, err = g.ApplyUpdates([]EdgeUpdate{
+		{Op: OpAdd, U: 0, V: 2, P: 0.9},
+		{Op: OpReweight, U: 0, V: 2, P: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 1 || d.Added[0].P != 0.3 || len(d.Reweighted) != 0 {
+		t.Fatalf("add+reweight delta: %+v", d)
+	}
+}
+
+func TestApplyUpdatesRejections(t *testing.T) {
+	g := ring(t)
+	cases := []struct {
+		name string
+		ups  []EdgeUpdate
+		want string
+	}{
+		{"empty", nil, "empty update batch"},
+		{"add existing", []EdgeUpdate{{Op: OpAdd, U: 0, V: 1, P: 0.5}}, "already exists"},
+		{"remove missing", []EdgeUpdate{{Op: OpRemove, U: 0, V: 2}}, "missing edge"},
+		{"reweight missing", []EdgeUpdate{{Op: OpReweight, U: 0, V: 2, P: 0.5}}, "missing edge"},
+		{"double remove", []EdgeUpdate{{Op: OpRemove, U: 0, V: 1}, {Op: OpRemove, U: 0, V: 1}}, "missing edge"},
+		{"self loop", []EdgeUpdate{{Op: OpAdd, U: 1, V: 1, P: 0.5}}, "self-loop"},
+		{"out of range", []EdgeUpdate{{Op: OpAdd, U: 0, V: 9, P: 0.5}}, "out of range"},
+		{"negative node", []EdgeUpdate{{Op: OpRemove, U: -1, V: 0}}, "out of range"},
+		{"bad prob add", []EdgeUpdate{{Op: OpAdd, U: 0, V: 2, P: 1.5}}, "out of [0,1]"},
+		{"bad prob reweight", []EdgeUpdate{{Op: OpReweight, U: 0, V: 1, P: -0.1}}, "out of [0,1]"},
+		{"unknown op", []EdgeUpdate{{Op: "upsert", U: 0, V: 2, P: 0.5}}, "unknown op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ng, d, err := g.ApplyUpdates(tc.ups)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v; want substring %q", err, tc.want)
+			}
+			if ng != nil || d != nil {
+				t.Fatal("failed batch returned a graph or delta")
+			}
+		})
+	}
+}
+
+func TestApplyUpdatesDeterministicDelta(t *testing.T) {
+	g := ring(t)
+	ups := []EdgeUpdate{
+		{Op: OpAdd, U: 0, V: 2, P: 0.9},
+		{Op: OpAdd, U: 1, V: 3, P: 0.4},
+		{Op: OpAdd, U: 2, V: 0, P: 0.2},
+		{Op: OpRemove, U: 3, V: 0},
+	}
+	_, d1, err := g.ApplyUpdates(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		_, d2, err := g.ApplyUpdates(ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d1.Added) != len(d2.Added) {
+			t.Fatal("added length varies")
+		}
+		for j := range d1.Added {
+			if d1.Added[j] != d2.Added[j] {
+				t.Fatalf("Added order varies: %+v vs %+v", d1.Added, d2.Added)
+			}
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package rrset
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"comic/internal/graph"
+)
+
+// Repair errors callers branch on. Both mean "the collection could not be
+// repaired incrementally"; a full rebuild on the new graph is always a
+// correct fallback.
+var (
+	// ErrNoPostings: the collection carries no examination index (built
+	// without Options.RecordPostings, or the snapshot's postings section
+	// was lost).
+	ErrNoPostings = errors.New("rrset: collection has no postings index to repair from")
+	// ErrRepairThreshold: the update batch dirtied more sets than
+	// maxDirtyFrac allows, so regenerating them would approach the cost of
+	// a rebuild anyway.
+	ErrRepairThreshold = errors.New("rrset: update batch exceeds the repair dirtiness threshold")
+)
+
+// RepairStats reports what one Repair did (or why it refused).
+type RepairStats struct {
+	// OldTheta and NewTheta are the set counts before and after; they
+	// differ when the KPT re-estimate moved θ.
+	OldTheta int `json:"oldTheta"`
+	NewTheta int `json:"newTheta"`
+	// Dirty counts sets invalidated by the batch (over OldTheta);
+	// DirtyFrac is Dirty/OldTheta.
+	Dirty     int     `json:"dirty"`
+	DirtyFrac float64 `json:"dirtyFrac"`
+	// Reused sets were carried over verbatim; Regenerated were re-sampled
+	// from their pinned streams; TopUp were newly generated past OldTheta;
+	// Truncated were dropped because NewTheta < OldTheta.
+	Reused      int `json:"reused"`
+	Regenerated int `json:"regenerated"`
+	TopUp       int `json:"topUp"`
+	Truncated   int `json:"truncated"`
+	// KPTDuration and GenDuration mirror the collection's phase timings.
+	KPTDuration time.Duration `json:"-"`
+	GenDuration time.Duration `json:"-"`
+}
+
+// Edge cleanliness codes, indexed by old edge id during the dirtiness scan.
+const (
+	edClean          = uint8(0) // edge untouched by the batch
+	edDirty          = uint8(1) // removed, or reweighted across a draw-count change
+	edCleanIfLive    = uint8(2) // p raised within (0,1): live outcomes replay identically
+	edCleanIfBlocked = uint8(3) // p lowered within (0,1): blocked outcomes replay identically
+)
+
+// classifyEdges builds the per-old-edge cleanliness table for a delta.
+//
+// The subtlety is rng.Bernoulli's draw accounting: p in (0,1) consumes one
+// uniform draw f and returns f < p, while degenerate p (≤0 or ≥1) consumes
+// none. A set's replay stays draw-for-draw identical only if every examined
+// edge consumes the same number of draws with the same outcome:
+//
+//   - both probabilities in (0,1): the replay re-reads the same f, so a
+//     recorded live outcome (f < p) survives any raise (f < p ≤ p') and a
+//     recorded blocked outcome (f ≥ p) survives any cut — monotonicity in
+//     the recorded direction.
+//   - both degenerate on the same side: no draw either way, same outcome.
+//   - anything else (crossing into or out of (0,1), or flipping degenerate
+//     sides): the draw count or the forced outcome changes — always dirty.
+func classifyEdges(delta *graph.Delta) []uint8 {
+	code := make([]uint8, delta.OldM)
+	for _, eid := range delta.RemovedEID {
+		// An examined removed edge consumed a draw (or forced a traversal)
+		// the replay cannot reproduce.
+		code[eid] = edDirty
+	}
+	for _, rw := range delta.Reweighted {
+		op, np := rw.OldP, rw.NewP
+		switch {
+		case op > 0 && op < 1 && np > 0 && np < 1:
+			if np >= op {
+				code[rw.OldEID] = edCleanIfLive
+			} else {
+				code[rw.OldEID] = edCleanIfBlocked
+			}
+		case op >= 1 && np >= 1: // forced live both ways, no draw
+		case op <= 0 && np <= 0: // forced blocked both ways, no draw
+		default:
+			code[rw.OldEID] = edDirty
+		}
+	}
+	return code
+}
+
+// markDirty flags every set whose recorded examination trace the delta
+// invalidates and returns the count. A set is dirty iff it examined a
+// removed edge, examined a reweighted edge whose recorded outcome is not
+// monotone-preserved, or scanned the adjacency of an endpoint of an added
+// edge (the only way a replay could meet the new edge).
+func markDirty(post *Postings, theta, n int, delta *graph.Delta, workers int) ([]bool, int, error) {
+	code := classifyEdges(delta)
+	var addTouch []bool
+	if len(delta.Added) > 0 {
+		addTouch = make([]bool, n)
+		for _, a := range delta.Added {
+			addTouch[a.U] = true
+			addTouch[a.V] = true
+		}
+	}
+	dirty := make([]bool, theta)
+
+	// The scan is a pure function of (postings, delta) per set, so workers
+	// split the set range into contiguous chunks; each writes only its own
+	// dirty[i] slots and counter, keeping the result independent of worker
+	// count and scheduling. The scan streams through post.Edges — the
+	// largest array a repair touches — so on multi-million-entry postings
+	// the split buys nearly the full memory bandwidth of the machine.
+	if workers > theta {
+		workers = theta
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	counts := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := theta * w / workers
+		hi := theta * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				d := false
+				for _, x := range post.Edges[post.EdgeOff[i]:post.EdgeOff[i+1]] {
+					eid := int64(x >> 1)
+					if eid >= int64(delta.OldM) {
+						errs[w] = fmt.Errorf("rrset: postings edge id %d outside old graph (M=%d)", eid, delta.OldM)
+						return
+					}
+					switch code[eid] {
+					case edDirty:
+						d = true
+					case edCleanIfLive:
+						d = x&1 == 0
+					case edCleanIfBlocked:
+						d = x&1 == 1
+					}
+					if d {
+						break
+					}
+				}
+				if !d && addTouch != nil {
+					for _, v := range post.Nodes[post.NodeOff[i]:post.NodeOff[i+1]] {
+						if addTouch[v] {
+							d = true
+							break
+						}
+					}
+				}
+				if d {
+					dirty[i] = true
+					counts[w]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	nDirty := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, 0, errs[w]
+		}
+		nDirty += counts[w]
+	}
+	return dirty, nDirty, nil
+}
+
+// Repair incrementally rebuilds a collection after a graph edit, reusing
+// every RR set the edit provably did not touch. req must describe the SAME
+// request the old collection was built from except for the graph, which must
+// be the post-update graph delta was produced with (old.Graph.ApplyUpdates).
+//
+// The result is bitwise identical to BuildCollection(req) on the new graph —
+// same sets, roots, widths, θ, KPT, λ, and postings — because every piece is
+// re-derived exactly as a cold build would: clean sets are kept verbatim
+// (their replay is draw-for-draw identical, see markDirty), dirty and top-up
+// sets are re-sampled from their pinned per-set streams, KPT is re-estimated
+// on the new graph from the same probe streams, and θ' follows Eq. 3. Only
+// the exploration counters and durations differ (a repair explores less).
+//
+// maxDirtyFrac in (0,1] bounds the dirty fraction; past it Repair returns
+// ErrRepairThreshold (with stats) and the caller should rebuild cold. 0
+// means no threshold. The old collection is never mutated.
+func Repair(old *Collection, req CollectionRequest, delta *graph.Delta, maxDirtyFrac float64) (*Collection, *RepairStats, error) {
+	if old == nil || req.Graph == nil || delta == nil {
+		return nil, nil, errors.New("rrset: Repair needs a collection, a request with the new graph, and a delta")
+	}
+	if old.postings == nil {
+		return nil, nil, ErrNoPostings
+	}
+	if req.Graph.M() != delta.NewM || len(delta.EIDMap) != delta.OldM {
+		return nil, nil, fmt.Errorf("rrset: delta (oldM=%d, newM=%d, map=%d) does not match graph M=%d",
+			delta.OldM, delta.NewM, len(delta.EIDMap), req.Graph.M())
+	}
+	opts := req.Opts.withDefaults()
+	n := req.Graph.N()
+	k := req.K
+	if k > n {
+		k = n
+	}
+	theta := old.Len()
+	if len(old.postings.EdgeOff) != theta+1 || len(old.postings.NodeOff) != theta+1 {
+		return nil, nil, fmt.Errorf("rrset: postings cover %d sets, collection has %d",
+			len(old.postings.EdgeOff)-1, theta)
+	}
+
+	st := &RepairStats{OldTheta: theta}
+	dirty, nDirty, err := markDirty(old.postings, theta, n, delta, opts.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Dirty = nDirty
+	if theta > 0 {
+		st.DirtyFrac = float64(nDirty) / float64(theta)
+	}
+	if maxDirtyFrac > 0 && st.DirtyFrac > maxDirtyFrac {
+		return nil, st, ErrRepairThreshold
+	}
+
+	gen, err := req.NewGenerator()
+	if err != nil {
+		return nil, st, err
+	}
+
+	// θ' exactly as BuildCollection derives it on the new graph: re-run the
+	// KPT estimation (cheap next to generation — a few percent of a cold
+	// build) rather than trying to patch the old estimate, so θ stays
+	// honest against the edited graph and bitwise equal to a rebuild's.
+	col := &Collection{}
+	newTheta := opts.FixedTheta
+	if newTheta <= 0 {
+		//comic:timing reported phase duration; never feeds seed selection
+		t0 := time.Now()
+		col.KPT = EstimateKPT(gen, req.Graph.M(), k, opts.Ell, req.Seed^0x5bf03635, opts.Workers)
+		//comic:timing reported phase duration; never feeds seed selection
+		col.KPTDuration = time.Since(t0)
+		col.Lambda = Lambda(n, k, opts.Epsilon, opts.Ell)
+		newTheta = Theta(col.Lambda, col.KPT, opts.MaxTheta)
+		col.ExploredKPT = *gen.Counters()
+	}
+	col.Theta = newTheta
+	st.NewTheta = newTheta
+
+	// Regeneration plan: every dirty set below θ', plus top-up sets
+	// [θ, θ'); clean sets ≥ θ' are truncated.
+	keep := min(theta, newTheta)
+	var idxs []int
+	for i := 0; i < keep; i++ {
+		if dirty[i] {
+			idxs = append(idxs, i)
+		}
+	}
+	st.Regenerated = len(idxs)
+	st.Reused = keep - st.Regenerated
+	for i := theta; i < newTheta; i++ {
+		idxs = append(idxs, i)
+	}
+	st.TopUp = max(0, newTheta-theta)
+	st.Truncated = max(0, theta-newTheta)
+
+	//comic:timing reported phase duration; never feeds seed selection
+	t1 := time.Now()
+	workers := opts.Workers
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	var gr *genResult
+	if len(idxs) > 0 {
+		gr = generateSets(gen, idxs, len(idxs), workers, req.Seed, true)
+		if gr.eLens == nil {
+			// Unreachable for this package's generators; a foreign
+			// recordable-less generator cannot keep postings coherent.
+			return nil, st, ErrNoPostings
+		}
+	}
+
+	// Assemble per-set lengths: reused sets from the old arena, regenerated
+	// ones from the pool result.
+	lens := make([]int32, newTheta)
+	eLens := make([]int32, newTheta)
+	nLens := make([]int32, newTheta)
+	col.roots = make([]int32, newTheta)
+	col.widths = make([]int64, newTheta)
+	oldPost := old.postings
+	for i := 0; i < keep; i++ {
+		if dirty[i] {
+			continue
+		}
+		lens[i] = int32(old.offsets[i+1] - old.offsets[i])
+		eLens[i] = int32(oldPost.EdgeOff[i+1] - oldPost.EdgeOff[i])
+		nLens[i] = int32(oldPost.NodeOff[i+1] - oldPost.NodeOff[i])
+		col.roots[i] = old.roots[i]
+		col.widths[i] = old.widths[i]
+	}
+	for j, i := range idxs {
+		lens[i] = gr.lens[j]
+		eLens[i] = gr.eLens[j]
+		nLens[i] = gr.nLens[j]
+		col.roots[i] = gr.roots[j]
+		col.widths[i] = gr.widths[j]
+	}
+	col.offsets = make([]int64, newTheta+1)
+	post := &Postings{
+		EdgeOff: make([]int64, newTheta+1),
+		NodeOff: make([]int64, newTheta+1),
+	}
+	for i := 0; i < newTheta; i++ {
+		col.offsets[i+1] = col.offsets[i] + int64(lens[i])
+		post.EdgeOff[i+1] = post.EdgeOff[i] + int64(eLens[i])
+		post.NodeOff[i+1] = post.NodeOff[i] + int64(nLens[i])
+	}
+	col.nodes = make([]int32, col.offsets[newTheta])
+	post.Edges = make([]uint32, post.EdgeOff[newTheta])
+	post.Nodes = make([]int32, post.NodeOff[newTheta])
+
+	// Reused sets: copy nodes and node postings verbatim; remap edge
+	// postings into the new edge-id space (identity for reweight-only
+	// batches); recompute widths when the topology changed (an unexamined
+	// removed/added edge can still change a member node's in-degree, and a
+	// cold rebuild would account the new degree).
+	topo := delta.TopologyChanged()
+	for i := 0; i < keep; i++ {
+		if dirty[i] {
+			continue
+		}
+		copy(col.nodes[col.offsets[i]:col.offsets[i+1]], old.nodes[old.offsets[i]:old.offsets[i+1]])
+		copy(post.Nodes[post.NodeOff[i]:post.NodeOff[i+1]], oldPost.Nodes[oldPost.NodeOff[i]:oldPost.NodeOff[i+1]])
+		oldEdges := oldPost.Edges[oldPost.EdgeOff[i]:oldPost.EdgeOff[i+1]]
+		newEdges := post.Edges[post.EdgeOff[i]:post.EdgeOff[i+1]]
+		if !topo {
+			copy(newEdges, oldEdges)
+		} else {
+			for x, w := range oldEdges {
+				nid := delta.EIDMap[w>>1]
+				if nid < 0 {
+					// markDirty guarantees clean sets examined no removed
+					// edge; reaching here means the postings lied.
+					return nil, st, fmt.Errorf("rrset: clean set %d examined removed edge %d", i, w>>1)
+				}
+				newEdges[x] = uint32(nid)<<1 | w&1
+			}
+			var width int64
+			for _, v := range col.nodes[col.offsets[i]:col.offsets[i+1]] {
+				width += int64(req.Graph.InDegree(v))
+			}
+			col.widths[i] = width
+		}
+	}
+	if gr != nil {
+		scatterBufs(gr.workers, idxs, len(idxs), gr.bufs, col.nodes, col.offsets)
+		scatterBufs(gr.workers, idxs, len(idxs), gr.ebufs, post.Edges, post.EdgeOff)
+		scatterBufs(gr.workers, idxs, len(idxs), gr.nbufs, post.Nodes, post.NodeOff)
+	}
+	col.postings = post
+	//comic:timing reported phase duration; never feeds seed selection
+	col.GenDuration = time.Since(t1)
+	st.KPTDuration = col.KPTDuration
+	st.GenDuration = col.GenDuration
+
+	col.TotalNodes = int64(len(col.nodes))
+	for _, w := range col.widths {
+		col.TotalWidth += w
+	}
+	col.Explored = *gen.Counters()
+	col.Explored.Sub(&col.ExploredKPT)
+	col.cover = buildCoverIndex(col.offsets, col.nodes, n)
+	return col, st, nil
+}

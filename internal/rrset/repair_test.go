@@ -1,0 +1,443 @@
+package rrset
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"comic/internal/core"
+	"comic/internal/graph"
+	"comic/internal/rng"
+)
+
+// gapFor returns a GAP inside the soundness region of the given kind.
+func gapFor(kind Kind) core.GAP {
+	switch kind {
+	case KindCIM:
+		return core.GAP{QA0: 0.2, QAB: 0.8, QB0: 0.4, QBA: 1}
+	default:
+		return core.GAP{QA0: 0.3, QAB: 0.8, QB0: 0.5, QBA: 0.5}
+	}
+}
+
+var repairKinds = []Kind{KindIC, KindSIM, KindSIMPlus, KindCIM}
+
+// randomBatch builds a valid mixed update batch on g: mostly reweights with
+// a few removes and adds, the profile a live feed produces.
+func randomBatch(g *graph.Graph, r *rng.RNG, reweights, removes, adds int) []graph.EdgeUpdate {
+	var ups []graph.EdgeUpdate
+	used := make(map[int32]bool)
+	for len(ups) < reweights+removes && len(used) < g.M() {
+		eid := int32(r.Intn(g.M()))
+		if used[eid] {
+			continue
+		}
+		used[eid] = true
+		u, v := g.EdgeEndpoints(eid)
+		if len(ups) < reweights {
+			ups = append(ups, graph.EdgeUpdate{Op: graph.OpReweight, U: u, V: v, P: r.Float64()})
+		} else {
+			ups = append(ups, graph.EdgeUpdate{Op: graph.OpRemove, U: u, V: v})
+		}
+	}
+	for a := 0; a < adds; {
+		u, v := int32(r.Intn(g.N())), int32(r.Intn(g.N()))
+		if u == v {
+			continue
+		}
+		if _, ok := g.FindEdge(u, v); ok {
+			continue
+		}
+		dup := false
+		for _, up := range ups {
+			if up.Op == graph.OpAdd && up.U == u && up.V == v {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		ups = append(ups, graph.EdgeUpdate{Op: graph.OpAdd, U: u, V: v, P: r.Float64()})
+		a++
+	}
+	return ups
+}
+
+// collectionsEqual asserts bitwise equality of everything Repair promises to
+// reproduce: the arena, the statistics that feed θ, and the postings. The
+// exploration counters and durations are excluded by design (a repair
+// explores less than a cold build).
+func collectionsEqual(t *testing.T, got, want *Collection, label string) {
+	t.Helper()
+	if got.Theta != want.Theta {
+		t.Fatalf("%s: theta %d != %d", label, got.Theta, want.Theta)
+	}
+	if got.KPT != want.KPT || got.Lambda != want.Lambda {
+		t.Fatalf("%s: kpt/lambda %v/%v != %v/%v", label, got.KPT, got.Lambda, want.KPT, want.Lambda)
+	}
+	if got.TotalNodes != want.TotalNodes || got.TotalWidth != want.TotalWidth {
+		t.Fatalf("%s: totals %d/%d != %d/%d", label, got.TotalNodes, got.TotalWidth, want.TotalNodes, want.TotalWidth)
+	}
+	eq64 := func(name string, a, b []int64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %s length %d != %d", label, name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: %s[%d] = %d != %d", label, name, i, a[i], b[i])
+			}
+		}
+	}
+	eq32 := func(name string, a, b []int32) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %s length %d != %d", label, name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: %s[%d] = %d != %d", label, name, i, a[i], b[i])
+			}
+		}
+	}
+	eq64("offsets", got.offsets, want.offsets)
+	eq32("roots", got.roots, want.roots)
+	eq64("widths", got.widths, want.widths)
+	eq32("nodes", got.nodes, want.nodes)
+	if (got.postings == nil) != (want.postings == nil) {
+		t.Fatalf("%s: postings presence %v != %v", label, got.postings != nil, want.postings != nil)
+	}
+	if got.postings != nil {
+		eq64("edgeOff", got.postings.EdgeOff, want.postings.EdgeOff)
+		eq64("nodeOff", got.postings.NodeOff, want.postings.NodeOff)
+		eq32("postNodes", got.postings.Nodes, want.postings.Nodes)
+		if len(got.postings.Edges) != len(want.postings.Edges) {
+			t.Fatalf("%s: postings edges length %d != %d", label, len(got.postings.Edges), len(want.postings.Edges))
+		}
+		for i := range got.postings.Edges {
+			if got.postings.Edges[i] != want.postings.Edges[i] {
+				t.Fatalf("%s: postings edges[%d] = %x != %x", label, i, got.postings.Edges[i], want.postings.Edges[i])
+			}
+		}
+	}
+}
+
+func TestRecordPostingsDoesNotChangeSets(t *testing.T) {
+	for _, kind := range repairKinds {
+		r := rng.New(11)
+		g := graph.ErdosRenyi(30, 120, r)
+		graph.AssignUniform(g, 0.4)
+		req := CollectionRequest{
+			Graph: g, Kind: kind, GAP: gapFor(kind), Opposite: []int32{1, 5},
+			K: 4, Opts: Options{FixedTheta: 300, Workers: 3}, Seed: 99,
+		}
+		plain, err := req.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Opts.RecordPostings = true
+		recorded, err := req.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.HasPostings() {
+			t.Fatalf("%s: plain build has postings", kind)
+		}
+		if !recorded.HasPostings() {
+			t.Fatalf("%s: recording build has no postings", kind)
+		}
+		recorded.postings = nil
+		collectionsEqual(t, recorded, plain, string(kind))
+	}
+}
+
+// TestRepairMatchesRebuild is the determinism harness of the streaming
+// design: for every generator kind, under both fixed and KPT-derived θ,
+// repairing after a mixed update batch must be bitwise identical to a cold
+// rebuild on the edited graph at the same master seed.
+func TestRepairMatchesRebuild(t *testing.T) {
+	for _, kind := range repairKinds {
+		for trial := 0; trial < 6; trial++ {
+			fixed := trial%2 == 0
+			t.Run(fmt.Sprintf("%s/trial%d", kind, trial), func(t *testing.T) {
+				r := rng.New(uint64(7000 + trial))
+				g := graph.ErdosRenyi(30, 150, r)
+				graph.AssignUniform(g, 0.35)
+				opts := Options{Workers: 4, RecordPostings: true}
+				if fixed {
+					opts.FixedTheta = 400
+				} else {
+					opts.Epsilon = 2 // keep derived θ small on test graphs
+				}
+				req := CollectionRequest{
+					Graph: g, Kind: kind, GAP: gapFor(kind),
+					Opposite: []int32{2, 9}, K: 4, Opts: opts,
+					Seed: uint64(31 + trial),
+				}
+				old, err := req.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				ups := randomBatch(g, r, 10, 3, 3)
+				ng, delta, err := g.ApplyUpdates(ups)
+				if err != nil {
+					t.Fatal(err)
+				}
+				newReq := req
+				newReq.Graph = ng
+
+				repaired, stats, err := Repair(old, newReq, delta, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := newReq.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				collectionsEqual(t, repaired, cold, "repair vs rebuild")
+				if stats.Reused+stats.Regenerated+stats.TopUp != repaired.Theta+stats.TopUp-max(0, repaired.Theta-old.Theta) &&
+					stats.Reused+stats.Regenerated != min(old.Theta, repaired.Theta) {
+					t.Fatalf("stats do not partition θ: %+v", stats)
+				}
+
+				// Selection must agree too (same collection ⇒ same seeds).
+				sr, _ := SelectSeeds(repaired, ng.N(), 4)
+				sc, _ := SelectSeeds(cold, ng.N(), 4)
+				for i := range sr {
+					if sr[i] != sc[i] {
+						t.Fatalf("seeds diverge: %v vs %v", sr, sc)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRepairWorkerIndependence: the repaired collection must not depend on
+// the worker count used for the repair (nor on the one used for the
+// original build).
+func TestRepairWorkerIndependence(t *testing.T) {
+	r := rng.New(555)
+	g := graph.ErdosRenyi(30, 150, r)
+	graph.AssignUniform(g, 0.4)
+	ups := randomBatch(g, r, 8, 2, 2)
+	ng, delta, err := g.ApplyUpdates(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *Collection
+	for _, workers := range []int{1, 2, 7} {
+		req := CollectionRequest{
+			Graph: g, Kind: KindSIMPlus, GAP: gapFor(KindSIMPlus),
+			Opposite: []int32{3}, K: 4,
+			Opts: Options{FixedTheta: 300, Workers: workers, RecordPostings: true},
+			Seed: 1234,
+		}
+		old, err := req.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		newReq := req
+		newReq.Graph = ng
+		repaired, _, err := Repair(old, newReq, delta, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = repaired
+			continue
+		}
+		collectionsEqual(t, repaired, ref, fmt.Sprintf("workers=%d", workers))
+	}
+}
+
+func TestRepairStatsAndThreshold(t *testing.T) {
+	r := rng.New(99)
+	g := graph.ErdosRenyi(40, 200, r)
+	graph.AssignUniform(g, 0.3)
+	req := CollectionRequest{
+		Graph: g, Kind: KindSIMPlus, GAP: gapFor(KindSIMPlus),
+		K: 4, Opts: Options{FixedTheta: 500, Workers: 2, RecordPostings: true},
+		Seed: 5,
+	}
+	old, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One small reweight should leave most sets clean.
+	u, v := g.EdgeEndpoints(0)
+	ng, delta, err := g.ApplyUpdates([]graph.EdgeUpdate{
+		{Op: graph.OpReweight, U: u, V: v, P: g.Prob(0) / 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newReq := req
+	newReq.Graph = ng
+	repaired, stats, err := Repair(old, newReq, delta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused == 0 || stats.Reused+stats.Regenerated != 500 {
+		t.Fatalf("unexpected stats %+v", stats)
+	}
+	if stats.DirtyFrac >= 1 {
+		t.Fatalf("single reweight dirtied everything: %+v", stats)
+	}
+	if !repaired.HasPostings() {
+		t.Fatal("repaired collection lost its postings")
+	}
+
+	// An impossible threshold forces the fallback signal (this batch does
+	// dirty at least one set: edge 0 is examined by some set with the live
+	// outcome at p/2's original probability... use a removal to be sure).
+	ng2, delta2, err := g.ApplyUpdates([]graph.EdgeUpdate{{Op: graph.OpRemove, U: u, V: v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newReq2 := req
+	newReq2.Graph = ng2
+	_, stats2, err := Repair(old, newReq2, delta2, 1e-12)
+	if stats2.Dirty > 0 {
+		if !errors.Is(err, ErrRepairThreshold) {
+			t.Fatalf("want ErrRepairThreshold, got %v", err)
+		}
+	} else if err != nil {
+		t.Fatalf("clean batch errored: %v", err)
+	}
+}
+
+func TestRepairWithoutPostings(t *testing.T) {
+	r := rng.New(3)
+	g := graph.ErdosRenyi(20, 80, r)
+	graph.AssignUniform(g, 0.4)
+	req := CollectionRequest{
+		Graph: g, Kind: KindIC, K: 3,
+		Opts: Options{FixedTheta: 100, Workers: 2}, Seed: 8,
+	}
+	old, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := g.EdgeEndpoints(0)
+	ng, delta, err := g.ApplyUpdates([]graph.EdgeUpdate{{Op: graph.OpRemove, U: u, V: v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Graph = ng
+	if _, _, err := Repair(old, req, delta, 0); !errors.Is(err, ErrNoPostings) {
+		t.Fatalf("want ErrNoPostings, got %v", err)
+	}
+}
+
+// TestSnapshotRoundTripPostings: the codec must carry the postings section
+// faithfully, and a restored collection must remain repairable with results
+// bitwise identical to repairing the original.
+func TestSnapshotRoundTripPostings(t *testing.T) {
+	r := rng.New(44)
+	g := graph.ErdosRenyi(25, 100, r)
+	graph.AssignUniform(g, 0.4)
+	req := CollectionRequest{
+		GraphID: "t", Graph: g, Kind: KindSIMPlus, GAP: gapFor(KindSIMPlus),
+		Opposite: []int32{1}, K: 3,
+		Opts: Options{FixedTheta: 200, Workers: 2, RecordPostings: true},
+		Seed: 77,
+	}
+	old, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Key: req.Key(), GraphID: "t", GraphN: g.N(), GraphM: g.M(), Collection: old}
+	var buf bytes.Buffer
+	if _, werr := snap.WriteTo(&buf); werr != nil {
+		t.Fatal(werr)
+	}
+	restored, err := ReadCollection(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Collection.HasPostings() {
+		t.Fatal("postings section did not survive the round trip")
+	}
+	collectionsEqual(t, restored.Collection, old, "round trip")
+
+	ups := randomBatch(g, r, 6, 2, 2)
+	ng, delta, err := g.ApplyUpdates(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newReq := req
+	newReq.Graph = ng
+	fromMem, _, err := Repair(old, newReq, delta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, _, err := Repair(restored.Collection, newReq, delta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectionsEqual(t, fromDisk, fromMem, "repair of restored")
+
+	// A truncated postings section must degrade, not fail the restore.
+	trunc := buf.Bytes()[:buf.Len()-5]
+	s2, err := ReadCollection(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Collection.HasPostings() {
+		t.Fatal("truncated postings section was accepted")
+	}
+}
+
+// FuzzRepair drives Repair with arbitrary update batches and asserts the
+// bitwise repair-equals-rebuild contract on every valid batch.
+func FuzzRepair(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 100}, uint64(1))
+	f.Add([]byte{1, 0, 1, 0, 2, 3, 4, 200}, uint64(2))
+	f.Add([]byte{2, 5, 6, 255, 0, 6, 5, 0}, uint64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		r := rng.New(21)
+		g := graph.ErdosRenyi(16, 60, r)
+		graph.AssignUniform(g, 0.4)
+		var ups []graph.EdgeUpdate
+		for i := 0; i+3 < len(data) && len(ups) < 12; i += 4 {
+			op := []graph.UpdateOp{graph.OpAdd, graph.OpRemove, graph.OpReweight}[int(data[i])%3]
+			u, v := int32(int(data[i+1])%g.N()), int32(int(data[i+2])%g.N())
+			if op != graph.OpAdd {
+				// Aim removes/reweights at real edges so most batches are
+				// valid; invalid ones still exercise the rejection path.
+				eid := int32((int(data[i+1])<<8 | int(data[i+2])) % g.M())
+				u, v = g.EdgeEndpoints(eid)
+			}
+			ups = append(ups, graph.EdgeUpdate{Op: op, U: u, V: v, P: float64(data[i+3]) / 255})
+		}
+		ng, delta, err := g.ApplyUpdates(ups)
+		if err != nil {
+			t.Skip() // invalid batch; ApplyUpdates rejecting it is the contract
+		}
+		kind := repairKinds[seed%uint64(len(repairKinds))]
+		req := CollectionRequest{
+			Graph: g, Kind: kind, GAP: gapFor(kind), Opposite: []int32{1},
+			K: 3, Opts: Options{FixedTheta: 64, Workers: 2, RecordPostings: true},
+			Seed: seed,
+		}
+		old, err := req.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		newReq := req
+		newReq.Graph = ng
+		repaired, _, err := Repair(old, newReq, delta, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := newReq.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		collectionsEqual(t, repaired, cold, "fuzz repair vs rebuild")
+	})
+}

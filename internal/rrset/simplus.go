@@ -57,6 +57,8 @@ func (s *SIMPlus) Clone() Generator {
 	return c
 }
 
+func (s *SIMPlus) setRecorder(rec *recorder) { s.s.rec = rec }
+
 // Generate implements Generator.
 func (s *SIMPlus) Generate(root int32, r *rng.RNG, out *RRSet) {
 	g := s.s.g
@@ -73,6 +75,7 @@ func (s *SIMPlus) Generate(root int32, r *rng.RNG, out *RRSet) {
 	s.t1.mark(root)
 	for head := 0; head < len(s.queue); head++ {
 		u := s.queue[head]
+		s.s.scanned(u)
 		from, eids := g.InNeighbors(u)
 		for i := range from {
 			if s.t1.has(from[i]) {
@@ -99,6 +102,7 @@ func (s *SIMPlus) Generate(root int32, r *rng.RNG, out *RRSet) {
 	}
 	for head := 0; head < len(s.queue); head++ {
 		u := s.queue[head]
+		s.s.scanned(u)
 		to, eids := g.OutNeighbors(u)
 		for i := range to {
 			v := to[i]
@@ -130,6 +134,7 @@ func (s *SIMPlus) Generate(root int32, r *rng.RNG, out *RRSet) {
 		if !relays {
 			continue
 		}
+		s.s.scanned(u)
 		from, eids := g.InNeighbors(u)
 		for i := range from {
 			s.counters.EdgesBackward++

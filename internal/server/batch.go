@@ -39,13 +39,14 @@ type batchRequest struct {
 
 // batchResult is one query's outcome inside a batchResponse: either a
 // Result (the same body the query's dedicated endpoint returns) or an
-// Error with the HTTP status it would have received. One failing query
-// never fails the batch.
+// Error — the same structured error body the dedicated endpoint would
+// have wrapped in its envelope — with the HTTP status it would have
+// received. One failing query never fails the batch.
 type batchResult struct {
-	Op     string `json:"op"`
-	Status int    `json:"status"`
-	Error  string `json:"error,omitempty"`
-	Result any    `json:"result,omitempty"`
+	Op     string     `json:"op"`
+	Status int        `json:"status"`
+	Error  *errorBody `json:"error,omitempty"`
+	Result any        `json:"result,omitempty"`
 }
 
 // batchResponse is the body returned by /v1/batch (and stored as a
@@ -69,10 +70,11 @@ func (s *Server) batchBodyLimit() int64 {
 // validateBatch checks the envelope shared by /v1/batch and /v1/jobs.
 func (s *Server) validateBatch(req *batchRequest) *apiError {
 	if len(req.Queries) == 0 {
-		return s.fail(http.StatusBadRequest, "batch requires at least one query")
+		return s.fail(http.StatusBadRequest, codeInvalidArgument, "batch requires at least one query")
 	}
 	if len(req.Queries) > s.cfg.MaxBatch {
-		return s.fail(http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
+		return s.fail(http.StatusBadRequest, codeInvalidArgument,
+			"batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
 	}
 	return nil
 }
@@ -85,7 +87,7 @@ func (s *Server) runQuery(q *batchQuery) (any, *apiError) {
 	switch q.Op {
 	case "spread", "boost":
 		if q.K != 0 || q.Epsilon != 0 || q.FixedTheta != 0 || q.MaxTheta != 0 || q.EvalRuns != 0 || q.GreedyRuns != 0 {
-			return nil, s.fail(http.StatusBadRequest,
+			return nil, s.fail(http.StatusBadRequest, codeInvalidArgument,
 				"%s queries take no solver fields (k/epsilon/fixedTheta/maxTheta/evalRuns/greedyRuns)", q.Op)
 		}
 		req := &estimateRequest{
@@ -99,7 +101,7 @@ func (s *Server) runQuery(q *batchQuery) (any, *apiError) {
 		return s.runBoost(req)
 	case "selfinfmax", "compinfmax":
 		if q.Runs != 0 {
-			return nil, s.fail(http.StatusBadRequest, "%s queries take evalRuns, not runs", q.Op)
+			return nil, s.fail(http.StatusBadRequest, codeInvalidArgument, "%s queries take evalRuns, not runs", q.Op)
 		}
 		req := &solveRequest{
 			Dataset: q.Dataset, GAP: q.GAP, K: q.K,
@@ -113,9 +115,9 @@ func (s *Server) runQuery(q *batchQuery) (any, *apiError) {
 		}
 		return s.runSolve(problem, req)
 	case "":
-		return nil, s.fail(http.StatusBadRequest, "query is missing \"op\"")
+		return nil, s.fail(http.StatusBadRequest, codeInvalidArgument, "query is missing \"op\"")
 	default:
-		return nil, s.fail(http.StatusBadRequest,
+		return nil, s.fail(http.StatusBadRequest, codeInvalidArgument,
 			"unknown op %q (want spread, boost, selfinfmax or compinfmax)", q.Op)
 	}
 }
@@ -134,14 +136,18 @@ func (s *Server) runBatch(ctx context.Context, queries []batchQuery) *batchRespo
 		if ctx != nil && ctx.Err() != nil {
 			resp.Results = append(resp.Results, batchResult{
 				Op: q.Op, Status: statusCanceled,
-				Error: fmt.Sprintf("canceled before this query ran: %v", ctx.Err()),
+				Error: &errorBody{
+					Code:    codeCanceled,
+					Message: fmt.Sprintf("canceled before this query ran: %v", ctx.Err()),
+				},
 			})
 			resp.Failed++
 			continue
 		}
 		out, aerr := s.runQuery(q)
 		if aerr != nil {
-			resp.Results = append(resp.Results, batchResult{Op: q.Op, Status: aerr.Code, Error: aerr.Msg})
+			b := aerr.body()
+			resp.Results = append(resp.Results, batchResult{Op: q.Op, Status: aerr.Status, Error: &b})
 			resp.Failed++
 			continue
 		}
@@ -157,6 +163,9 @@ func (s *Server) runBatch(ctx context.Context, queries []batchQuery) *batchRespo
 const statusCanceled = 499
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	var req batchRequest
 	if !s.decodeBodyLimit(w, r, &req, s.batchBodyLimit()) {
 		return

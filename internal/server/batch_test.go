@@ -17,7 +17,7 @@ type batchResp struct {
 	Results []struct {
 		Op     string          `json:"op"`
 		Status int             `json:"status"`
-		Error  string          `json:"error"`
+		Error  *errBody        `json:"error"`
 		Result json.RawMessage `json:"result"`
 	} `json:"results"`
 	Succeeded int `json:"succeeded"`
@@ -104,18 +104,22 @@ func TestBatchMixedOpsAndErrors(t *testing.T) {
 	wantStatus := []int{200, 404, 200, 400, 400, 400, 400, 400, 400, 200}
 	for i, r := range got.Results {
 		if r.Status != wantStatus[i] {
-			t.Fatalf("result %d status = %d (%s), want %d", i, r.Status, r.Error, wantStatus[i])
+			t.Fatalf("result %d status = %d (%v), want %d", i, r.Status, r.Error, wantStatus[i])
 		}
-		if r.Status != http.StatusOK && r.Error == "" {
-			t.Fatalf("failed result %d carries no error", i)
+		if r.Status != http.StatusOK && (r.Error == nil || r.Error.Code == "" || r.Error.Message == "") {
+			t.Fatalf("failed result %d carries no structured error (%v)", i, r.Error)
 		}
+	}
+	// The 404 carries its catalog code, same as the dedicated endpoint.
+	if got.Results[1].Error.Code != "graph_not_found" {
+		t.Fatalf("unknown-dataset code = %q, want graph_not_found", got.Results[1].Error.Code)
 	}
 	// The cross-op field checks must name the offending field family.
-	if !strings.Contains(got.Results[5].Error, "evalRuns, not runs") {
-		t.Fatalf("solve-with-runs error = %q", got.Results[5].Error)
+	if !strings.Contains(got.Results[5].Error.Message, "evalRuns, not runs") {
+		t.Fatalf("solve-with-runs error = %q", got.Results[5].Error.Message)
 	}
-	if !strings.Contains(got.Results[6].Error, "no solver fields") {
-		t.Fatalf("spread-with-k error = %q", got.Results[6].Error)
+	if !strings.Contains(got.Results[6].Error.Message, "no solver fields") {
+		t.Fatalf("spread-with-k error = %q", got.Results[6].Error.Message)
 	}
 }
 

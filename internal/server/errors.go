@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Structured error envelope. Every non-2xx response body the server
+// writes has one shape:
+//
+//	{"error": {"code": "<stable_snake_case>", "message": "...", "details": {...}}}
+//
+// The code is the machine-readable contract: clients branch on it, and it
+// is stable across releases even when the human-readable message is
+// reworded. The details object carries optional structured context (the
+// conflicting generations, the allowed methods, the known graph names);
+// its keys are documented per code in docs/api.md.
+
+// Error codes. One catalog for the whole v1 surface; adding a code means
+// documenting it in docs/api.md and covering it in the conformance test.
+const (
+	// codeInvalidArgument (400): the request body or parameters failed
+	// validation — malformed JSON, out-of-range seeds, a budget beyond an
+	// operator limit, a malformed edge-update batch.
+	codeInvalidArgument = "invalid_argument"
+	// codeGraphNotFound (404): the named dataset/graph is not registered.
+	codeGraphNotFound = "graph_not_found"
+	// codeJobNotFound (404): the job id is unknown (never existed, or its
+	// record was discarded by retention or DELETE).
+	codeJobNotFound = "job_not_found"
+	// codeMethodNotAllowed (405): the route exists but not for this HTTP
+	// method; the response carries an Allow header.
+	codeMethodNotAllowed = "method_not_allowed"
+	// codeGraphConflict (409): a registration conflict — the name is
+	// taken, the graph limit is reached, or the graph was deleted during
+	// registration.
+	codeGraphConflict = "graph_conflict"
+	// codeGraphGenerationConflict (409): a PATCH carried an ifGeneration
+	// precondition that does not match the graph's current generation.
+	codeGraphGenerationConflict = "graph_generation_conflict"
+	// codeUnsupportedRegime (400): the request's GAP regime has no enabled
+	// algorithm (the Monte-Carlo greedy fallback is disabled).
+	codeUnsupportedRegime = "unsupported_regime"
+	// codeQueueFull (429): the async job queue is at capacity.
+	codeQueueFull = "queue_full"
+	// codeShuttingDown (503): the server is draining and accepts no new
+	// jobs.
+	codeShuttingDown = "shutting_down"
+	// codeCanceled (499): a batch query was skipped because the request
+	// context (or its job) was canceled before the query ran.
+	codeCanceled = "canceled"
+	// codeInternal (500): a server-side failure — a panicking build, a
+	// persistence error. Nothing about the request caused it.
+	codeInternal = "internal"
+)
+
+// errorBody is the inner object of the error envelope; batch results embed
+// it directly (their envelope is the surrounding batchResult).
+type errorBody struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// errorEnvelope is the body of every non-2xx response.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// apiError is a validation or execution failure with the HTTP status and
+// stable code it maps to. It is the error currency of the run* helpers,
+// which serve both the dedicated endpoints and batch/job queries.
+type apiError struct {
+	Status  int
+	Code    string
+	Msg     string
+	Details map[string]any
+}
+
+func (e *apiError) Error() string { return e.Msg }
+
+func (e *apiError) body() errorBody {
+	return errorBody{Code: e.Code, Message: e.Msg, Details: e.Details}
+}
+
+// withDetails attaches structured context to the error and returns it, for
+// chaining onto fail.
+func (e *apiError) withDetails(details map[string]any) *apiError {
+	e.Details = details
+	return e
+}
+
+// fail counts one rejected request and builds its apiError. All request
+// rejections funnel through here (or httpError), so the "errors" stat
+// counts each rejection exactly once.
+func (s *Server) fail(status int, code string, format string, args ...any) *apiError {
+	s.nErrors.Add(1)
+	return &apiError{Status: status, Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// writeErr renders an apiError as the JSON error envelope.
+func (s *Server) writeErr(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.Status, errorEnvelope{Error: e.body()})
+}
+
+// httpError counts and writes a transport-level rejection (bad method, bad
+// body) that never reached a run* helper.
+func (s *Server) httpError(w http.ResponseWriter, status int, code, msg string) {
+	s.nErrors.Add(1)
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: msg}})
+}
+
+// methodNotAllowed writes the 405 envelope with the Allow header listing
+// the methods the route does serve, per RFC 9110 §15.5.6.
+func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request, allowed ...string) {
+	allow := strings.Join(allowed, ", ")
+	w.Header().Set("Allow", allow)
+	s.nErrors.Add(1)
+	writeJSON(w, http.StatusMethodNotAllowed, errorEnvelope{Error: errorBody{
+		Code:    codeMethodNotAllowed,
+		Message: fmt.Sprintf("method %s is not allowed here", r.Method),
+		Details: map[string]any{"allow": allow},
+	}})
+}
+
+// requireMethod gates a single-method route: true when r uses it, else a
+// 405 with Allow has been written.
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	s.methodNotAllowed(w, r, method)
+	return false
+}

@@ -1,0 +1,146 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"comic"
+	"comic/internal/server"
+)
+
+// errBody and errEnvelope mirror the structured error wire form in tests.
+type errBody struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details"`
+}
+
+type errEnvelope struct {
+	Error errBody `json:"error"`
+}
+
+// decodeEnvelope asserts the recorder body is a well-formed error envelope
+// and returns the inner body.
+func decodeEnvelope(tb testing.TB, rec *httptest.ResponseRecorder) errBody {
+	tb.Helper()
+	var e errEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		tb.Fatalf("error body %q is not JSON: %v", rec.Body.String(), err)
+	}
+	if e.Error.Code == "" || e.Error.Message == "" {
+		tb.Fatalf("error body %q is not the {\"error\":{\"code\",\"message\"}} envelope", rec.Body.String())
+	}
+	return e.Error
+}
+
+// TestErrorEnvelopeConformance sweeps (endpoint, failure) pairs across the
+// whole v1 surface and pins each to its HTTP status and stable error code:
+// every non-2xx response is the structured envelope, method misses carry
+// an Allow header, and the codes match the docs/api.md catalog.
+func TestErrorEnvelopeConformance(t *testing.T) {
+	d := testDataset(t)
+	s, err := server.New(server.Config{
+		Datasets: map[string]*comic.Dataset{"Flixster": d},
+		MaxK:     50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+		wantCode                 string
+		wantAllow                string // non-empty: the Allow header on a 405
+	}{
+		{"healthz wrong method", http.MethodPost, "/healthz", "", 405, "method_not_allowed", "GET"},
+		{"stats wrong method", http.MethodDelete, "/v1/stats", "", 405, "method_not_allowed", "GET"},
+		{"spread wrong method", http.MethodGet, "/v1/spread", "", 405, "method_not_allowed", "POST"},
+		{"boost wrong method", http.MethodPut, "/v1/boost", "", 405, "method_not_allowed", "POST"},
+		{"selfinfmax wrong method", http.MethodGet, "/v1/selfinfmax", "", 405, "method_not_allowed", "POST"},
+		{"compinfmax wrong method", http.MethodGet, "/v1/compinfmax", "", 405, "method_not_allowed", "POST"},
+		{"batch wrong method", http.MethodGet, "/v1/batch", "", 405, "method_not_allowed", "POST"},
+		{"jobs wrong method", http.MethodDelete, "/v1/jobs", "", 405, "method_not_allowed", "POST, GET"},
+		{"job by id wrong method", http.MethodPost, "/v1/jobs/job-1", "", 405, "method_not_allowed", "GET, DELETE"},
+		{"graphs wrong method", http.MethodDelete, "/v1/graphs", "", 405, "method_not_allowed", "POST, GET"},
+		{"graph by name wrong method", http.MethodPost, "/v1/graphs/Flixster", "", 405, "method_not_allowed", "GET, DELETE"},
+		{"edges wrong method", http.MethodPost, "/v1/graphs/Flixster/edges", "{}", 405, "method_not_allowed", "PATCH"},
+
+		{"spread bad json", http.MethodPost, "/v1/spread", "{", 400, "invalid_argument", ""},
+		{"spread unknown field", http.MethodPost, "/v1/spread", `{"dataset":"Flixster","bogus":1}`, 400, "invalid_argument", ""},
+		{"spread unknown dataset", http.MethodPost, "/v1/spread", `{"dataset":"nope"}`, 404, "graph_not_found", ""},
+		{"spread bad seeds", http.MethodPost, "/v1/spread", `{"dataset":"Flixster","seedsA":[-1]}`, 400, "invalid_argument", ""},
+		{"boost missing seedsB", http.MethodPost, "/v1/boost", `{"dataset":"Flixster","seedsA":[0]}`, 400, "invalid_argument", ""},
+		{"solve bad k", http.MethodPost, "/v1/selfinfmax", `{"dataset":"Flixster","k":0}`, 400, "invalid_argument", ""},
+		{"solve unknown dataset", http.MethodPost, "/v1/compinfmax", `{"dataset":"nope","k":2}`, 404, "graph_not_found", ""},
+		{"batch empty", http.MethodPost, "/v1/batch", `{"queries":[]}`, 400, "invalid_argument", ""},
+		{"jobs empty", http.MethodPost, "/v1/jobs", `{"queries":[]}`, 400, "invalid_argument", ""},
+		{"job not found", http.MethodGet, "/v1/jobs/job-999", "", 404, "job_not_found", ""},
+		{"job delete not found", http.MethodDelete, "/v1/jobs/job-999", "", 404, "job_not_found", ""},
+		{"graph not found", http.MethodGet, "/v1/graphs/nope", "", 404, "graph_not_found", ""},
+		{"graph delete not found", http.MethodDelete, "/v1/graphs/nope", "", 404, "graph_not_found", ""},
+		{"upload bad name", http.MethodPost, "/v1/graphs", `{"name":"","edgeList":"2 1\n0 1 0.5\n"}`, 400, "invalid_argument", ""},
+		{"upload name taken", http.MethodPost, "/v1/graphs", `{"name":"Flixster","edgeList":"2 1\n0 1 0.5\n"}`, 409, "graph_conflict", ""},
+
+		{"patch unknown graph", http.MethodPatch, "/v1/graphs/nope/edges",
+			`{"updates":[{"op":"reweight","u":0,"v":1,"p":0.5}]}`, 404, "graph_not_found", ""},
+		{"patch empty batch", http.MethodPatch, "/v1/graphs/Flixster/edges",
+			`{"updates":[]}`, 400, "invalid_argument", ""},
+		{"patch unknown op", http.MethodPatch, "/v1/graphs/Flixster/edges",
+			`{"updates":[{"op":"frobnicate","u":0,"v":1}]}`, 400, "invalid_argument", ""},
+		{"patch add without p", http.MethodPatch, "/v1/graphs/Flixster/edges",
+			`{"updates":[{"op":"add","u":0,"v":1}]}`, 400, "invalid_argument", ""},
+		{"patch remove with p", http.MethodPatch, "/v1/graphs/Flixster/edges",
+			`{"updates":[{"op":"remove","u":0,"v":1,"p":0.5}]}`, 400, "invalid_argument", ""},
+		{"patch stale generation", http.MethodPatch, "/v1/graphs/Flixster/edges",
+			`{"updates":[{"op":"reweight","u":0,"v":1,"p":0.5}],"ifGeneration":7}`, 409, "graph_generation_conflict", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s, tc.method, tc.path, tc.body, nil)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("%s %s = %d, want %d (%s)", tc.method, tc.path, rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			e := decodeEnvelope(t, rec)
+			if e.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q (%s)", e.Code, tc.wantCode, rec.Body.String())
+			}
+			if tc.wantAllow != "" {
+				if got := rec.Header().Get("Allow"); got != tc.wantAllow {
+					t.Fatalf("Allow = %q, want %q", got, tc.wantAllow)
+				}
+				allow, _ := e.Details["allow"].(string)
+				if allow != tc.wantAllow {
+					t.Fatalf("details.allow = %v, want %q", e.Details["allow"], tc.wantAllow)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerationConflictDetails pins the structured context on the
+// ifGeneration precondition failure: the conflicting generations are in
+// details, so a client can resync without re-fetching the graph.
+func TestGenerationConflictDetails(t *testing.T) {
+	s := newTestServer(t, testDataset(t))
+	t.Cleanup(s.Close)
+	rec := do(t, s, http.MethodPatch, "/v1/graphs/Flixster/edges",
+		`{"updates":[{"op":"reweight","u":0,"v":1,"p":0.5}],"ifGeneration":3}`, nil)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("stale patch = %d, want 409 (%s)", rec.Code, rec.Body.String())
+	}
+	e := decodeEnvelope(t, rec)
+	if e.Code != "graph_generation_conflict" {
+		t.Fatalf("code = %q", e.Code)
+	}
+	if e.Details["generation"] != float64(0) || e.Details["ifGeneration"] != float64(3) {
+		t.Fatalf("details = %v, want generation 0 / ifGeneration 3", e.Details)
+	}
+	if !strings.Contains(e.Message, "generation") {
+		t.Fatalf("message %q does not mention the generation", e.Message)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,6 +46,12 @@ type Index struct {
 	maxBytes  int64
 	maxOrderK int
 	sem       chan struct{} // non-nil: bounds concurrent builds (SetBuildLimit)
+	// recordPostings makes every build attach the per-set examination
+	// index (rrset.Options.RecordPostings), enabling incremental repair
+	// after graph edits (RepairGraph). On by default; SetRecordPostings
+	// turns it off for memory-constrained deployments, at the cost of
+	// every PATCH falling back to dropping the graph's collections.
+	recordPostings bool
 
 	// snapMu serializes snapshot-directory file operations (SaveSnapshot,
 	// LoadSnapshot, the entry-file deletions of DropGraph). It is never
@@ -78,6 +85,12 @@ type indexEntry struct {
 	// exact footprint, included in Index.bytes while attached.
 	order      *rrset.SeedOrder
 	orderBytes int64
+	// req is the request that built (or restored, via the snapshot
+	// manifest's request record) the collection, with Graph/GraphID still
+	// pointing at the generation it was drawn on. RepairGraph re-issues it
+	// against the patched graph; nil means the entry cannot be repaired
+	// (pre-upgrade snapshot) and is dropped on PATCH instead.
+	req *rrset.CollectionRequest
 }
 
 // flight is one in-progress build that concurrent identical requests wait
@@ -132,6 +145,17 @@ type IndexStats struct {
 	// OrderBytes is the resident memory of memoized seed orderings, a
 	// subset of ResidentBytes.
 	OrderBytes int64 `json:"orderBytes"`
+	// Repairs counts collections migrated in place by RepairGraph after a
+	// graph PATCH; RepairedSets counts the RR sets those repairs actually
+	// regenerated (dirty + top-up — the work a full rebuild would have
+	// multiplied by θ/regenerated). RepairFallbacks counts collections a
+	// PATCH dropped instead — no postings index, dirtiness above the
+	// threshold, or a failed repair — leaving the next query to rebuild.
+	Repairs         int64 `json:"repairs"`
+	RepairedSets    int64 `json:"repairedSets"`
+	RepairFallbacks int64 `json:"repairFallbacks"`
+	// RepairTime is the cumulative wall time RepairGraph spent repairing.
+	RepairTime time.Duration `json:"repairTimeNs"`
 	// ResidentCollections and ResidentBytes describe current occupancy.
 	ResidentCollections int   `json:"residentCollections"`
 	ResidentBytes       int64 `json:"residentBytes"`
@@ -151,14 +175,20 @@ const DefaultMaxOrderK = 512
 // data (exact arena accounting). maxBytes <= 0 means unbounded.
 func NewIndex(maxBytes int64) *Index {
 	return &Index{
-		maxBytes:    maxBytes,
-		maxOrderK:   DefaultMaxOrderK,
-		entries:     make(map[string]*list.Element),
-		lru:         list.New(),
-		inflight:    make(map[string]*flight),
-		orderFlight: make(map[string]*orderFlight),
+		maxBytes:       maxBytes,
+		maxOrderK:      DefaultMaxOrderK,
+		recordPostings: true,
+		entries:        make(map[string]*list.Element),
+		lru:            list.New(),
+		inflight:       make(map[string]*flight),
+		orderFlight:    make(map[string]*orderFlight),
 	}
 }
+
+// SetRecordPostings controls whether builds attach the examination index
+// that incremental repair needs (on by default). Like SetBuildLimit, call
+// before the index is shared across goroutines.
+func (x *Index) SetRecordPostings(on bool) { x.recordPostings = on }
 
 // SetMaxOrderK sets how many positions of the CELF ordering are memoized
 // per collection; selections with k beyond it fall back to a fresh CELF
@@ -175,6 +205,12 @@ func (x *Index) SetMaxOrderK(k int) {
 // distinct key no matter how many goroutines ask concurrently. Errors are
 // not cached; a later identical request retries the build.
 func (x *Index) Collection(req rrset.CollectionRequest) (*rrset.Collection, error) {
+	// Recording the examination index never changes the generated sets
+	// (the flag is excluded from Key, like Workers); it is what makes the
+	// collection repairable in place after a graph PATCH.
+	if x.recordPostings {
+		req.Opts.RecordPostings = true
+	}
 	key := req.Key()
 
 	x.mu.Lock()
@@ -221,7 +257,7 @@ func (x *Index) Collection(req rrset.CollectionRequest) (*rrset.Collection, erro
 	delete(x.inflight, key)
 	x.stats.BuildTime += time.Since(t0)
 	if err == nil {
-		x.insertLocked(key, col, req.Graph, req.GraphID)
+		x.insertLocked(key, col, &req)
 	}
 	x.mu.Unlock()
 	return col, err
@@ -384,12 +420,13 @@ func buildSafely(req rrset.CollectionRequest) (col *rrset.Collection, err error)
 // insertLocked adds a built collection and evicts from the cold end until
 // the budget holds again. The newest collection is never evicted, so a
 // single collection larger than the whole budget still serves its own
-// request (and becomes the next eviction victim).
-func (x *Index) insertLocked(key string, col *rrset.Collection, g *graph.Graph, graphID string) {
+// request (and becomes the next eviction victim). The request is retained
+// on the entry so RepairGraph can re-issue it after a graph PATCH.
+func (x *Index) insertLocked(key string, col *rrset.Collection, req *rrset.CollectionRequest) {
 	if _, ok := x.entries[key]; ok {
 		return // a racing build of the same key already landed
 	}
-	e := &indexEntry{key: key, graphID: graphID, col: col, graph: g, bytes: col.Bytes()}
+	e := &indexEntry{key: key, graphID: req.GraphID, col: col, graph: req.Graph, bytes: col.Bytes(), req: req}
 	x.entries[key] = x.lru.PushFront(e)
 	x.bytes += e.bytes
 	x.evictOverBudgetLocked()
@@ -458,6 +495,147 @@ func (x *Index) DropGraph(g *graph.Graph) int {
 		x.snapMu.Unlock()
 	}
 	return dropped
+}
+
+// RepairSummary reports what one RepairGraph migration did, surfaced in
+// the PATCH /v1/graphs/{name}/edges response.
+type RepairSummary struct {
+	// Collections counts the resident collections drawn on the patched
+	// graph's previous generation; Repaired of them were migrated in
+	// place, Fallbacks were dropped (the next query rebuilds cold).
+	Collections int `json:"collections"`
+	Repaired    int `json:"repaired"`
+	Fallbacks   int `json:"fallbacks"`
+	// ReusedSets counts RR sets carried over verbatim across all repairs;
+	// RepairedSets counts the ones regenerated (dirty + top-up).
+	ReusedSets   int `json:"reusedSets"`
+	RepairedSets int `json:"repairedSets"`
+}
+
+// RepairGraph migrates every resident collection drawn on old onto the
+// patched graph: each is repaired incrementally (rrset.Repair) — bitwise
+// identical to a cold rebuild on the patched graph, but regenerating only
+// the RR sets the update batch dirtied — and re-keyed under newID, the
+// patched generation's GraphID. Collections that cannot be repaired (no
+// postings index, no retained request, dirtiness above maxDirtyFrac, or a
+// failed repair) are dropped; the next query rebuilds them cold.
+//
+// The caller (the PATCH path) must keep the old generation referenced in
+// the registry while this runs, so a concurrent delete cannot drop
+// entries out from under the repair loop. Old-generation entries inserted
+// concurrently by in-flight solves are not migrated; they drain when the
+// old version's last reference is released.
+func (x *Index) RepairGraph(old, patched *graph.Graph, newID string, delta *graph.Delta, maxDirtyFrac float64) RepairSummary {
+	x.mu.Lock()
+	type cand struct {
+		key string
+		e   *indexEntry
+	}
+	var cands []cand
+	//comic:unordered candidates are sorted by key right below
+	for key, el := range x.entries {
+		e := el.Value.(*indexEntry)
+		if e.graph == old {
+			cands = append(cands, cand{key, e})
+		}
+	}
+	x.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+
+	// Repair outside the lock — this is θ-scaled work. Collections are
+	// immutable, so concurrent hits on the old entries are safe.
+	type migration struct {
+		oldKey string
+		oldE   *indexEntry
+		req    *rrset.CollectionRequest
+		col    *rrset.Collection
+	}
+	var sum RepairSummary
+	sum.Collections = len(cands)
+	var migs []migration
+	var drops []cand
+	t0 := time.Now()
+	for _, c := range cands {
+		if c.e.req == nil {
+			drops = append(drops, c)
+			sum.Fallbacks++
+			continue
+		}
+		req := *c.e.req
+		req.Graph = patched
+		req.GraphID = newID
+		req.Opts.RecordPostings = true
+		col, rst, err := repairSafely(c.e.col, req, delta, maxDirtyFrac)
+		if err != nil || col == nil {
+			drops = append(drops, c)
+			sum.Fallbacks++
+			continue
+		}
+		sum.Repaired++
+		sum.ReusedSets += rst.Reused
+		sum.RepairedSets += rst.Regenerated + rst.TopUp
+		migs = append(migs, migration{oldKey: c.key, oldE: c.e, req: &req, col: col})
+	}
+	repairTime := time.Since(t0)
+
+	x.mu.Lock()
+	// removeIfCurrent unlinks the entry under key provided it is still the
+	// exact entry the repair loop saw — it may have been evicted (gone) or
+	// evicted-and-rebuilt (a different entry) meanwhile.
+	var files []string
+	removeIfCurrent := func(key string, e *indexEntry) {
+		el, ok := x.entries[key]
+		if !ok || el.Value.(*indexEntry) != e {
+			return
+		}
+		x.lru.Remove(el)
+		delete(x.entries, key)
+		x.bytes -= e.bytes + e.orderBytes
+		x.orderBytes -= e.orderBytes
+		if x.snapDir != "" && e.graphID != "" {
+			files = append(files, filepath.Join(x.snapDir, snapshotFileName(key)))
+		}
+	}
+	for _, d := range drops {
+		removeIfCurrent(d.key, d.e)
+	}
+	for _, m := range migs {
+		removeIfCurrent(m.oldKey, m.oldE)
+		// The memoized seed ordering belonged to the old collection; the
+		// repaired one starts without and rebuilds it on first selection.
+		x.insertLocked(m.req.Key(), m.col, m.req)
+	}
+	x.stats.Repairs += int64(sum.Repaired)
+	x.stats.RepairedSets += int64(sum.RepairedSets)
+	x.stats.RepairFallbacks += int64(sum.Fallbacks)
+	x.stats.RepairTime += repairTime
+	x.mu.Unlock()
+
+	// The dead generation's snapshot entry files must not linger: a
+	// restart cannot restore them (their GraphID is gone), but pruning now
+	// keeps the state directory from accumulating one stale file per
+	// patched collection until the next SaveSnapshot.
+	if len(files) > 0 {
+		x.snapMu.Lock()
+		for _, f := range files {
+			//comic:allow lockorder snapMu exists to serialize snapshot I/O; the hot path takes mu, never snapMu
+			os.Remove(f) //comic:allow errlost best-effort; LoadSnapshot tolerates strays
+		}
+		x.snapMu.Unlock()
+	}
+	return sum
+}
+
+// repairSafely converts a panicking repair into an error so a defective
+// collection falls back to a drop-and-rebuild instead of killing the
+// PATCH request.
+func repairSafely(old *rrset.Collection, req rrset.CollectionRequest, delta *graph.Delta, maxDirtyFrac float64) (col *rrset.Collection, rst *rrset.RepairStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			col, rst, err = nil, nil, fmt.Errorf("%w: %v", ErrBuildPanic, r)
+		}
+	}()
+	return rrset.Repair(old, req, delta, maxDirtyFrac)
 }
 
 // SetBuildLimit bounds the number of collection builds that may run

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -106,6 +107,13 @@ func (q *jobQueue) finishLocked(j *job, state string) {
 	}
 }
 
+// Typed submit failures, so the handler can map each to its own HTTP
+// status and error code.
+var (
+	errShuttingDown = fmt.Errorf("server is shutting down")
+	errQueueFull    = fmt.Errorf("job queue is full")
+)
+
 // submit enqueues a new job and returns its status snapshot (taken under
 // the same lock, so it cannot race with retention eviction or a fast
 // worker). It fails when the queue is full (the pool can't keep up) or
@@ -114,7 +122,7 @@ func (q *jobQueue) submit(queries []batchQuery) (jobStatus, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return jobStatus{}, fmt.Errorf("server is shutting down")
+		return jobStatus{}, errShuttingDown
 	}
 	if !q.started {
 		q.started = true
@@ -137,7 +145,7 @@ func (q *jobQueue) submit(queries []batchQuery) (jobStatus, error) {
 	case q.queue <- j:
 	default:
 		cancel()
-		return jobStatus{}, fmt.Errorf("job queue is full (%d queued)", cap(q.queue))
+		return jobStatus{}, fmt.Errorf("%w (%d queued)", errQueueFull, cap(q.queue))
 	}
 	q.jobs[j.id] = j
 	return j.statusLocked(false), nil
@@ -264,7 +272,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		st, err := s.jobs.submit(req.Queries)
 		if err != nil {
-			s.httpError(w, http.StatusTooManyRequests, err.Error())
+			if errors.Is(err, errShuttingDown) {
+				s.httpError(w, http.StatusServiceUnavailable, codeShuttingDown, err.Error())
+			} else {
+				s.httpError(w, http.StatusTooManyRequests, codeQueueFull, err.Error())
+			}
 			return
 		}
 		s.nJobs.Add(1)
@@ -272,7 +284,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
 	default:
-		s.httpError(w, http.StatusMethodNotAllowed, "POST or GET only")
+		s.methodNotAllowed(w, r, http.MethodPost, http.MethodGet)
 	}
 }
 
@@ -283,18 +295,18 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		st, ok := s.jobs.get(id)
 		if !ok {
-			s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+			s.httpError(w, http.StatusNotFound, codeJobNotFound, fmt.Sprintf("unknown job %q", id))
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
 	case http.MethodDelete:
 		st, ok := s.jobs.remove(id)
 		if !ok {
-			s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+			s.httpError(w, http.StatusNotFound, codeJobNotFound, fmt.Sprintf("unknown job %q", id))
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
 	default:
-		s.httpError(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+		s.methodNotAllowed(w, r, http.MethodGet, http.MethodDelete)
 	}
 }

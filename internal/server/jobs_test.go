@@ -21,7 +21,7 @@ type jobStatusResp struct {
 		Results []struct {
 			Op     string          `json:"op"`
 			Status int             `json:"status"`
-			Error  string          `json:"error"`
+			Error  *errBody        `json:"error"`
 			Result json.RawMessage `json:"result"`
 		} `json:"results"`
 		Succeeded int `json:"succeeded"`

@@ -194,11 +194,12 @@ func TestUnsupportedRegimeMaps400(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("unsupported regime = %d, want 400 (%s)", rec.Code, rec.Body.String())
 	}
-	var e struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, `"competition"`) {
+	e := decodeEnvelope(t, rec)
+	if !strings.Contains(e.Message, `"competition"`) {
 		t.Fatalf("error %q must name the regime", rec.Body.String())
+	}
+	if e.Code != "unsupported_regime" {
+		t.Fatalf("code = %q, want unsupported_regime", e.Code)
 	}
 	// Q+ traffic is unaffected by the disabled fallback.
 	if rec := do(t, s, http.MethodPost, "/v1/selfinfmax",

@@ -17,27 +17,41 @@ import (
 // registry is the server's dynamic graph inventory: the datasets preloaded
 // from Config.Datasets plus any graphs uploaded through POST /v1/graphs.
 // Every query resolves its graph here, taking a reference for the duration
-// of the request, so DELETE can retire a graph without yanking it out from
-// under in-flight solves:
+// of the request, so DELETE can retire a graph — and PATCH can advance it
+// to a new edit generation — without yanking it out from under in-flight
+// solves:
 //
-//   - acquire/release ref-count in-flight requests per entry;
-//   - remove unlinks the entry immediately (new requests get 404) and marks
-//     it deleted; the RR-index collections drawn on the graph are dropped as
-//     soon as the last reference is released (immediately when idle). Cache
-//     inserts for a graph only happen inside a request holding a reference,
-//     so after the final release+drop no entry can resurrect the graph's
-//     collections.
+//   - acquire/release ref-count in-flight requests per graph *version*: a
+//     request pins the exact generation it resolved, and a concurrent
+//     PATCH swaps e.cur without disturbing it;
+//   - remove unlinks the entry immediately (new requests get 404) and
+//     retires its current version; a PATCH retires the superseded version.
+//     A retired version's RR-index collections are dropped as soon as the
+//     last reference to it is released (immediately when idle). Cache
+//     inserts for a version only happen inside a request holding a
+//     reference, so after the final release+drop no entry can resurrect a
+//     dead version's collections.
 //
-// Each registration gets a unique cacheID used as the RR-index GraphID, so
-// re-registering a name after a delete can never alias the dead graph's
-// cache entries — even if the new graph coincidentally matches the old
-// one's node and edge counts (the N/M misuse guard cannot catch that).
+// Each registration gets a unique cacheID, and each edit generation
+// derives a versioned cache ID ("<cacheID>@<gen>") used as the RR-index
+// GraphID — so re-registering a name after a delete can never alias the
+// dead graph's cache entries, and a PATCH can never serve the previous
+// topology's collections (except through explicit incremental repair,
+// which re-keys them under the new versioned ID).
 type registry struct {
 	index *Index
 	// stateDir, when non-empty, is the directory registrations are
 	// persisted to (meta + edge-list files, see snapshot.go) so uploaded
 	// graphs survive a restart with their cache IDs intact.
 	stateDir string
+
+	// patchMu serializes PATCH /v1/graphs/{name}/edges operations: a patch
+	// reads the current version, repairs the RR-index against it, persists,
+	// and swaps — a second patch interleaved anywhere in that sequence
+	// would repair against a stale topology. Lock order: patchMu before
+	// persistMu before nothing; patchMu before mu. The query path
+	// (acquire/release) never takes it.
+	patchMu sync.Mutex
 
 	// persistMu serializes graph-file I/O (persist on register, unpersist
 	// on delete). The query path (acquire/release) never takes it, so a
@@ -50,20 +64,55 @@ type registry struct {
 	nextGen int64
 }
 
-// regEntry is one registered graph.
+// regEntry is one registered graph name. Its identity (name, cacheID,
+// registration generation, source, creation time) is immutable; the
+// mutable part is which graphVersion is current.
 type regEntry struct {
 	name    string
-	cacheID string // unique per registration; the RR-index GraphID
-	gen     int64  // the generation counter minted into cacheID
-	d       *datasets.Dataset
-	source  string // "preloaded" (Config.Datasets) or "uploaded" (/v1/graphs)
+	cacheID string // unique per registration; versioned per edit into GraphIDs
+	gen     int64  // the registration counter minted into cacheID
+	source  string // "preloaded" (Config.Datasets), "uploaded" (/v1/graphs), "registered"
 	created time.Time
 
 	// guarded by registry.mu
-	refs       int
+	cur        *graphVersion
 	deleted    bool
 	persisting bool // register's file I/O is still in flight
 }
+
+// graphVersion is one immutable edit generation of a registered graph.
+// PATCH /v1/graphs/{name}/edges replaces e.cur with a fresh version;
+// in-flight requests keep the version they pinned, so a solve never sees
+// the graph change mid-request, and its cache inserts stay keyed to the
+// generation it actually computed on.
+type graphVersion struct {
+	d           *datasets.Dataset
+	gen         int64  // edit generation: 0 at registration, +1 per PATCH
+	id          string // versioned RR-index GraphID: "<cacheID>@<gen>"
+	fingerprint string // content fingerprint of d.Graph (graphFingerprint)
+
+	// guarded by registry.mu
+	refs    int
+	retired bool // superseded by a PATCH, or the entry was deleted
+}
+
+// versionedID derives the RR-index GraphID for one edit generation.
+func versionedID(cacheID string, gen int64) string {
+	return fmt.Sprintf("%s@%d", cacheID, gen)
+}
+
+// graphRef is a pinned view of one graph version, held for the duration of
+// a request. Everything it exposes is immutable.
+type graphRef struct {
+	entry *regEntry
+	v     *graphVersion
+}
+
+func (ref *graphRef) graph() *graph.Graph        { return ref.v.d.Graph }
+func (ref *graphRef) gap() core.GAP              { return ref.v.d.GAP }
+func (ref *graphRef) dataset() *datasets.Dataset { return ref.v.d }
+func (ref *graphRef) id() string                 { return ref.v.id }
+func (ref *graphRef) info() graphInfo            { return graphInfoOf(ref.entry, ref.v) }
 
 func newRegistry(index *Index, stateDir string) *registry {
 	return &registry{index: index, stateDir: stateDir, entries: make(map[string]*regEntry)}
@@ -81,6 +130,7 @@ var errRegistryConflict = fmt.Errorf("registry conflict")
 // it). The entry is serving-visible immediately; the file I/O runs outside
 // the registry lock so it never stalls the query path.
 func (r *registry) register(name string, d *datasets.Dataset, source string, limit int) (*regEntry, error) {
+	fp := graphFingerprint(d.Graph)
 	r.mu.Lock()
 	if _, ok := r.entries[name]; ok {
 		r.mu.Unlock()
@@ -91,16 +141,18 @@ func (r *registry) register(name string, d *datasets.Dataset, source string, lim
 		return nil, fmt.Errorf("%w: graph limit %d reached", errRegistryConflict, limit)
 	}
 	r.nextGen++
+	cacheID := fmt.Sprintf("%s#%d", name, r.nextGen)
 	e := &regEntry{
 		name:       name,
-		cacheID:    fmt.Sprintf("%s#%d", name, r.nextGen),
+		cacheID:    cacheID,
 		gen:        r.nextGen,
-		d:          d,
 		source:     source,
 		created:    time.Now(),
+		cur:        &graphVersion{d: d, gen: 0, id: versionedID(cacheID, 0), fingerprint: fp},
 		persisting: r.stateDir != "",
 	}
 	r.entries[name] = e
+	v := e.cur
 	r.mu.Unlock()
 	if r.stateDir == "" {
 		return e, nil
@@ -108,7 +160,7 @@ func (r *registry) register(name string, d *datasets.Dataset, source string, lim
 
 	r.persistMu.Lock()
 	//comic:allow lockorder persistMu's only job is to serialize graph persistence I/O
-	perr := r.persistGraph(e)
+	perr := r.persistGraph(e, v)
 	r.persistMu.Unlock()
 
 	r.mu.Lock()
@@ -118,8 +170,9 @@ func (r *registry) register(name string, d *datasets.Dataset, source string, lim
 	if rollback {
 		delete(r.entries, name)
 		e.deleted = true
+		v.retired = true
 	}
-	drop := rollback && e.refs == 0
+	drop := rollback && v.refs == 0
 	r.mu.Unlock()
 	if racedDelete || rollback {
 		r.persistMu.Lock()
@@ -128,7 +181,7 @@ func (r *registry) register(name string, d *datasets.Dataset, source string, lim
 		r.persistMu.Unlock()
 	}
 	if drop {
-		r.index.DropGraph(e.d.Graph)
+		r.index.DropGraph(v.d.Graph)
 	}
 	if perr != nil {
 		return nil, fmt.Errorf("persisting graph %q: %v", name, perr)
@@ -140,8 +193,8 @@ func (r *registry) register(name string, d *datasets.Dataset, source string, lim
 }
 
 // restore installs a previously persisted registration, keeping its cache
-// ID and creation time, and fences the generation counter so no future
-// registration can re-mint a restored (or skipped) ID.
+// ID, creation time and edit generation, and fences the generation counter
+// so no future registration can re-mint a restored (or skipped) ID.
 func (r *registry) restore(e *regEntry, limit int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -165,36 +218,60 @@ func (r *registry) fenceGen(gen int64) {
 	r.mu.Unlock()
 }
 
-// acquire resolves name and takes a reference; callers must release.
-func (r *registry) acquire(name string) (*regEntry, bool) {
+// acquire resolves name and pins its current version; callers must
+// release the returned ref.
+func (r *registry) acquire(name string) (*graphRef, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.entries[name]
 	if !ok {
 		return nil, false
 	}
-	e.refs++
-	return e, true
+	v := e.cur
+	v.refs++
+	return &graphRef{entry: e, v: v}, true
 }
 
-// release drops a reference. When the entry has been deleted and this was
-// the last reference, the graph's RR-index collections are dropped.
-func (r *registry) release(e *regEntry) {
+// release drops a reference. When the pinned version has been retired
+// (superseded by a PATCH, or its entry deleted) and this was the last
+// reference, the version's RR-index collections are dropped.
+func (r *registry) release(ref *graphRef) {
+	v := ref.v
 	r.mu.Lock()
-	e.refs--
-	drop := e.deleted && e.refs == 0
+	v.refs--
+	drop := v.retired && v.refs == 0
 	r.mu.Unlock()
 	if drop {
-		r.index.DropGraph(e.d.Graph)
+		r.index.DropGraph(v.d.Graph)
 	}
 }
 
+// swapVersion publishes next as e's current version, retiring old. It
+// fails when the entry was deleted mid-patch, or old is no longer current
+// (both are callers' races to handle; the registry state is unchanged).
+// The caller is expected to hold a reference on old, so the retired
+// version's collections are dropped by the reference drain, never here.
+func (r *registry) swapVersion(e *regEntry, old, next *graphVersion) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.deleted {
+		return fmt.Errorf("graph %q was deleted during the update", e.name)
+	}
+	if e.cur != old {
+		return fmt.Errorf("graph %q changed generation during the update", e.name)
+	}
+	old.retired = true
+	e.cur = next
+	return nil
+}
+
 // remove unlinks name from the registry and deletes its persisted files
-// (the graph must not be resurrected by a restart). Cache entries are
-// dropped now if the graph is idle, otherwise when the last in-flight
-// request releases it. If the entry's registration is still persisting its
-// files, cleanup is deferred to the registering goroutine, which sees the
-// deleted flag when its I/O completes.
+// (the graph must not be resurrected by a restart). The current version's
+// cache entries are dropped now if it is idle, otherwise when the last
+// in-flight request releases it; superseded versions were retired by their
+// PATCH and drain the same way. If the entry's registration is still
+// persisting its files, cleanup is deferred to the registering goroutine,
+// which sees the deleted flag when its I/O completes.
 func (r *registry) remove(name string) (*regEntry, bool) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
@@ -204,8 +281,10 @@ func (r *registry) remove(name string) (*regEntry, bool) {
 	}
 	delete(r.entries, name)
 	e.deleted = true
+	v := e.cur
+	v.retired = true
 	persisting := e.persisting
-	drop := e.refs == 0
+	drop := v.refs == 0
 	r.mu.Unlock()
 	if !persisting {
 		r.persistMu.Lock()
@@ -214,20 +293,41 @@ func (r *registry) remove(name string) (*regEntry, bool) {
 		r.persistMu.Unlock()
 	}
 	if drop {
-		r.index.DropGraph(e.d.Graph)
+		r.index.DropGraph(v.d.Graph)
 	}
 	return e, true
 }
 
-// list returns a snapshot of the registered entries sorted by name.
-func (r *registry) list() []*regEntry {
+// infos returns the unified resource representation of every registered
+// graph, sorted by name.
+func (r *registry) infos() []graphInfo {
+	type pair struct {
+		e *regEntry
+		v *graphVersion
+	}
 	r.mu.Lock()
-	out := make([]*regEntry, 0, len(r.entries))
+	pairs := make([]pair, 0, len(r.entries))
 	for _, e := range r.entries {
-		out = append(out, e)
+		pairs = append(pairs, pair{e, e.cur})
 	}
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].e.name < pairs[j].e.name })
+	out := make([]graphInfo, len(pairs))
+	for i, p := range pairs {
+		out[i] = graphInfoOf(p.e, p.v)
+	}
+	return out
+}
+
+// currentGraphsByID maps each entry's current versioned GraphID to its
+// graph, for resolving RR-index snapshot entries at boot.
+func (r *registry) currentGraphsByID() map[string]*graph.Graph {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*graph.Graph, len(r.entries))
+	for _, e := range r.entries {
+		out[e.cur.id] = e.cur.d.Graph
+	}
 	return out
 }
 
@@ -256,8 +356,11 @@ type graphUploadRequest struct {
 	EdgeList string      `json:"edgeList"`
 }
 
-// graphInfo describes one registered graph in /v1/graphs responses and in
-// /v1/stats.
+// graphInfo is the unified resource representation of one registered
+// graph. Every surface that describes a graph — POST/GET /v1/graphs
+// items, GET /v1/graphs/{name}, the /v1/stats inventory, the PATCH
+// response, and the solve responses' graph context — returns exactly this
+// object.
 type graphInfo struct {
 	Name  string     `json:"name"`
 	Nodes int        `json:"nodes"`
@@ -266,23 +369,35 @@ type graphInfo struct {
 	// Regime is the default GAP's cell of the GAP-space partition, so
 	// clients can see at registration time how solves on this graph will
 	// be routed (and that e.g. a competitive upload registered as such).
-	Regime  string    `json:"regime"`
-	Source  string    `json:"source"`
-	Created time.Time `json:"created"`
+	Regime string `json:"regime"`
+	// Generation is the graph's edit generation: 0 at registration,
+	// incremented by every successful PATCH /v1/graphs/{name}/edges. A
+	// solve response reports the generation it actually computed on;
+	// clients can pass it back as a PATCH ifGeneration precondition.
+	Generation int64 `json:"generation"`
+	// Fingerprint digests the graph's full content (nodes, edges,
+	// probabilities); it changes exactly when the generation does.
+	Fingerprint string    `json:"fingerprint"`
+	Source      string    `json:"source"`
+	Created     time.Time `json:"created"`
 }
 
-func (e *regEntry) info() graphInfo {
+// graphInfoOf is the one constructor of graphInfo: every handler reports
+// graphs through it, so the surfaces can never drift apart.
+func graphInfoOf(e *regEntry, v *graphVersion) graphInfo {
 	return graphInfo{
 		Name:  e.name,
-		Nodes: e.d.Graph.N(),
-		Edges: e.d.Graph.M(),
+		Nodes: v.d.Graph.N(),
+		Edges: v.d.Graph.M(),
 		GAP: gapPayload{
-			QA0: e.d.GAP.QA0, QAB: e.d.GAP.QAB,
-			QB0: e.d.GAP.QB0, QBA: e.d.GAP.QBA,
+			QA0: v.d.GAP.QA0, QAB: v.d.GAP.QAB,
+			QB0: v.d.GAP.QB0, QBA: v.d.GAP.QBA,
 		},
-		Regime:  e.d.EffectiveRegime().String(),
-		Source:  e.source,
-		Created: e.created,
+		Regime:      v.d.EffectiveRegime().String(),
+		Generation:  v.gen,
+		Fingerprint: v.fingerprint,
+		Source:      e.source,
+		Created:     e.created,
 	}
 }
 
@@ -298,14 +413,9 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		s.handleGraphUpload(w, r)
 	case http.MethodGet:
 		s.nGraphs.Add(1)
-		entries := s.reg.list()
-		infos := make([]graphInfo, len(entries))
-		for i, e := range entries {
-			infos[i] = e.info()
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.infos()})
 	default:
-		s.httpError(w, http.StatusMethodNotAllowed, "POST or GET only")
+		s.methodNotAllowed(w, r, http.MethodPost, http.MethodGet)
 	}
 }
 
@@ -314,24 +424,24 @@ func (s *Server) handleGraphByName(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	switch r.Method {
 	case http.MethodGet:
-		e, ok := s.reg.acquire(name)
+		ref, ok := s.reg.acquire(name)
 		if !ok {
-			s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+			s.httpError(w, http.StatusNotFound, codeGraphNotFound, fmt.Sprintf("unknown graph %q", name))
 			return
 		}
-		defer s.reg.release(e)
+		defer s.reg.release(ref)
 		s.nGraphs.Add(1)
-		writeJSON(w, http.StatusOK, e.info())
+		writeJSON(w, http.StatusOK, ref.info())
 	case http.MethodDelete:
 		e, ok := s.reg.remove(name)
 		if !ok {
-			s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+			s.httpError(w, http.StatusNotFound, codeGraphNotFound, fmt.Sprintf("unknown graph %q", name))
 			return
 		}
 		s.nGraphs.Add(1)
 		writeJSON(w, http.StatusOK, map[string]any{"deleted": e.name})
 	default:
-		s.httpError(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+		s.methodNotAllowed(w, r, http.MethodGet, http.MethodDelete)
 	}
 }
 
@@ -342,7 +452,7 @@ func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	name := strings.TrimSpace(req.Name)
 	if name == "" || len(name) > 128 || strings.ContainsAny(name, "/\x00") {
-		s.httpError(w, http.StatusBadRequest,
+		s.httpError(w, http.StatusBadRequest, codeInvalidArgument,
 			"graph name must be non-empty, at most 128 bytes, and contain no '/'")
 		return
 	}
@@ -351,16 +461,17 @@ func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 		gap = req.GAP.toGAP()
 	}
 	if err := gap.Validate(); err != nil {
-		s.httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, http.StatusBadRequest, codeInvalidArgument, err.Error())
 		return
 	}
 	if req.EdgeList == "" {
-		s.httpError(w, http.StatusBadRequest, "edgeList must hold a text edge list (\"n m\" header, then \"src dst prob\" lines)")
+		s.httpError(w, http.StatusBadRequest, codeInvalidArgument,
+			"edgeList must hold a text edge list (\"n m\" header, then \"src dst prob\" lines)")
 		return
 	}
 	g, err := graph.ReadEdgeListLimit(strings.NewReader(req.EdgeList), s.cfg.MaxUploadNodes)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, http.StatusBadRequest, codeInvalidArgument, err.Error())
 		return
 	}
 	d := datasets.New(name, g, gap, "uploaded")
@@ -368,13 +479,22 @@ func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Name/limit conflicts are the client's fault; a persistence
 		// failure (full disk, bad state dir) is the server's.
-		code := http.StatusConflict
-		if !errors.Is(err, errRegistryConflict) {
-			code = http.StatusInternalServerError
+		if errors.Is(err, errRegistryConflict) {
+			s.httpError(w, http.StatusConflict, codeGraphConflict, err.Error())
+		} else {
+			s.httpError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		}
-		s.httpError(w, code, err.Error())
 		return
 	}
 	s.nGraphs.Add(1)
-	writeJSON(w, http.StatusCreated, e.info())
+	writeJSON(w, http.StatusCreated, s.reg.infoNow(e))
+}
+
+// infoNow returns e's current representation, reading the version pointer
+// under the registry lock (a concurrent PATCH may swap it).
+func (r *registry) infoNow(e *regEntry) graphInfo {
+	r.mu.Lock()
+	v := e.cur
+	r.mu.Unlock()
+	return graphInfoOf(e, v)
 }

@@ -138,14 +138,9 @@ func TestGraphUploadValidation(t *testing.T) {
 			if rec.Code != tc.want {
 				t.Fatalf("upload = %d, want %d (%s)", rec.Code, tc.want, rec.Body.String())
 			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
-				t.Fatalf("error body %q is not {\"error\":...}", rec.Body.String())
-			}
-			if tc.wantSub != "" && !strings.Contains(e.Error, tc.wantSub) {
-				t.Fatalf("error %q does not contain %q", e.Error, tc.wantSub)
+			e := decodeEnvelope(t, rec)
+			if tc.wantSub != "" && !strings.Contains(e.Message, tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", e.Message, tc.wantSub)
 			}
 		})
 	}

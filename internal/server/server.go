@@ -18,6 +18,10 @@
 //	GET    /v1/graphs       list registered graphs
 //	GET    /v1/graphs/{name}    describe one graph
 //	DELETE /v1/graphs/{name}    retire a graph (drops its cached RR sets)
+//	PATCH  /v1/graphs/{name}/edges  apply a batch of edge updates (add /
+//	                            remove / reweight), advancing the graph's
+//	                            edit generation and incrementally repairing
+//	                            its cached RR-set collections
 //	GET    /healthz         liveness probe
 //	GET    /v1/stats        cache and request counters, graph inventory
 //
@@ -256,12 +260,22 @@ func New(cfg Config) (*Server, error) {
 		d := cfg.Datasets[name]
 		if m, ok := metas[name]; ok {
 			delete(metas, name)
-			if m.Source == "preloaded" && m.Nodes == d.Graph.N() && m.Edges == d.Graph.M() &&
-				m.Fingerprint == graphFingerprint(d.Graph) {
-				e := &regEntry{name: name, cacheID: m.CacheID, gen: m.Gen, d: d, source: "preloaded", created: m.Created}
-				if err := s.reg.restore(e, 0); err == nil {
-					continue
+			restored := false
+			if m.Source == "preloaded" {
+				if m.GraphGen > 0 {
+					// The persisted graph was patched past the configured
+					// loader's generation 0: its topology lives in the edge
+					// file, not in Config.
+					if pd := restoreDynamicGraph(graphsDir, m, cfg.MaxUploadNodes); pd != nil {
+						restored = s.reg.restore(restoredEntry(m, pd), 0) == nil
+					}
+				} else if m.Nodes == d.Graph.N() && m.Edges == d.Graph.M() &&
+					m.Fingerprint == graphFingerprint(d.Graph) {
+					restored = s.reg.restore(restoredEntry(m, d), 0) == nil
 				}
+			}
+			if restored {
+				continue
 			}
 			s.reg.fenceGen(m.Gen)
 		}
@@ -277,18 +291,14 @@ func New(cfg Config) (*Server, error) {
 		if d == nil {
 			continue // corrupt or fingerprint-mismatched edge file: skip
 		}
-		e := &regEntry{name: m.Name, cacheID: m.CacheID, gen: m.Gen, d: d, source: m.Source, created: m.Created}
-		if err := s.reg.restore(e, cfg.MaxGraphs); err != nil {
+		if err := s.reg.restore(restoredEntry(m, d), cfg.MaxGraphs); err != nil {
 			continue
 		}
 	}
-	// Rehydrate the RR-set index against the restored graph inventory.
+	// Rehydrate the RR-set index against the restored graph inventory,
+	// keyed by each entry's current versioned GraphID.
 	if cfg.StateDir != "" {
-		byID := map[string]*graph.Graph{}
-		for _, e := range s.reg.list() {
-			byID[e.cacheID] = e.d.Graph
-		}
-		if _, err := s.index.LoadSnapshot(stateIndexDir(cfg.StateDir), byID); err != nil {
+		if _, err := s.index.LoadSnapshot(stateIndexDir(cfg.StateDir), s.reg.currentGraphsByID()); err != nil {
 			return nil, fmt.Errorf("server: loading RR-index snapshot: %v", err)
 		}
 	}
@@ -310,7 +320,26 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/jobs/{id}", s.handleJobByID)
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/v1/graphs/{name}", s.handleGraphByName)
+	s.mux.HandleFunc("/v1/graphs/{name}/edges", s.handleGraphEdges)
 	return s, nil
+}
+
+// restoredEntry rebuilds a registry entry (and its single current version)
+// from a persisted graphMeta and the resolved dataset.
+func restoredEntry(m graphMeta, d *datasets.Dataset) *regEntry {
+	return &regEntry{
+		name:    m.Name,
+		cacheID: m.CacheID,
+		gen:     m.Gen,
+		source:  m.Source,
+		created: m.Created,
+		cur: &graphVersion{
+			d:           d,
+			gen:         m.GraphGen,
+			id:          versionedID(m.CacheID, m.GraphGen),
+			fingerprint: m.Fingerprint,
+		},
+	}
 }
 
 // ServeHTTP dispatches to the v1 API.
@@ -533,7 +562,12 @@ type planPayload struct {
 
 // solveResponse is the body returned by the solve endpoints.
 type solveResponse struct {
-	Dataset    string           `json:"dataset"`
+	Dataset string `json:"dataset"`
+	// Graph is the unified resource representation of the graph version the
+	// solve actually computed on — its generation and fingerprint pin the
+	// topology, so a client can detect that a concurrent PATCH landed (and
+	// use Generation as an ifGeneration precondition for its own patch).
+	Graph      graphInfo        `json:"graph"`
 	Problem    string           `json:"problem"`
 	K          int              `json:"k"`
 	Seed       uint64           `json:"seed"`
@@ -560,43 +594,10 @@ type statsResponse struct {
 	Datasets []graphInfo      `json:"datasets"`
 }
 
-// --- error plumbing ---
-
-// apiError is a validation or execution failure with the HTTP status it
-// maps to. It is the error currency of the run* helpers, which serve both
-// the dedicated endpoints and batch/job queries.
-type apiError struct {
-	Code int
-	Msg  string
-}
-
-func (e *apiError) Error() string { return e.Msg }
-
-// fail counts one rejected request and builds its apiError. All request
-// rejections funnel through here (or httpError), so the "errors" stat
-// counts each rejection exactly once.
-func (s *Server) fail(code int, format string, args ...any) *apiError {
-	s.nErrors.Add(1)
-	return &apiError{Code: code, Msg: fmt.Sprintf(format, args...)}
-}
-
-// writeErr renders an apiError as the JSON error body.
-func (s *Server) writeErr(w http.ResponseWriter, e *apiError) {
-	writeJSON(w, e.Code, map[string]string{"error": e.Msg})
-}
-
-// httpError counts and writes a transport-level rejection (bad method, bad
-// body) that never reached a run* helper.
-func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
-	s.nErrors.Add(1)
-	writeJSON(w, code, map[string]string{"error": msg})
-}
-
 // --- handlers ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -607,15 +608,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	entries := s.reg.list()
-	infos := make([]graphInfo, len(entries))
-	for i, e := range entries {
-		infos[i] = e.info()
-	}
+	infos := s.reg.infos()
 	regimes := make(map[string]int64, len(core.Regimes()))
 	for _, r := range core.Regimes() {
 		regimes[r.String()] = s.nRegime[r].Load()
@@ -640,6 +636,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	var req estimateRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -653,6 +652,9 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
 	var req estimateRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -669,6 +671,9 @@ func (s *Server) handleBoost(w http.ResponseWriter, r *http.Request) {
 // problems.
 func (s *Server) handleSolve(problem string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.requireMethod(w, r, http.MethodPost) {
+			return
+		}
 		var req solveRequest
 		if !s.decodeBody(w, r, &req) {
 			return
@@ -686,19 +691,19 @@ func (s *Server) handleSolve(problem string) http.HandlerFunc {
 
 // validateEstimate validates the shared body of the two Monte-Carlo
 // queries, filling in defaults (runs 10000, seed 1). On success it returns
-// the acquired registry entry — the caller must release it after use.
-func (s *Server) validateEstimate(req *estimateRequest) (*regEntry, core.GAP, *apiError) {
-	e, aerr := s.acquireGraph(req.Dataset)
+// the pinned graph reference — the caller must release it after use.
+func (s *Server) validateEstimate(req *estimateRequest) (*graphRef, core.GAP, *apiError) {
+	ref, aerr := s.acquireGraph(req.Dataset)
 	if aerr != nil {
 		return nil, core.GAP{}, aerr
 	}
-	gap := e.d.GAP
+	gap := ref.gap()
 	if req.GAP != nil {
 		gap = req.GAP.toGAP()
 	}
 	if err := gap.Validate(); err != nil {
-		s.reg.release(e)
-		return nil, core.GAP{}, s.fail(http.StatusBadRequest, "%s", err.Error())
+		s.reg.release(ref)
+		return nil, core.GAP{}, s.fail(http.StatusBadRequest, codeInvalidArgument, "%s", err.Error())
 	}
 	if req.Runs <= 0 {
 		// The default is clamped to the cap; only explicit client values
@@ -706,34 +711,35 @@ func (s *Server) validateEstimate(req *estimateRequest) (*regEntry, core.GAP, *a
 		req.Runs = min(10000, s.cfg.MaxRuns)
 	}
 	if req.Runs > s.cfg.MaxRuns {
-		s.reg.release(e)
-		return nil, core.GAP{}, s.fail(http.StatusBadRequest, "runs %d exceeds limit %d", req.Runs, s.cfg.MaxRuns)
+		s.reg.release(ref)
+		return nil, core.GAP{}, s.fail(http.StatusBadRequest, codeInvalidArgument,
+			"runs %d exceeds limit %d", req.Runs, s.cfg.MaxRuns)
 	}
 	if req.Seed == nil {
 		one := uint64(1)
 		req.Seed = &one
 	}
-	if aerr := s.checkSeeds(e.d.Graph, req.SeedsA, "seedsA"); aerr != nil {
-		s.reg.release(e)
+	if aerr := s.checkSeeds(ref.graph(), req.SeedsA, "seedsA"); aerr != nil {
+		s.reg.release(ref)
 		return nil, core.GAP{}, aerr
 	}
-	if aerr := s.checkSeeds(e.d.Graph, req.SeedsB, "seedsB"); aerr != nil {
-		s.reg.release(e)
+	if aerr := s.checkSeeds(ref.graph(), req.SeedsB, "seedsB"); aerr != nil {
+		s.reg.release(ref)
 		return nil, core.GAP{}, aerr
 	}
-	return e, gap, nil
+	return ref, gap, nil
 }
 
 // runSpread validates and executes one spread query.
 func (s *Server) runSpread(req *estimateRequest) (*spreadResponse, *apiError) {
-	e, gap, aerr := s.validateEstimate(req)
+	ref, gap, aerr := s.validateEstimate(req)
 	if aerr != nil {
 		return nil, aerr
 	}
-	defer s.reg.release(e)
+	defer s.reg.release(ref)
 	s.nSpread.Add(1)
 	t0 := time.Now()
-	est := montecarlo.New(e.d.Graph, gap)
+	est := montecarlo.New(ref.graph(), gap)
 	est.Workers = s.cfg.Workers
 	res := est.Estimate(req.SeedsA, req.SeedsB, req.Runs, *req.Seed)
 	return &spreadResponse{
@@ -747,17 +753,17 @@ func (s *Server) runSpread(req *estimateRequest) (*spreadResponse, *apiError) {
 
 // runBoost validates and executes one boost query.
 func (s *Server) runBoost(req *estimateRequest) (*boostResponse, *apiError) {
-	e, gap, aerr := s.validateEstimate(req)
+	ref, gap, aerr := s.validateEstimate(req)
 	if aerr != nil {
 		return nil, aerr
 	}
-	defer s.reg.release(e)
+	defer s.reg.release(ref)
 	if len(req.SeedsB) == 0 {
-		return nil, s.fail(http.StatusBadRequest, "boost requires a non-empty seedsB")
+		return nil, s.fail(http.StatusBadRequest, codeInvalidArgument, "boost requires a non-empty seedsB")
 	}
 	s.nBoost.Add(1)
 	t0 := time.Now()
-	est := montecarlo.New(e.d.Graph, gap)
+	est := montecarlo.New(ref.graph(), gap)
 	est.Workers = s.cfg.Workers
 	mean, stderr := est.BoostPaired(req.SeedsA, req.SeedsB, req.Runs, *req.Seed)
 	return &boostResponse{
@@ -773,28 +779,28 @@ func (s *Server) runBoost(req *estimateRequest) (*boostResponse, *apiError) {
 // evaluation runs, seed 1 by default), so a warm cache answer selects the
 // same seed sets and objectives as the offline tool.
 func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *apiError) {
-	e, aerr := s.acquireGraph(req.Dataset)
+	ref, aerr := s.acquireGraph(req.Dataset)
 	if aerr != nil {
 		return nil, aerr
 	}
-	defer s.reg.release(e)
-	gap := e.d.GAP
+	defer s.reg.release(ref)
+	gap := ref.gap()
 	if req.GAP != nil {
 		gap = req.GAP.toGAP()
 	}
 	if err := gap.Validate(); err != nil {
-		return nil, s.fail(http.StatusBadRequest, "%s", err.Error())
+		return nil, s.fail(http.StatusBadRequest, codeInvalidArgument, "%s", err.Error())
 	}
 	// k is capped by both the operator limit and the graph: more seeds
 	// than nodes would push k > n into the θ machinery (where ln C(n,k)
 	// degenerates) and ask selection for more distinct nodes than exist.
-	n := e.d.Graph.N()
+	n := ref.graph().N()
 	if maxK := min(s.cfg.MaxK, n); req.K <= 0 || req.K > maxK {
-		return nil, s.fail(http.StatusBadRequest,
+		return nil, s.fail(http.StatusBadRequest, codeInvalidArgument,
 			"k must be in [1, min(maxK %d, n %d)] = [1, %d], got %d", s.cfg.MaxK, n, maxK, req.K)
 	}
 	if req.FixedTheta > s.cfg.MaxTheta || req.MaxTheta > s.cfg.MaxTheta {
-		return nil, s.fail(http.StatusBadRequest, "theta budget exceeds limit %d", s.cfg.MaxTheta)
+		return nil, s.fail(http.StatusBadRequest, codeInvalidArgument, "theta budget exceeds limit %d", s.cfg.MaxTheta)
 	}
 	if req.EvalRuns <= 0 {
 		// Make the 10000-run solver default explicit so the cap below
@@ -802,25 +808,29 @@ func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *a
 		req.EvalRuns = min(10000, s.cfg.MaxRuns)
 	}
 	if req.EvalRuns > s.cfg.MaxRuns {
-		return nil, s.fail(http.StatusBadRequest, "evalRuns %d exceeds limit %d", req.EvalRuns, s.cfg.MaxRuns)
+		return nil, s.fail(http.StatusBadRequest, codeInvalidArgument,
+			"evalRuns %d exceeds limit %d", req.EvalRuns, s.cfg.MaxRuns)
 	}
 	if req.GreedyRuns < 0 || req.GreedyRuns > s.cfg.MaxRuns {
-		return nil, s.fail(http.StatusBadRequest, "greedyRuns %d outside [0, %d]", req.GreedyRuns, s.cfg.MaxRuns)
+		return nil, s.fail(http.StatusBadRequest, codeInvalidArgument,
+			"greedyRuns %d outside [0, %d]", req.GreedyRuns, s.cfg.MaxRuns)
 	}
 	var opposite []int32
 	switch problem {
 	case "self":
 		if len(req.SeedsA) > 0 {
-			return nil, s.fail(http.StatusBadRequest, "selfinfmax selects the A-seeds; pass the fixed B-seeds as seedsB")
+			return nil, s.fail(http.StatusBadRequest, codeInvalidArgument,
+				"selfinfmax selects the A-seeds; pass the fixed B-seeds as seedsB")
 		}
 		opposite = req.SeedsB
 	case "comp":
 		if len(req.SeedsB) > 0 {
-			return nil, s.fail(http.StatusBadRequest, "compinfmax selects the B-seeds; pass the fixed A-seeds as seedsA")
+			return nil, s.fail(http.StatusBadRequest, codeInvalidArgument,
+				"compinfmax selects the B-seeds; pass the fixed A-seeds as seedsA")
 		}
 		opposite = req.SeedsA
 	}
-	if aerr := s.checkSeeds(e.d.Graph, opposite, "opposite seeds"); aerr != nil {
+	if aerr := s.checkSeeds(ref.graph(), opposite, "opposite seeds"); aerr != nil {
 		return nil, aerr
 	}
 	if problem == "self" {
@@ -858,31 +868,38 @@ func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *a
 	}
 	cfg.TIM.Workers = s.cfg.Workers
 	cfg.Collections = s.index
-	// The registration-unique cache ID (not the client-visible name) keys
-	// the index: a name reused after DELETE can never alias the retired
-	// graph's collections.
-	cfg.GraphID = e.cacheID
+	// The versioned cache ID ("<registration>#<gen>@<edit-gen>", never the
+	// client-visible name) keys the index: a name reused after DELETE can
+	// never alias the retired graph's collections, and a patched graph can
+	// never serve the previous topology's collections.
+	cfg.GraphID = ref.id()
 
 	t0 := time.Now()
 	var res *solver.Result
 	var err error
 	if problem == "self" {
-		res, err = solver.SolveSelfInfMax(e.d.Graph, gap, opposite, cfg)
+		res, err = solver.SolveSelfInfMax(ref.graph(), gap, opposite, cfg)
 	} else {
-		res, err = solver.SolveCompInfMax(e.d.Graph, gap, opposite, cfg)
+		res, err = solver.SolveCompInfMax(ref.graph(), gap, opposite, cfg)
 	}
 	if err != nil {
 		// An unsupported regime (greedy fallback disabled by the operator)
 		// is the client's request shape, not a server fault: 400, naming
 		// the regime. Only a panicking build is a 500.
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrBuildPanic) {
-			code = http.StatusInternalServerError
+		var ure *solver.UnsupportedRegimeError
+		switch {
+		case errors.Is(err, ErrBuildPanic):
+			return nil, s.fail(http.StatusInternalServerError, codeInternal, "%s", err.Error())
+		case errors.As(err, &ure):
+			return nil, s.fail(http.StatusBadRequest, codeUnsupportedRegime, "%s", err.Error()).
+				withDetails(map[string]any{"regime": ure.Regime.String(), "problem": ure.Problem})
+		default:
+			return nil, s.fail(http.StatusBadRequest, codeInvalidArgument, "%s", err.Error())
 		}
-		return nil, s.fail(code, "%s", err.Error())
 	}
 	out := &solveResponse{
 		Dataset:    req.Dataset,
+		Graph:      ref.info(),
 		Problem:    problem,
 		K:          req.K,
 		Seed:       cfg.Seed,
@@ -910,42 +927,41 @@ func (s *Server) runSolve(problem string, req *solveRequest) (*solveResponse, *a
 
 // --- shared plumbing ---
 
-// decodeBody enforces POST + JSON with unknown fields rejected, bounded at
-// 1 MiB (graph uploads use decodeBodyLimit with the larger upload cap).
+// decodeBody parses a JSON request body with unknown fields rejected,
+// bounded at 1 MiB (graph uploads and edge patches use decodeBodyLimit
+// with the larger upload cap). The HTTP method is the handler's business,
+// gated before the body is touched (requireMethod / methodNotAllowed).
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return s.decodeBodyLimit(w, r, dst, 1<<20)
 }
 
 func (s *Server) decodeBodyLimit(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
-	if r.Method != http.MethodPost {
-		s.httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return false
-	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		s.httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		s.httpError(w, http.StatusBadRequest, codeInvalidArgument, "bad request body: "+err.Error())
 		return false
 	}
 	return true
 }
 
-// acquireGraph resolves a dataset/graph name through the registry, taking
-// a reference the caller must release.
-func (s *Server) acquireGraph(name string) (*regEntry, *apiError) {
-	e, ok := s.reg.acquire(name)
+// acquireGraph resolves a dataset/graph name through the registry,
+// pinning its current version; the caller must release the returned ref.
+func (s *Server) acquireGraph(name string) (*graphRef, *apiError) {
+	ref, ok := s.reg.acquire(name)
 	if !ok {
-		return nil, s.fail(http.StatusNotFound,
+		return nil, s.fail(http.StatusNotFound, codeGraphNotFound,
 			"unknown dataset %q (have %v)", name, s.reg.names())
 	}
-	return e, nil
+	return ref, nil
 }
 
 func (s *Server) checkSeeds(g *graph.Graph, seeds []int32, what string) *apiError {
 	n := int32(g.N())
 	for _, v := range seeds {
 		if v < 0 || v >= n {
-			return s.fail(http.StatusBadRequest, "%s: node %d out of range [0,%d)", what, v, n)
+			return s.fail(http.StatusBadRequest, codeInvalidArgument,
+				"%s: node %d out of range [0,%d)", what, v, n)
 		}
 	}
 	return nil

@@ -141,12 +141,7 @@ func TestRequestValidation(t *testing.T) {
 			if rec.Code != tc.want {
 				t.Fatalf("%s %s = %d, want %d (%s)", tc.path, tc.body, rec.Code, tc.want, rec.Body.String())
 			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
-				t.Fatalf("error body %q is not {\"error\":...}", rec.Body.String())
-			}
+			decodeEnvelope(t, rec)
 		})
 	}
 }
@@ -172,10 +167,7 @@ func TestSolveRejectsKAboveN(t *testing.T) {
 		if rec.Code != http.StatusBadRequest {
 			t.Fatalf("%s with k=n+1 = %d, want 400 (%s)", path, rec.Code, rec.Body.String())
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "k must be in [1, min(") {
+		if e := decodeEnvelope(t, rec); !strings.Contains(e.Message, "k must be in [1, min(") {
 			t.Fatalf("%s error = %q, want a min(maxK, n) bound message", path, rec.Body.String())
 		}
 	}

@@ -148,8 +148,73 @@ type manifestEntry struct {
 	// HasOrder records whether the entry file carries the optional
 	// seed-order section. SaveSnapshot's skip-if-exists optimization
 	// consults it: a file written before the entry's ordering was memoized
-	// is rewritten once to include it, then skipped again.
-	HasOrder bool `json:"hasOrder,omitempty"`
+	// is rewritten once to include it, then skipped again. HasPostings
+	// does the same for the examination-index section incremental repair
+	// needs.
+	HasOrder    bool `json:"hasOrder,omitempty"`
+	HasPostings bool `json:"hasPostings,omitempty"`
+	// Request is the collection's originating request parameters. A
+	// restored entry that carries them participates in incremental repair
+	// after a graph PATCH; without them it is merely servable.
+	Request *requestMeta `json:"request,omitempty"`
+}
+
+// requestMeta is the persisted form of an rrset.CollectionRequest, minus
+// the graph (resolved by GraphID at load) and the fields that do not
+// affect the generated sets (Workers, RecordPostings).
+type requestMeta struct {
+	Kind       string     `json:"kind"`
+	GAP        gapPayload `json:"gap"`
+	Opposite   []int32    `json:"opposite,omitempty"`
+	K          int        `json:"k"`
+	Epsilon    float64    `json:"epsilon,omitempty"`
+	Ell        float64    `json:"ell,omitempty"`
+	FixedTheta int        `json:"fixedTheta,omitempty"`
+	MaxTheta   int        `json:"maxTheta,omitempty"`
+	Seed       uint64     `json:"seed"`
+}
+
+func requestMetaOf(req *rrset.CollectionRequest) *requestMeta {
+	if req == nil {
+		return nil
+	}
+	return &requestMeta{
+		Kind: string(req.Kind),
+		GAP: gapPayload{
+			QA0: req.GAP.QA0, QAB: req.GAP.QAB,
+			QB0: req.GAP.QB0, QBA: req.GAP.QBA,
+		},
+		Opposite:   req.Opposite,
+		K:          req.K,
+		Epsilon:    req.Opts.Epsilon,
+		Ell:        req.Opts.Ell,
+		FixedTheta: req.Opts.FixedTheta,
+		MaxTheta:   req.Opts.MaxTheta,
+		Seed:       req.Seed,
+	}
+}
+
+// toRequest rebuilds the live request against the resolved graph. The
+// loader validates the result by recomputing Key — a reconstruction that
+// does not reproduce the entry's cache key is discarded (the entry stays
+// servable, just not repairable).
+func (rm *requestMeta) toRequest(graphID string, g *graph.Graph) *rrset.CollectionRequest {
+	return &rrset.CollectionRequest{
+		GraphID:  graphID,
+		Graph:    g,
+		Kind:     rrset.Kind(rm.Kind),
+		GAP:      rm.GAP.toGAP(),
+		Opposite: rm.Opposite,
+		K:        rm.K,
+		Opts: rrset.Options{
+			Epsilon:        rm.Epsilon,
+			Ell:            rm.Ell,
+			FixedTheta:     rm.FixedTheta,
+			MaxTheta:       rm.MaxTheta,
+			RecordPostings: true,
+		},
+		Seed: rm.Seed,
+	}
 }
 
 // SaveSnapshot persists every resident collection whose cache key names a
@@ -181,6 +246,7 @@ type savedEntry struct {
 	graphM       int
 	col          *rrset.Collection
 	order        *rrset.SeedOrder
+	req          *rrset.CollectionRequest
 	bytes        int64
 }
 
@@ -197,20 +263,22 @@ func (x *Index) saveSnapshotLocked(dir string) error {
 		if e.graphID == "" {
 			continue
 		}
-		list = append(list, savedEntry{e.key, e.graphID, e.graph.N(), e.graph.M(), e.col, e.order, e.bytes})
+		list = append(list, savedEntry{e.key, e.graphID, e.graph.N(), e.graph.M(), e.col, e.order, e.req, e.bytes})
 	}
 	x.snapDir = dir
 	x.mu.Unlock()
 
-	// The previous manifest records which entry files already carry a
-	// seed-order section, so a file written before its entry's ordering
-	// was memoized is rewritten exactly once to include it.
+	// The previous manifest records which entry files already carry the
+	// optional seed-order and postings sections, so a file written before
+	// its entry grew one of them is rewritten exactly once to include it.
 	prevHasOrder := map[string]bool{}
+	prevHasPostings := map[string]bool{}
 	if data, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
 		var prev snapshotManifest
 		if json.Unmarshal(data, &prev) == nil && prev.Version == manifestVersion {
 			for _, me := range prev.Entries {
 				prevHasOrder[me.File] = me.HasOrder
+				prevHasPostings[me.File] = me.HasPostings
 			}
 		}
 	}
@@ -226,17 +294,24 @@ func (x *Index) saveSnapshotLocked(dir string) error {
 		path := filepath.Join(dir, name)
 		_, statErr := os.Stat(path)
 		exists := statErr == nil
-		if exists && (prevHasOrder[name] || s.order == nil) {
+		if exists && (prevHasOrder[name] || s.order == nil) &&
+			(prevHasPostings[name] || !s.col.HasPostings()) {
 			// Collections are deterministic per key and the file is at
 			// least as complete as the resident entry: reuse it. The file
-			// may carry an order the entry has not (re)computed yet.
+			// may carry sections the entry has not (re)computed yet. The
+			// request meta lives in the manifest, not the file, so it is
+			// refreshed regardless.
 			man.Entries = append(man.Entries, manifestEntry{
-				File: name, GraphID: s.graphID, Bytes: s.bytes, HasOrder: prevHasOrder[name],
+				File: name, GraphID: s.graphID, Bytes: s.bytes,
+				HasOrder: prevHasOrder[name], HasPostings: prevHasPostings[name],
+				Request: requestMetaOf(s.req),
 			})
 			continue
 		}
 		man.Entries = append(man.Entries, manifestEntry{
-			File: name, GraphID: s.graphID, Bytes: s.bytes, HasOrder: s.order != nil,
+			File: name, GraphID: s.graphID, Bytes: s.bytes,
+			HasOrder: s.order != nil, HasPostings: s.col.HasPostings(),
+			Request: requestMetaOf(s.req),
 		})
 		snap := &rrset.Snapshot{Key: s.key, GraphID: s.graphID, GraphN: s.graphN, GraphM: s.graphM,
 			Collection: s.col, Order: s.order}
@@ -313,6 +388,7 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 		key, graphID string
 		col          *rrset.Collection
 		order        *rrset.SeedOrder
+		req          *rrset.CollectionRequest
 		g            *graph.Graph
 		bytes        int64
 		orderBytes   int64
@@ -374,8 +450,19 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 			rejects++
 			continue
 		}
+		// Rebuild the repair-capable request if the manifest recorded one.
+		// The recomputed cache key must reproduce the entry's key exactly —
+		// a mismatch (hand-edited manifest, foreign key format) demotes the
+		// entry to servable-but-not-repairable rather than risking a repair
+		// under the wrong parameters.
+		var req *rrset.CollectionRequest
+		if me.Request != nil {
+			if cand := me.Request.toRequest(me.GraphID, g); cand.Key() == snap.Key {
+				req = cand
+			}
+		}
 		acceptedBytes += b + ob
-		accepted = append(accepted, loadedEntry{snap.Key, me.GraphID, snap.Collection, snap.Order, g, b, ob})
+		accepted = append(accepted, loadedEntry{snap.Key, me.GraphID, snap.Collection, snap.Order, req, g, b, ob})
 	}
 
 	x.mu.Lock()
@@ -387,7 +474,7 @@ func (x *Index) LoadSnapshot(dir string, graphs map[string]*graph.Graph) (int, e
 			continue
 		}
 		e := &indexEntry{key: l.key, graphID: l.graphID, col: l.col, graph: l.g, bytes: l.bytes,
-			order: l.order, orderBytes: l.orderBytes}
+			order: l.order, orderBytes: l.orderBytes, req: l.req}
 		x.entries[l.key] = x.lru.PushFront(e)
 		x.bytes += l.bytes + l.orderBytes
 		x.orderBytes += l.orderBytes
@@ -417,12 +504,17 @@ func readSnapshotFile(path string) (*rrset.Snapshot, error) {
 // (fingerprint mismatch) gets a fresh ID and its stale collections are
 // rejected at load.
 type graphMeta struct {
-	Version int        `json:"version"`
-	Name    string     `json:"name"`
-	CacheID string     `json:"cacheID"`
-	Gen     int64      `json:"gen"`
-	Source  string     `json:"source"`
-	GAP     gapPayload `json:"gap"`
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	CacheID string `json:"cacheID"`
+	Gen     int64  `json:"gen"`
+	// GraphGen is the entry's edit generation — how many edge-update
+	// PATCH batches have been applied since registration. A patched graph
+	// (GraphGen > 0) always persists its edge list, even for preloaded
+	// datasets: the configured loader only knows generation 0.
+	GraphGen int64      `json:"graphGen,omitempty"`
+	Source   string     `json:"source"`
+	GAP      gapPayload `json:"gap"`
 	// Regime is the GAP's classification at persist time, recorded for
 	// operators inspecting the state directory. Restore recomputes the
 	// regime from the GAP (the single source of truth), so a hand-edited
@@ -435,14 +527,14 @@ type graphMeta struct {
 	HasEdgeFile bool      `json:"hasEdgeFile"`
 }
 
-// persistGraph writes e's meta file and, for dynamically added graphs,
-// its edge list. Preloaded datasets are rebuilt from Config at boot, so
-// only their identity is persisted; any stale edge file under the same
+// persistGraph writes the meta file for version v of entry e and, when
+// the graph cannot be rebuilt from Config (dynamically added, or patched
+// past generation 0), its edge list. Any stale edge file under the same
 // name (a deleted upload whose name a preloaded dataset now owns) is
 // removed. Called with registry.persistMu held (never registry.mu — the
 // fingerprint and fsyncs must not stall the query path); no-op without a
 // state directory.
-func (r *registry) persistGraph(e *regEntry) error {
+func (r *registry) persistGraph(e *regEntry, v *graphVersion) error {
 	if r.stateDir == "" {
 		return nil
 	}
@@ -455,18 +547,19 @@ func (r *registry) persistGraph(e *regEntry) error {
 		Name:        e.name,
 		CacheID:     e.cacheID,
 		Gen:         e.gen,
+		GraphGen:    v.gen,
 		Source:      e.source,
-		GAP:         gapPayload{QA0: e.d.GAP.QA0, QAB: e.d.GAP.QAB, QB0: e.d.GAP.QB0, QBA: e.d.GAP.QBA},
-		Regime:      e.d.EffectiveRegime().String(),
+		GAP:         gapPayload{QA0: v.d.GAP.QA0, QAB: v.d.GAP.QAB, QB0: v.d.GAP.QB0, QBA: v.d.GAP.QBA},
+		Regime:      v.d.EffectiveRegime().String(),
 		Created:     e.created,
-		Nodes:       e.d.Graph.N(),
-		Edges:       e.d.Graph.M(),
-		Fingerprint: graphFingerprint(e.d.Graph),
-		HasEdgeFile: e.source != "preloaded",
+		Nodes:       v.d.Graph.N(),
+		Edges:       v.d.Graph.M(),
+		Fingerprint: v.fingerprint,
+		HasEdgeFile: e.source != "preloaded" || v.gen > 0,
 	}
 	if meta.HasEdgeFile {
 		if err := writeFileAtomic(filepath.Join(r.stateDir, base+graphEdgesSuffix), func(w io.Writer) error {
-			return graph.WriteEdgeList(w, e.d.Graph)
+			return graph.WriteEdgeList(w, v.d.Graph)
 		}); err != nil {
 			return err
 		}
