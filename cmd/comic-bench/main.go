@@ -12,11 +12,12 @@
 //	comic-bench -exp regimes -scale 0.02 -json BENCH_regimes.json
 //	comic-bench -exp warmpath -scale 0.02 -json BENCH_warmpath.json
 //	comic-bench -exp stream -scale 0.02 -json BENCH_stream.json
+//	comic-bench -exp cluster -scale 0.02 -mc 200 -json BENCH_cluster.json
 //	comic-bench -check fresh.json BENCH_selfinfmax.json
 //
 // Experiment ids: table1, table2, table3, table4, table5-7, table8, fig4,
 // fig5, fig6, fig7a, fig7b, fig8, selfinfmax, batch, restore, regimes,
-// warmpath, stream, all. At -scale 1 the datasets match the paper's Table 1 sizes (slow on a
+// warmpath, stream, cluster, all. At -scale 1 the datasets match the paper's Table 1 sizes (slow on a
 // laptop); the default 0.05 reproduces the shapes in minutes.
 //
 // The selfinfmax experiment times one cold and one warm SelfInfMax solve
@@ -58,6 +59,16 @@
 // KPT), to a cold rebuild on the patched graph at worker counts 1, 2, and 7, while
 // dirtying less than 20% of the sets. The committed record pins the batch
 // composition, θ trajectory, repair accounting, and post-repair seeds.
+//
+// The cluster experiment stands up a three-node in-process comic-serve
+// cluster over a shared snapshot store and pins the sharded serving path:
+// consistent-hash placement (the ownership maps are deterministic and
+// committed), proxied-solve byte parity against the owner's answer,
+// router singleflight collapse, busy-time throughput scaling — the run
+// fails below 2.5x on three nodes versus one — and a zero-rebuild
+// rebalance: when a member leaves, its graphs' warm cache entries move to
+// the survivors through the store, with the published/adopted entry
+// counts pinned and the survivors' collection-build count pinned at zero.
 //
 // -check compares a freshly generated record (first argument) against the
 // committed trajectory file (second argument): deterministic fields —
@@ -195,6 +206,18 @@ func main() {
 		}
 		if err := rec.render(os.Stdout, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "comic-bench: stream: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "cluster" {
+		rec, err := runClusterBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.render(os.Stdout, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "comic-bench: cluster: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -39,6 +39,21 @@
 // full cold solve:
 //
 //	comic-serve -addr :8080 -datasets Flixster -state-dir /var/lib/comic -snapshot-interval 5m
+//
+// With -node-id and -cluster-peers the server runs as one node of a
+// sharded cluster: a consistent-hash placement assigns each graph an
+// owner, misplaced requests are proxied to the owner (any node accepts
+// any request), and GET /v1/cluster exposes the member list and placement
+// map so smart clients can route directly. -snapshot-store points every
+// node at a shared directory through which warm cache state moves on
+// membership changes, instead of being rebuilt:
+//
+//	comic-serve -addr :8081 -node-id a -cluster-peers a=http://h1:8081,b=http://h2:8081 \
+//	    -snapshot-store /mnt/comic-store -datasets Flixster,Douban-Book
+//
+// Every node must serve the same -datasets/-graph fleet. On graceful
+// shutdown a cluster node publishes its owned graphs' cache entries to
+// the shared store so whoever inherits them starts warm.
 package main
 
 import (
@@ -53,6 +68,8 @@ import (
 	"syscall"
 
 	"comic"
+	"comic/internal/cluster"
+	"comic/internal/server"
 )
 
 func main() {
@@ -77,6 +94,9 @@ func main() {
 		maxUploadN  = flag.Int("max-upload-nodes", 2_000_000, "largest node count accepted in an uploaded edge list")
 		stateDir    = flag.String("state-dir", "", "directory for persistent state (uploaded graphs + RR-index snapshots); empty = in-memory only")
 		snapEvery   = flag.Duration("snapshot-interval", 0, "periodic RR-index snapshot cadence (requires -state-dir; 0 = snapshot only on graceful shutdown)")
+		nodeID      = flag.String("node-id", "", "cluster node identity; empty = single-node mode")
+		peerList    = flag.String("cluster-peers", "", "comma-separated id=url cluster members, this node included (requires -node-id)")
+		storeDir    = flag.String("snapshot-store", "", "shared snapshot store directory for cluster rebalancing (requires -node-id)")
 		qa0         = flag.Float64("qa0", 0.5, "default q_{A|emptyset} for -graph datasets")
 		qab         = flag.Float64("qab", 0.8, "default q_{A|B} for -graph datasets")
 		qb0         = flag.Float64("qb0", 0.5, "default q_{B|emptyset} for -graph datasets")
@@ -168,6 +188,9 @@ func main() {
 	if *snapEvery > 0 && *stateDir == "" {
 		fatal(fmt.Errorf("-snapshot-interval requires -state-dir"))
 	}
+	if (*peerList != "" || *storeDir != "") && *nodeID == "" {
+		fatal(fmt.Errorf("-cluster-peers and -snapshot-store require -node-id"))
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("comic-serve listening on %s (%d datasets, %d MiB RR-index)",
@@ -176,10 +199,51 @@ func main() {
 		log.Printf("persistent state in %s (snapshot interval %v; snapshot on shutdown)",
 			*stateDir, *snapEvery)
 	}
+	if *nodeID != "" {
+		ccfg, err := clusterConfig(*nodeID, *peerList, *storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("cluster node %q: %d members, snapshot store %q",
+			*nodeID, len(ccfg.Members), *storeDir)
+		if err := cluster.Serve(ctx, *addr, cfg, ccfg); err != nil {
+			fatal(err)
+		}
+		log.Printf("comic-serve: shut down cleanly")
+		return
+	}
 	if err := comic.Serve(ctx, *addr, cfg); err != nil {
 		fatal(err)
 	}
 	log.Printf("comic-serve: shut down cleanly")
+}
+
+// clusterConfig parses -cluster-peers ("id=url,id=url", this node included)
+// and -snapshot-store into a cluster node configuration.
+func clusterConfig(self, peers, storeDir string) (cluster.Config, error) {
+	ccfg := cluster.Config{Self: self}
+	if peers == "" {
+		return ccfg, fmt.Errorf("-node-id requires -cluster-peers (include this node, e.g. %s=http://localhost:8080)", self)
+	}
+	for _, part := range strings.Split(peers, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return ccfg, fmt.Errorf("-cluster-peers: want id=url, got %q", part)
+		}
+		ccfg.Members = append(ccfg.Members, cluster.Member{ID: id, URL: url})
+	}
+	if storeDir != "" {
+		store, err := server.NewDirStore(storeDir)
+		if err != nil {
+			return ccfg, fmt.Errorf("-snapshot-store: %w", err)
+		}
+		ccfg.Store = store
+	}
+	return ccfg, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,795 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"comic"
+	"comic/internal/cluster"
+	"comic/internal/graph"
+	"comic/internal/rng"
+	"comic/internal/server"
+)
+
+// testFleet builds a small deterministic graph inventory: same node/edge
+// scale, different topologies, so the graphs carry distinct content
+// fingerprints and place independently.
+func testFleet(tb testing.TB, n int) map[string]*comic.Dataset {
+	tb.Helper()
+	gap := comic.GAP{QA0: 0.5, QAB: 0.8, QB0: 0.5, QBA: 0.8}
+	fleet := make(map[string]*comic.Dataset, n)
+	for i := 0; i < n; i++ {
+		g := graph.PowerLaw(150, 4, 2.16, true, rng.New(uint64(i+1)))
+		graph.AssignWeightedCascade(g)
+		name := fmt.Sprintf("g%d", i+1)
+		fleet[name] = comic.NewDataset(name, g, gap, "test")
+	}
+	return fleet
+}
+
+// testNode is one in-process cluster member behind an httptest listener.
+type testNode struct {
+	id   string
+	srv  *server.Server
+	node *cluster.Node
+	ts   *httptest.Server
+}
+
+// handlerCell lets the listener exist before the node that serves it: the
+// member URLs feed the node configs.
+type handlerCell struct{ h atomic.Pointer[http.Handler] }
+
+func (c *handlerCell) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := c.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "node not ready", http.StatusServiceUnavailable)
+}
+
+// newTestCluster stands up one full server + cluster node per id, every
+// node serving the same fleet, with fast proxy retry settings. tweak (if
+// non-nil) edits each node's cluster config before construction.
+func newTestCluster(tb testing.TB, ids []string, fleet map[string]*comic.Dataset, store server.SnapshotStore, tweak func(*cluster.Config)) []*testNode {
+	tb.Helper()
+	cells := make([]*handlerCell, len(ids))
+	members := make([]cluster.Member, len(ids))
+	nodes := make([]*testNode, len(ids))
+	for i, id := range ids {
+		cells[i] = &handlerCell{}
+		ts := httptest.NewServer(cells[i])
+		tb.Cleanup(ts.Close)
+		members[i] = cluster.Member{ID: id, URL: ts.URL}
+		nodes[i] = &testNode{id: id, ts: ts}
+	}
+	for i, id := range ids {
+		srv, err := server.New(server.Config{Datasets: fleet, MaxK: 50, MaxRuns: 50000})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(srv.Close)
+		ccfg := cluster.Config{
+			Self:           id,
+			Members:        members,
+			Store:          store,
+			ConnectTimeout: 2 * time.Second,
+			RequestTimeout: 30 * time.Second,
+			RetryBackoff:   time.Millisecond,
+		}
+		if tweak != nil {
+			tweak(&ccfg)
+		}
+		node, err := cluster.New(srv, ccfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		nodes[i].srv, nodes[i].node = srv, node
+		var h http.Handler = node
+		cells[i].h.Store(&h)
+	}
+	return nodes
+}
+
+// ownerID resolves which member owns name, from any node's view.
+func ownerID(tb testing.TB, n *testNode, name string) string {
+	tb.Helper()
+	vi, ok := n.srv.GraphVersion(name)
+	if !ok {
+		tb.Fatalf("graph %q not registered", name)
+	}
+	owner, ok := cluster.Owner(n.node.Members(), cluster.PlaceKey(vi.Name, vi.Fingerprint))
+	if !ok {
+		tb.Fatal("no owner")
+	}
+	return owner.ID
+}
+
+// splitByOwner picks one graph owned by nodes[0] and one owned elsewhere;
+// the fleet is sized so both always exist.
+func splitByOwner(tb testing.TB, nodes []*testNode, fleet map[string]*comic.Dataset) (local, remote string) {
+	tb.Helper()
+	names := make([]string, 0, len(fleet))
+	for name := range fleet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if ownerID(tb, nodes[0], name) == nodes[0].id {
+			if local == "" {
+				local = name
+			}
+		} else if remote == "" {
+			remote = name
+		}
+	}
+	if local == "" || remote == "" {
+		tb.Fatalf("fleet of %d graphs did not split across owners (local=%q remote=%q); grow the fleet",
+			len(fleet), local, remote)
+	}
+	return local, remote
+}
+
+func solveBody(name string) string {
+	return fmt.Sprintf(`{"dataset":%q,"k":3,"seedsB":[0,1],"evalRuns":100,"seed":7}`, name)
+}
+
+// httpDo sends one request and returns status and body.
+func httpDo(tb testing.TB, method, url, body string) (int, []byte) {
+	tb.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// sansTiming decodes a solve response and drops elapsedMs — the one field
+// that is wall time, not answer. Everything else must match exactly.
+func sansTiming(tb testing.TB, data []byte) map[string]any {
+	tb.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		tb.Fatalf("bad solve response %q: %v", data, err)
+	}
+	delete(m, "elapsedMs")
+	return m
+}
+
+func seedsOf(tb testing.TB, data []byte) []int32 {
+	tb.Helper()
+	var resp struct {
+		Seeds []int32 `json:"seeds"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		tb.Fatalf("bad solve response %q: %v", data, err)
+	}
+	return resp.Seeds
+}
+
+// clusterStats reads the stats cluster section of one node.
+func clusterStats(tb testing.TB, n *testNode) map[string]any {
+	tb.Helper()
+	status, data := httpDo(tb, http.MethodGet, n.ts.URL+"/v1/stats", "")
+	if status != http.StatusOK {
+		tb.Fatalf("GET /v1/stats = %d: %s", status, data)
+	}
+	var stats struct {
+		Cluster map[string]any `json:"cluster"`
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		tb.Fatal(err)
+	}
+	if stats.Cluster == nil {
+		tb.Fatalf("stats carry no cluster section: %s", data)
+	}
+	return stats.Cluster
+}
+
+func counter(tb testing.TB, section map[string]any, field string) int64 {
+	tb.Helper()
+	f, ok := section[field].(float64)
+	if !ok {
+		tb.Fatalf("cluster stats field %q = %v (%T), want a number", field, section[field], section[field])
+	}
+	return int64(f)
+}
+
+func TestProxyParity(t *testing.T) {
+	fleet := testFleet(t, 4)
+	nodes := newTestCluster(t, []string{"n1", "n2", "n3"}, fleet, nil, nil)
+	_, remote := splitByOwner(t, nodes, fleet)
+	owner := ownerID(t, nodes[0], remote)
+
+	var direct []byte
+	for _, n := range nodes {
+		if n.id == owner {
+			status, data := httpDo(t, http.MethodPost, n.ts.URL+"/v1/selfinfmax", solveBody(remote))
+			if status != http.StatusOK {
+				t.Fatalf("direct solve = %d: %s", status, data)
+			}
+			direct = data
+		}
+	}
+	for _, n := range nodes {
+		if n.id == owner {
+			continue
+		}
+		status, data := httpDo(t, http.MethodPost, n.ts.URL+"/v1/selfinfmax", solveBody(remote))
+		if status != http.StatusOK {
+			t.Fatalf("proxied solve via %s = %d: %s", n.id, status, data)
+		}
+		// The proxied response is the owner's answer — seeds, objective,
+		// plan, every field except wall time — the determinism contract
+		// observed across the wire.
+		if !reflect.DeepEqual(sansTiming(t, data), sansTiming(t, direct)) {
+			t.Fatalf("proxied solve via %s differs from the owner's response:\n%s\nvs\n%s", n.id, data, direct)
+		}
+	}
+	for _, n := range nodes {
+		if n.id == owner {
+			continue
+		}
+		if got := counter(t, clusterStats(t, n), "proxied"); got < 1 {
+			t.Fatalf("node %s proxied %d requests, want >= 1", n.id, got)
+		}
+	}
+	// Exactly one node built collections for the remote graph: the owner.
+	builders := 0
+	for _, n := range nodes {
+		if n.srv.Index().Stats().Misses > 0 {
+			builders++
+		}
+	}
+	if builders != 1 {
+		t.Fatalf("%d nodes built collections, want exactly the owner", builders)
+	}
+}
+
+func TestProxyPassesErrorEnvelopeVerbatim(t *testing.T) {
+	fleet := testFleet(t, 4)
+	nodes := newTestCluster(t, []string{"n1", "n2", "n3"}, fleet, nil, nil)
+	_, remote := splitByOwner(t, nodes, fleet)
+	owner := ownerID(t, nodes[0], remote)
+	bad := fmt.Sprintf(`{"dataset":%q,"k":0}`, remote) // owner rejects: k must be positive
+
+	var fromOwner []byte
+	var ownerStatus int
+	for _, n := range nodes {
+		if n.id == owner {
+			ownerStatus, fromOwner = httpDo(t, http.MethodPost, n.ts.URL+"/v1/selfinfmax", bad)
+		}
+	}
+	if ownerStatus != http.StatusBadRequest {
+		t.Fatalf("owner rejected with %d, want 400: %s", ownerStatus, fromOwner)
+	}
+	status, data := httpDo(t, http.MethodPost, nodes[0].ts.URL+"/v1/selfinfmax", bad)
+	if status != http.StatusBadRequest {
+		t.Fatalf("proxied rejection = %d, want 400: %s", status, data)
+	}
+	// Verbatim: same status, same bytes — the envelope is never re-wrapped
+	// by the router.
+	if !bytes.Equal(data, fromOwner) {
+		t.Fatalf("proxied envelope differs from the owner's:\n%s\nvs\n%s", data, fromOwner)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil || env.Error.Code != "invalid_argument" {
+		t.Fatalf("proxied body is not the structured envelope: %s", data)
+	}
+}
+
+func TestDeadPeerFallbackServesWarmFromStore(t *testing.T) {
+	store, err := server.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := testFleet(t, 4)
+	nodes := newTestCluster(t, []string{"n1", "n2", "n3"}, fleet, store, nil)
+	_, remote := splitByOwner(t, nodes, fleet)
+	owner := ownerID(t, nodes[0], remote)
+
+	// Warm the owner, publish its graphs to the shared store, then kill it.
+	var ownerNode *testNode
+	for _, n := range nodes {
+		if n.id == owner {
+			ownerNode = n
+		}
+	}
+	if status, data := httpDo(t, http.MethodPost, ownerNode.ts.URL+"/v1/selfinfmax", solveBody(remote)); status != http.StatusOK {
+		t.Fatalf("warm solve = %d: %s", status, data)
+	}
+	baseline := func() []int32 {
+		status, data := httpDo(t, http.MethodPost, ownerNode.ts.URL+"/v1/selfinfmax", solveBody(remote))
+		if status != http.StatusOK {
+			t.Fatal(status)
+		}
+		return seedsOf(t, data)
+	}()
+	if n, err := ownerNode.node.PublishOwned(); err != nil || n == 0 {
+		t.Fatalf("PublishOwned = %d, %v", n, err)
+	}
+	ownerNode.ts.Close()
+
+	// A query routed through n1 retries once, degrades to local service,
+	// and adopts the published entries — same seeds, zero local builds.
+	status, data := httpDo(t, http.MethodPost, nodes[0].ts.URL+"/v1/selfinfmax", solveBody(remote))
+	if status != http.StatusOK {
+		t.Fatalf("fallback solve = %d: %s", status, data)
+	}
+	if got := seedsOf(t, data); !reflect.DeepEqual(got, baseline) {
+		t.Fatalf("fallback seeds %v diverge from the owner's %v", got, baseline)
+	}
+	section := clusterStats(t, nodes[0])
+	if counter(t, section, "localFallbacks") < 1 {
+		t.Fatal("fallback not counted")
+	}
+	if counter(t, section, "proxyRetries") < 1 {
+		t.Fatal("the dead peer was not retried before falling back")
+	}
+	if counter(t, section, "adoptedEntries") < 1 {
+		t.Fatal("the fallback did not adopt the published warm state")
+	}
+	if misses := nodes[0].srv.Index().Stats().Misses; misses != 0 {
+		t.Fatalf("fallback rebuilt %d collections; the store should have made it warm", misses)
+	}
+
+	// Mutations never degrade: the owner is authoritative for writes, so an
+	// unreachable owner is a 502 peer_unreachable envelope, details naming
+	// the peer.
+	status, data = httpDo(t, http.MethodDelete, nodes[0].ts.URL+"/v1/graphs/"+remote, "")
+	if status != http.StatusBadGateway {
+		t.Fatalf("DELETE via dead owner = %d, want 502: %s", status, data)
+	}
+	var env struct {
+		Error struct {
+			Code    string         `json:"code"`
+			Message string         `json:"message"`
+			Details map[string]any `json:"details"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("502 body is not JSON: %s", data)
+	}
+	if env.Error.Code != "peer_unreachable" {
+		t.Fatalf("code = %q, want peer_unreachable", env.Error.Code)
+	}
+	if env.Error.Details["peer"] != owner {
+		t.Fatalf("details.peer = %v, want %q", env.Error.Details["peer"], owner)
+	}
+}
+
+func TestProxySingleflightCollapses(t *testing.T) {
+	fleet := testFleet(t, 4)
+	// The "owner" is a stub that blocks until released, so the in-flight
+	// window is under test control and the collapse is deterministic.
+	release := make(chan struct{})
+	var stubCalls atomic.Int32
+	stubBody := `{"seeds":[1,2,3],"stub":true}`
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		stubCalls.Add(1)
+		<-release
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, stubBody)
+	}))
+	defer stub.Close()
+
+	// One real node; the stub joins the membership under a fixed id. Some
+	// fleet graph lands on the stub — find it.
+	cells := &handlerCell{}
+	ts := httptest.NewServer(cells)
+	defer ts.Close()
+	members := []cluster.Member{{ID: "n1", URL: ts.URL}, {ID: "stub", URL: stub.URL}}
+	srv, err := server.New(server.Config{Datasets: fleet, MaxK: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	node, err := cluster.New(srv, cluster.Config{Self: "n1", Members: members, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h http.Handler = node
+	cells.h.Store(&h)
+
+	remote := ""
+	for name := range fleet {
+		vi, _ := srv.GraphVersion(name)
+		if owner, _ := cluster.Owner(members, cluster.PlaceKey(vi.Name, vi.Fingerprint)); owner.ID == "stub" {
+			remote = name
+			break
+		}
+	}
+	if remote == "" {
+		t.Fatal("no fleet graph placed on the stub; grow the fleet")
+	}
+
+	const concurrent = 5
+	var wg sync.WaitGroup
+	bodies := make([][]byte, concurrent)
+	statuses := make([]int, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/selfinfmax", "application/json", strings.NewReader(solveBody(remote)))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	// All but the leader must end up waiting on the leader's flight; only
+	// then is the stub released.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if counter(t, clusterStats(t, &testNode{id: "n1", srv: srv, node: node, ts: ts}), "proxySingleflightHits") == concurrent-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("singleflight hits never reached %d; stub saw %d calls", concurrent-1, stubCalls.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := stubCalls.Load(); got != 1 {
+		t.Fatalf("stub served %d upstream calls, want 1", got)
+	}
+	for i := 0; i < concurrent; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d = %d", i, statuses[i])
+		}
+		if string(bodies[i]) != stubBody {
+			t.Fatalf("request %d body %q, want the stub's answer shared verbatim", i, bodies[i])
+		}
+	}
+}
+
+func TestRebalanceMovesWarmStateWithoutRebuilds(t *testing.T) {
+	store, err := server.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := testFleet(t, 6)
+	ids := []string{"n1", "n2", "n3"}
+	nodes := newTestCluster(t, ids, fleet, store, nil)
+
+	names := make([]string, 0, len(fleet))
+	for name := range fleet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Warm every graph on its owner and pin the baseline seeds.
+	baseline := map[string][]int32{}
+	byID := map[string]*testNode{}
+	for _, n := range nodes {
+		byID[n.id] = n
+	}
+	leavingOwned := 0
+	for _, name := range names {
+		owner := byID[ownerID(t, nodes[0], name)]
+		if owner.id == "n3" {
+			leavingOwned++
+		}
+		status, data := httpDo(t, http.MethodPost, owner.ts.URL+"/v1/selfinfmax", solveBody(name))
+		if status != http.StatusOK {
+			t.Fatalf("warm %s = %d: %s", name, status, data)
+		}
+		baseline[name] = seedsOf(t, data)
+	}
+	if leavingOwned == 0 {
+		t.Fatal("n3 owns nothing; the rebalance would be vacuous — grow the fleet")
+	}
+
+	// Two-phase, operator-style over HTTP: prepare on every node, commit on
+	// the survivors.
+	next := fmt.Sprintf(`[{"id":"n1","url":%q},{"id":"n2","url":%q}]`, nodes[0].ts.URL, nodes[1].ts.URL)
+	published, adopted := 0, 0
+	for _, n := range nodes {
+		status, data := httpDo(t, http.MethodPut, n.ts.URL+"/v1/cluster",
+			fmt.Sprintf(`{"members":%s,"phase":"prepare"}`, next))
+		if status != http.StatusOK {
+			t.Fatalf("prepare on %s = %d: %s", n.id, status, data)
+		}
+		var resp struct {
+			Rebalance cluster.RebalanceSummary `json:"rebalance"`
+		}
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatal(err)
+		}
+		published += resp.Rebalance.PublishedEntries
+	}
+	missesBefore := nodes[0].srv.Index().Stats().Misses + nodes[1].srv.Index().Stats().Misses
+	for _, n := range nodes[:2] {
+		status, data := httpDo(t, http.MethodPut, n.ts.URL+"/v1/cluster",
+			fmt.Sprintf(`{"members":%s,"phase":"commit"}`, next))
+		if status != http.StatusOK {
+			t.Fatalf("commit on %s = %d: %s", n.id, status, data)
+		}
+		var resp struct {
+			Rebalance cluster.RebalanceSummary `json:"rebalance"`
+		}
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatal(err)
+		}
+		adopted += resp.Rebalance.AdoptedEntries
+	}
+	if published == 0 || adopted == 0 {
+		t.Fatalf("rebalance published %d / adopted %d entries; warm state did not move", published, adopted)
+	}
+
+	// Every graph — inherited ones included — answers from the survivors
+	// with the baseline seeds and zero new collection builds.
+	for _, name := range names {
+		owner := ownerID(t, nodes[0], name)
+		if owner == "n3" {
+			t.Fatalf("graph %s still placed on the departed node", name)
+		}
+		status, data := httpDo(t, http.MethodPost, byID[owner].ts.URL+"/v1/selfinfmax", solveBody(name))
+		if status != http.StatusOK {
+			t.Fatalf("post-rebalance %s = %d: %s", name, status, data)
+		}
+		if got := seedsOf(t, data); !reflect.DeepEqual(got, baseline[name]) {
+			t.Fatalf("post-rebalance seeds for %s = %v, want %v", name, got, baseline[name])
+		}
+	}
+	missesAfter := nodes[0].srv.Index().Stats().Misses + nodes[1].srv.Index().Stats().Misses
+	if missesAfter != missesBefore {
+		t.Fatalf("rebalance rebuilt %d collections; entries must move through the store", missesAfter-missesBefore)
+	}
+	if got := counter(t, clusterStats(t, nodes[0]), "rebalances") + counter(t, clusterStats(t, nodes[1]), "rebalances"); got != 2 {
+		t.Fatalf("rebalances counter total = %d, want 2", got)
+	}
+}
+
+func TestClusterDocAndMembershipValidation(t *testing.T) {
+	fleet := testFleet(t, 4)
+	nodes := newTestCluster(t, []string{"n1", "n2"}, fleet, nil, nil)
+
+	status, data := httpDo(t, http.MethodGet, nodes[0].ts.URL+"/v1/cluster", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/cluster = %d: %s", status, data)
+	}
+	var doc struct {
+		Self    string `json:"self"`
+		Members []struct {
+			ID  string `json:"id"`
+			URL string `json:"url"`
+		} `json:"members"`
+		Placement map[string]struct {
+			Owner       string `json:"owner"`
+			Generation  int64  `json:"generation"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"placement"`
+		Store struct {
+			Configured bool `json:"configured"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Self != "n1" || len(doc.Members) != 2 || doc.Members[0].ID != "n1" || doc.Members[1].ID != "n2" {
+		t.Fatalf("doc = %s", data)
+	}
+	if len(doc.Placement) != len(fleet) {
+		t.Fatalf("placement covers %d graphs, want %d", len(doc.Placement), len(fleet))
+	}
+	for name, p := range doc.Placement {
+		if p.Owner != "n1" && p.Owner != "n2" {
+			t.Fatalf("graph %s owned by unknown member %q", name, p.Owner)
+		}
+		if p.Fingerprint == "" {
+			t.Fatalf("graph %s has no fingerprint in the placement map", name)
+		}
+	}
+	if doc.Store.Configured {
+		t.Fatal("store reported configured without one")
+	}
+
+	for _, tc := range []struct {
+		name, body string
+		wantCode   string
+	}{
+		{"empty members", `{"members":[]}`, "invalid_argument"},
+		{"duplicate ids", `{"members":[{"id":"a","url":"http://a"},{"id":"a","url":"http://b"}]}`, "invalid_argument"},
+		{"missing url", `{"members":[{"id":"a","url":""}]}`, "invalid_argument"},
+		{"bad phase", `{"members":[{"id":"a","url":"http://a"}],"phase":"yolo"}`, "invalid_argument"},
+		{"unknown field", `{"members":[{"id":"a","url":"http://a"}],"bogus":1}`, "invalid_argument"},
+	} {
+		putStatus, putData := httpDo(t, http.MethodPut, nodes[0].ts.URL+"/v1/cluster", tc.body)
+		if putStatus != http.StatusBadRequest {
+			t.Fatalf("%s: PUT = %d, want 400: %s", tc.name, putStatus, putData)
+		}
+		var env struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(putData, &env); err != nil || env.Error.Code != tc.wantCode {
+			t.Fatalf("%s: envelope %s, want code %q", tc.name, putData, tc.wantCode)
+		}
+	}
+	status, data = httpDo(t, http.MethodPost, nodes[0].ts.URL+"/v1/cluster", "{}")
+	if status != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/cluster = %d, want 405: %s", status, data)
+	}
+}
+
+func TestHealthzAndStatsCarryClusterSection(t *testing.T) {
+	store, err := server.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := testFleet(t, 2)
+	nodes := newTestCluster(t, []string{"n1", "n2"}, fleet, store, nil)
+
+	status, data := httpDo(t, http.MethodGet, nodes[1].ts.URL+"/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", status, data)
+	}
+	var hz struct {
+		Status  string `json:"status"`
+		Cluster struct {
+			Self    string   `json:"self"`
+			Members []string `json:"members"`
+			Store   struct {
+				Configured bool `json:"configured"`
+				Healthy    bool `json:"healthy"`
+			} `json:"store"`
+		} `json:"cluster"`
+	}
+	if decErr := json.Unmarshal(data, &hz); decErr != nil {
+		t.Fatal(decErr)
+	}
+	if hz.Status != "ok" || hz.Cluster.Self != "n2" {
+		t.Fatalf("healthz = %s", data)
+	}
+	if !reflect.DeepEqual(hz.Cluster.Members, []string{"n1", "n2"}) {
+		t.Fatalf("members = %v", hz.Cluster.Members)
+	}
+	if !hz.Cluster.Store.Configured || !hz.Cluster.Store.Healthy {
+		t.Fatalf("store status = %+v, want configured and healthy", hz.Cluster.Store)
+	}
+
+	section := clusterStats(t, nodes[0])
+	for _, field := range []string{"proxied", "proxyRetries", "proxyErrors", "localFallbacks",
+		"proxySingleflightHits", "rebalances", "publishedEntries", "adoptedEntries", "localBusyNs"} {
+		if _, ok := section[field]; !ok {
+			t.Fatalf("stats cluster section lacks %q: %v", field, section)
+		}
+	}
+
+	// A single-node (non-cluster) server carries no cluster section at all.
+	plain, err := server.New(server.Config{Datasets: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	rec := httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["cluster"]; ok {
+		t.Fatal("non-cluster healthz grew a cluster section")
+	}
+}
+
+// TestMembershipChurnRacesInFlightSolves drives solves through every node
+// while the membership view flips under them — run under -race, it pins
+// the router's locking; in any mode, it pins that placement changes are
+// never a correctness event (every response is a 200 with the same
+// seeds).
+func TestMembershipChurnRacesInFlightSolves(t *testing.T) {
+	fleet := testFleet(t, 3)
+	ids := []string{"n1", "n2", "n3"}
+	nodes := newTestCluster(t, ids, fleet, nil, nil)
+
+	names := make([]string, 0, len(fleet))
+	for name := range fleet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	baseline := map[string][]int32{}
+	for _, name := range names {
+		status, data := httpDo(t, http.MethodPost, nodes[0].ts.URL+"/v1/selfinfmax", solveBody(name))
+		if status != http.StatusOK {
+			t.Fatalf("baseline %s = %d: %s", name, status, data)
+		}
+		baseline[name] = seedsOf(t, data)
+	}
+
+	full := make([]cluster.Member, len(nodes))
+	for i, n := range nodes {
+		full[i] = cluster.Member{ID: n.id, URL: n.ts.URL}
+	}
+	shrunk := full[:2]
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			view := full
+			if i%2 == 1 {
+				view = shrunk
+			}
+			for _, n := range nodes {
+				if _, err := n.node.SetMembers(view); err != nil {
+					t.Errorf("SetMembers: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				name := names[(w+i)%len(names)]
+				n := nodes[(w*3+i)%len(nodes)]
+				status, data := httpDo(t, http.MethodPost, n.ts.URL+"/v1/selfinfmax", solveBody(name))
+				if status != http.StatusOK {
+					errc <- fmt.Errorf("solve %s via %s during churn = %d: %s", name, n.id, status, data)
+					return
+				}
+				if got := seedsOf(t, data); !reflect.DeepEqual(got, baseline[name]) {
+					errc <- fmt.Errorf("solve %s via %s during churn: seeds %v, want %v", name, n.id, got, baseline[name])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	churnWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

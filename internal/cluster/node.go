@@ -1,0 +1,618 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"comic/internal/server"
+)
+
+// ForwardedHeader marks a request that already crossed the router tier
+// once. A node receiving it serves locally, whatever its own placement
+// view says — requests travel at most one hop, and two nodes with
+// momentarily divergent views can never bounce a request between them.
+const ForwardedHeader = "X-Comic-Forwarded"
+
+// queryBodyLimit bounds buffered solve/estimate bodies, matching the
+// serving node's own decode limit for those endpoints.
+const queryBodyLimit = 1 << 20
+
+var errEmptyMembers = errors.New("cluster: member list must be non-empty")
+var errBadMemberID = errors.New("cluster: member id must be non-empty")
+
+func errBadMemberURL(id string) error {
+	return fmt.Errorf("cluster: member %q has no url", id)
+}
+
+func errDupMemberID(id string) error {
+	return fmt.Errorf("cluster: duplicate member id %q", id)
+}
+
+// Config configures a cluster Node.
+type Config struct {
+	// Self is this node's member ID; it must appear in Members.
+	Self string
+	// Members is the initial cluster membership, this node included.
+	Members []Member
+	// Store is the shared snapshot tier all members can reach; nil runs
+	// the cluster without one (rebalances then rebuild instead of moving,
+	// and dead-peer fallbacks serve cold).
+	Store server.SnapshotStore
+	// ConnectTimeout bounds dialing a peer (default 2s); RequestTimeout
+	// bounds a whole proxied exchange (default 2m — solves can be slow);
+	// RetryBackoff is the pause before the proxy's single retry (default
+	// 250ms).
+	ConnectTimeout time.Duration
+	RequestTimeout time.Duration
+	RetryBackoff   time.Duration
+}
+
+// Node is one cluster member: a full comic server plus the routing tier.
+// It implements http.Handler and serves the entire v1 API — requests for
+// graphs it owns (and every non-graph-scoped request) are served by the
+// embedded server; requests for graphs owned elsewhere are proxied to the
+// owner, with identical in-flight solves collapsed to one upstream call.
+type Node struct {
+	srv          *server.Server
+	self         Member
+	store        server.SnapshotStore
+	client       *http.Client
+	retryBackoff time.Duration
+
+	mu      sync.Mutex
+	members []Member
+	// adopted records, per graph name, the GraphID already pulled from the
+	// shared store by a dead-peer fallback, so repeated fallbacks on the
+	// same version don't re-read the store.
+	adopted map[string]string
+
+	sfMu sync.Mutex
+	sf   map[string]*proxyFlight
+
+	proxied        atomic.Int64 // requests forwarded to an owner
+	proxyRetries   atomic.Int64 // forward attempts that needed the retry
+	proxyErrors    atomic.Int64 // forwards that failed even after the retry
+	localFallbacks atomic.Int64 // failed forwards degraded to local service
+	sfHits         atomic.Int64 // proxied solves collapsed onto another in-flight one
+	published      atomic.Int64 // cache entries pushed to the shared store
+	adoptedN       atomic.Int64 // cache entries pulled from the shared store
+	rebalances     atomic.Int64 // committed membership changes
+	busyNs         atomic.Int64 // cumulative wall time serving local requests
+}
+
+// New wraps srv as a cluster node. It installs the cluster section on the
+// server's /healthz and /v1/stats; the caller serves HTTP through the
+// returned Node, not through srv directly.
+func New(srv *server.Server, cfg Config) (*Node, error) {
+	members, err := validateMembers(cfg.Members)
+	if err != nil {
+		return nil, err
+	}
+	var self Member
+	found := false
+	for _, m := range members {
+		if m.ID == cfg.Self {
+			self, found = m, true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the member list", cfg.Self)
+	}
+	connectTimeout := cfg.ConnectTimeout
+	if connectTimeout <= 0 {
+		connectTimeout = 2 * time.Second
+	}
+	requestTimeout := cfg.RequestTimeout
+	if requestTimeout <= 0 {
+		requestTimeout = 2 * time.Minute
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	n := &Node{
+		srv:          srv,
+		self:         self,
+		store:        cfg.Store,
+		retryBackoff: backoff,
+		members:      members,
+		adopted:      make(map[string]string),
+		sf:           make(map[string]*proxyFlight),
+		client: &http.Client{
+			Timeout: requestTimeout,
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: connectTimeout}).DialContext,
+				MaxIdleConnsPerHost: 16,
+			},
+		},
+	}
+	srv.SetClusterInfo(n.clusterInfo)
+	return n, nil
+}
+
+// Server returns the embedded comic server.
+func (n *Node) Server() *server.Server { return n.srv }
+
+// Self returns this node's member record.
+func (n *Node) Self() Member { return n.self }
+
+// Members returns the current membership view, sorted by ID.
+func (n *Node) Members() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Member, len(n.members))
+	copy(out, n.members)
+	return out
+}
+
+// BusyNs reports the cumulative wall time this node spent serving local
+// requests (proxy time excluded). The cluster bench uses it as the
+// per-node capacity measure: on real deployments each node's busy time is
+// bounded by its own machine, so cluster throughput is total work over
+// the busiest node's busy time.
+func (n *Node) BusyNs() int64 { return n.busyNs.Load() }
+
+// ServeHTTP routes one request: cluster-management requests are handled
+// here, forwarded requests and requests for locally-owned graphs are
+// served by the embedded server, and requests for remotely-owned graphs
+// are proxied to their owner.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/cluster" {
+		n.handleCluster(w, r)
+		return
+	}
+	if r.Header.Get(ForwardedHeader) != "" {
+		n.serveLocal(w, r)
+		return
+	}
+	if isQueryPath(r.URL.Path) && r.Method == http.MethodPost {
+		n.routeQuery(w, r)
+		return
+	}
+	if name, ok := graphPathName(r.URL.Path); ok {
+		n.routeGraphOp(w, r, name)
+		return
+	}
+	// Everything else — batch, jobs, uploads, listings, stats, health —
+	// is served by the node that received it. Batches and jobs may touch
+	// many graphs; they run locally and build (or share) whatever
+	// collections they need.
+	n.serveLocal(w, r)
+}
+
+// isQueryPath reports whether path is one of the single-graph query
+// endpoints the router places by the body's "dataset" field.
+func isQueryPath(path string) bool {
+	switch path {
+	case "/v1/spread", "/v1/boost", "/v1/selfinfmax", "/v1/compinfmax":
+		return true
+	}
+	return false
+}
+
+// graphPathName extracts the graph name from /v1/graphs/{name} and
+// /v1/graphs/{name}/edges; ok is false for every other path (including
+// the bare /v1/graphs collection, which is always local).
+func graphPathName(path string) (string, bool) {
+	rest, ok := strings.CutPrefix(path, "/v1/graphs/")
+	if !ok || rest == "" {
+		return "", false
+	}
+	if name, ok := strings.CutSuffix(rest, "/edges"); ok {
+		return name, name != ""
+	}
+	if strings.Contains(rest, "/") {
+		return "", false // an unknown deeper path: let the local mux 404 it
+	}
+	return rest, true
+}
+
+// ownerOf resolves the owner of name under the current membership view,
+// using the local registry's fingerprint when the graph is known here.
+// An unknown graph still places deterministically (name-only key), so all
+// nodes that share an inventory agree; a node that disagrees costs one
+// extra hop, never a wrong answer.
+func (n *Node) ownerOf(name string) (Member, bool) {
+	key := PlaceKey(name, "")
+	if vi, ok := n.srv.GraphVersion(name); ok {
+		key = PlaceKey(name, vi.Fingerprint)
+	}
+	n.mu.Lock()
+	members := n.members
+	n.mu.Unlock()
+	owner, ok := Owner(members, key)
+	if !ok {
+		return n.self, true
+	}
+	return owner, owner.ID == n.self.ID
+}
+
+// routeQuery places a solve/estimate request by its "dataset" field.
+func (n *Node) routeQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, queryBodyLimit))
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidArgument,
+			"bad request body: "+err.Error(), nil)
+		return
+	}
+	var peek struct {
+		Dataset string `json:"dataset"`
+	}
+	// Full validation (unknown fields included) happens at the serving
+	// node; the router only needs the dataset name, and a body it cannot
+	// parse will be rejected there with the proper envelope.
+	//comic:allow errlost a malformed body routes to the local server, which rejects it properly
+	json.Unmarshal(body, &peek)
+	if peek.Dataset == "" {
+		n.serveLocalBody(w, r, body)
+		return
+	}
+	owner, isSelf := n.ownerOf(peek.Dataset)
+	if isSelf {
+		n.serveLocalBody(w, r, body)
+		return
+	}
+	n.proxyQuery(w, r, owner, peek.Dataset, body)
+}
+
+// proxyQuery forwards a query to its owner, collapsing identical
+// in-flight requests (same owner, path and body — solves are
+// deterministic and side-effect-free, so one upstream answer serves all
+// waiters) and degrading to local service from the shared snapshot tier
+// when the owner is unreachable.
+func (n *Node) proxyQuery(w http.ResponseWriter, r *http.Request, owner Member, dataset string, body []byte) {
+	sum := sha256.Sum256(body)
+	key := owner.ID + "\x00" + r.URL.Path + "\x00" + string(sum[:])
+	n.sfMu.Lock()
+	if f, ok := n.sf[key]; ok {
+		n.sfMu.Unlock()
+		n.sfHits.Add(1)
+		<-f.done
+		f.resp.write(w)
+		return
+	}
+	f := &proxyFlight{done: make(chan struct{})}
+	n.sf[key] = f
+	n.sfMu.Unlock()
+
+	n.proxied.Add(1)
+	resp, err := n.forward(owner, r, body)
+	if err != nil {
+		// The owner is down even after the retry: serve locally. The
+		// answer is byte-identical by the determinism contract; the shared
+		// snapshot tier makes it warm when the owner ever published this
+		// graph. Counted so operators can see the cluster degrading.
+		n.localFallbacks.Add(1)
+		n.warmFromStore(dataset)
+		resp = n.serveBuffered(r, body)
+	}
+	f.resp = resp
+	close(f.done)
+	n.sfMu.Lock()
+	delete(n.sf, key)
+	n.sfMu.Unlock()
+	resp.write(w)
+}
+
+// routeGraphOp places a graph-resource request by its path name.
+// Mutations (DELETE, PATCH) on an unreachable owner fail with 502
+// peer_unreachable rather than silently applying to a non-owner; reads
+// degrade to local service like queries do.
+func (n *Node) routeGraphOp(w http.ResponseWriter, r *http.Request, name string) {
+	owner, isSelf := n.ownerOf(name)
+	if isSelf {
+		n.serveLocal(w, r)
+		return
+	}
+	var body []byte
+	if r.Method == http.MethodPatch || r.Method == http.MethodPost || r.Method == http.MethodPut {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, n.srv.UploadByteLimit()))
+		if err != nil {
+			server.WriteError(w, http.StatusBadRequest, server.CodeInvalidArgument,
+				"bad request body: "+err.Error(), nil)
+			return
+		}
+	}
+	resp, err := n.forward(owner, r, body)
+	if err != nil {
+		if r.Method == http.MethodGet {
+			n.localFallbacks.Add(1)
+			n.serveLocal(w, r)
+			return
+		}
+		server.WriteError(w, http.StatusBadGateway, server.CodePeerUnreachable,
+			fmt.Sprintf("graph %q is owned by peer %q, which is unreachable: %v", name, owner.ID, err),
+			map[string]any{"peer": owner.ID, "url": owner.URL})
+		return
+	}
+	resp.write(w)
+}
+
+// forward sends the request to owner with one bounded retry, returning
+// the owner's response verbatim — status, content type and body bytes are
+// passed through untouched, so a peer's structured error envelope reaches
+// the client exactly as written, never double-wrapped. Only transport
+// failures (dial, timeout, torn read) are errors; any HTTP status is a
+// successful forward.
+func (n *Node) forward(owner Member, r *http.Request, body []byte) (*bufferedResponse, error) {
+	u := strings.TrimSuffix(owner.URL, "/") + r.URL.RequestURI()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			n.proxyRetries.Add(1)
+			time.Sleep(n.retryBackoff)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		req.Header.Set(ForwardedHeader, n.self.ID)
+		resp, err := n.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		//comic:allow errlost the read error is what matters; Close after a full read cannot fail usefully
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		return &bufferedResponse{status: resp.StatusCode, contentType: resp.Header.Get("Content-Type"), body: b}, nil
+	}
+	n.proxyErrors.Add(1)
+	return nil, lastErr
+}
+
+// warmFromStore adopts the shared store's published entries for name's
+// current local version, once per version — the dead-peer fallback's warm
+// start.
+func (n *Node) warmFromStore(name string) {
+	if n.store == nil {
+		return
+	}
+	vi, ok := n.srv.GraphVersion(name)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	already := n.adopted[name] == vi.GraphID
+	n.mu.Unlock()
+	if already {
+		return
+	}
+	adopted, err := n.srv.Index().AdoptGraph(n.store, vi.GraphID, vi.Graph)
+	if err != nil {
+		return // the store is down too; serve cold, retry on the next fallback
+	}
+	n.adoptedN.Add(int64(adopted))
+	n.mu.Lock()
+	n.adopted[name] = vi.GraphID
+	n.mu.Unlock()
+}
+
+// serveLocal hands the request to the embedded server, accounting its
+// wall time as local busy time.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	n.srv.ServeHTTP(w, r)
+	n.busyNs.Add(time.Since(t0).Nanoseconds())
+}
+
+// serveLocalBody is serveLocal for a request whose body was already
+// buffered by the router.
+func (n *Node) serveLocalBody(w http.ResponseWriter, r *http.Request, body []byte) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	n.serveLocal(w, r2)
+}
+
+// serveBuffered serves the request locally into a buffer, so a fallback
+// response can be shared with singleflight waiters like a proxied one.
+func (n *Node) serveBuffered(r *http.Request, body []byte) *bufferedResponse {
+	rec := &responseRecorder{status: http.StatusOK, header: make(http.Header)}
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	t0 := time.Now()
+	n.srv.ServeHTTP(rec, r2)
+	n.busyNs.Add(time.Since(t0).Nanoseconds())
+	return &bufferedResponse{status: rec.status, contentType: rec.header.Get("Content-Type"), body: rec.buf.Bytes()}
+}
+
+// proxyFlight is one in-flight proxied query; identical queries wait on
+// done and replay resp.
+type proxyFlight struct {
+	done chan struct{}
+	resp *bufferedResponse
+}
+
+// bufferedResponse is a fully-buffered upstream (or local-fallback)
+// response, replayable to any number of waiters.
+type bufferedResponse struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func (br *bufferedResponse) write(w http.ResponseWriter) {
+	if br.contentType != "" {
+		w.Header().Set("Content-Type", br.contentType)
+	}
+	w.WriteHeader(br.status)
+	//comic:allow errlost the client may have gone away; nothing useful to do with a write error
+	w.Write(br.body)
+}
+
+// responseRecorder captures a locally-served response for buffering.
+type responseRecorder struct {
+	status int
+	header http.Header
+	buf    bytes.Buffer
+}
+
+func (rr *responseRecorder) Header() http.Header { return rr.header }
+
+func (rr *responseRecorder) WriteHeader(code int) { rr.status = code }
+
+func (rr *responseRecorder) Write(b []byte) (int, error) { return rr.buf.Write(b) }
+
+// --- /v1/cluster ---
+
+// clusterDoc is the body of GET /v1/cluster: the membership, this node's
+// identity, the placement map under this node's view, and the shared
+// store's status. Smart clients use the placement map to route queries
+// straight to their owner and skip the proxy hop.
+type clusterDoc struct {
+	Self      string                    `json:"self"`
+	Members   []Member                  `json:"members"`
+	Placement map[string]placementEntry `json:"placement"`
+	Store     storeStatus               `json:"store"`
+}
+
+type placementEntry struct {
+	Owner       string `json:"owner"`
+	Generation  int64  `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type storeStatus struct {
+	Configured bool   `json:"configured"`
+	Healthy    bool   `json:"healthy"`
+	Error      string `json:"error,omitempty"`
+}
+
+// membershipRequest is the body of PUT /v1/cluster. Phase selects one
+// half of the two-phase rebalance dance ("prepare" pushes departing
+// graphs' cache entries to the store, "commit" swaps the view and adopts
+// inherited ones); empty means both, for single-node-at-a-time changes.
+// Rolling a whole cluster safely means PUT phase=prepare everywhere, then
+// PUT phase=commit everywhere, so every push precedes every pull.
+type membershipRequest struct {
+	Members []Member `json:"members"`
+	Phase   string   `json:"phase,omitempty"`
+}
+
+func (n *Node) handleCluster(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSONValue(w, http.StatusOK, n.doc())
+	case http.MethodPut:
+		n.handleMembership(w, r)
+	default:
+		w.Header().Set("Allow", "GET, PUT")
+		server.WriteError(w, http.StatusMethodNotAllowed, server.CodeMethodNotAllowed,
+			fmt.Sprintf("method %s is not allowed here", r.Method),
+			map[string]any{"allow": "GET, PUT"})
+	}
+}
+
+func (n *Node) handleMembership(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, queryBodyLimit))
+	dec.DisallowUnknownFields()
+	var req membershipRequest
+	if err := dec.Decode(&req); err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidArgument,
+			"bad request body: "+err.Error(), nil)
+		return
+	}
+	var sum RebalanceSummary
+	var err error
+	switch req.Phase {
+	case "":
+		sum, err = n.SetMembers(req.Members)
+	case "prepare":
+		sum, err = n.PrepareMembers(req.Members)
+	case "commit":
+		sum, err = n.CommitMembers(req.Members)
+	default:
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidArgument,
+			fmt.Sprintf("phase must be \"prepare\", \"commit\" or absent, got %q", req.Phase), nil)
+		return
+	}
+	if err != nil {
+		status, code := http.StatusBadRequest, server.CodeInvalidArgument
+		if !errors.Is(err, errValidation) {
+			status, code = http.StatusInternalServerError, server.CodeInternal
+		}
+		server.WriteError(w, status, code, err.Error(), nil)
+		return
+	}
+	writeJSONValue(w, http.StatusOK, map[string]any{"rebalance": sum, "cluster": n.doc()})
+}
+
+// doc renders the cluster document under the current view.
+func (n *Node) doc() clusterDoc {
+	members := n.Members()
+	placement := make(map[string]placementEntry)
+	for _, vi := range n.srv.GraphVersions() {
+		owner, ok := Owner(members, PlaceKey(vi.Name, vi.Fingerprint))
+		if !ok {
+			continue
+		}
+		placement[vi.Name] = placementEntry{Owner: owner.ID, Generation: vi.Generation, Fingerprint: vi.Fingerprint}
+	}
+	return clusterDoc{Self: n.self.ID, Members: members, Placement: placement, Store: n.storeStatus()}
+}
+
+func (n *Node) storeStatus() storeStatus {
+	if n.store == nil {
+		return storeStatus{}
+	}
+	st := storeStatus{Configured: true, Healthy: true}
+	if err := n.store.Ping(); err != nil {
+		st.Healthy = false
+		st.Error = err.Error()
+	}
+	return st
+}
+
+// clusterInfo renders the "cluster" section of /healthz and /v1/stats.
+func (n *Node) clusterInfo() map[string]any {
+	members := n.Members()
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ids[i] = m.ID
+	}
+	return map[string]any{
+		"self":                  n.self.ID,
+		"members":               ids,
+		"store":                 n.storeStatus(),
+		"proxied":               n.proxied.Load(),
+		"proxyRetries":          n.proxyRetries.Load(),
+		"proxyErrors":           n.proxyErrors.Load(),
+		"localFallbacks":        n.localFallbacks.Load(),
+		"proxySingleflightHits": n.sfHits.Load(),
+		"rebalances":            n.rebalances.Load(),
+		"publishedEntries":      n.published.Load(),
+		"adoptedEntries":        n.adoptedN.Load(),
+		"localBusyNs":           n.busyNs.Load(),
+	}
+}
+
+// writeJSONValue mirrors the server's JSON writer for the router's own
+// responses.
+func writeJSONValue(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	//comic:allow errlost the client may have gone away; nothing useful to do with an encode error
+	enc.Encode(v)
+}

@@ -1,0 +1,99 @@
+// Package cluster shards a comic-serve deployment across nodes: every
+// node runs the full server stack (registry, RR-set index, solvers), a
+// consistent-hash placement assigns each graph an owner, and a thin
+// router in front of each server proxies misplaced requests to the owner.
+// Warm cache state moves between nodes through the shared snapshot tier
+// (server.SnapshotStore) instead of being rebuilt.
+//
+// The design leans entirely on the engine's determinism contract: the
+// same query returns byte-identical seeds and plan no matter which node
+// computes it. Placement therefore only concentrates cache warmth — a
+// node that disagrees about ownership (a membership change mid-flight, a
+// diverged registry) serves a correct answer either way, at worst paying
+// an extra hop or a duplicate collection build. Correctness never depends
+// on the placement map; throughput does.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Member is one comic-serve node: its stable identity and the base URL
+// peers reach it on (scheme://host:port, no trailing slash).
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// PlaceKey derives a graph's placement key from its client-visible name
+// and the registry's content fingerprint of the version the local node
+// serves. Including the fingerprint means two graphs that merely share a
+// name (a delete/re-register, a diverged edit) place independently;
+// including the name means equal-content graphs registered under
+// different names spread instead of piling onto one node. The name is
+// length-prefixed so the (name, fingerprint) boundary stays unambiguous
+// even for names containing the separator byte.
+func PlaceKey(name, fingerprint string) string {
+	return strconv.Itoa(len(name)) + "\x00" + name + "\x00" + fingerprint
+}
+
+// Owner picks the owner of key among members by rendezvous (highest-
+// random-weight) hashing: every node scores every (member, key) pair with
+// the same hash, the highest score wins. Deterministic given the member
+// list, order-independent, and minimally disruptive — adding or removing
+// one member only moves the keys that member wins or held, with no
+// virtual-node bookkeeping. Ties (practically unreachable with a 64-bit
+// score) break toward the smaller member ID so every node still agrees.
+// ok is false only for an empty member list.
+func Owner(members []Member, key string) (owner Member, ok bool) {
+	var best uint64
+	for _, m := range members {
+		s := rendezvousScore(m.ID, key)
+		if !ok || s > best || (s == best && m.ID < owner.ID) {
+			owner, best, ok = m, s, true
+		}
+	}
+	return owner, ok
+}
+
+// rendezvousScore hashes one (member, key) pair. SHA-256 keeps the scores
+// uniform regardless of how adversarial the graph names are; the first
+// eight digest bytes are the 64-bit weight.
+func rendezvousScore(memberID, key string) uint64 {
+	h := sha256.New()
+	//comic:allow errlost hash.Hash.Write is documented to never return an error
+	h.Write([]byte(memberID))
+	//comic:allow errlost hash.Hash.Write is documented to never return an error
+	h.Write([]byte{0})
+	//comic:allow errlost hash.Hash.Write is documented to never return an error
+	h.Write([]byte(key))
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// validateMembers checks a membership list: at least one member, no empty
+// or duplicate IDs, no empty URLs. It returns the members sorted by ID so
+// every node stores (and reports) the same canonical order.
+func validateMembers(members []Member) ([]Member, error) {
+	if len(members) == 0 {
+		return nil, errEmptyMembers
+	}
+	out := make([]Member, len(members))
+	copy(out, members)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	for i, m := range out {
+		if m.ID == "" {
+			return nil, errBadMemberID
+		}
+		if m.URL == "" {
+			return nil, errBadMemberURL(m.ID)
+		}
+		if i > 0 && out[i-1].ID == m.ID {
+			return nil, errDupMemberID(m.ID)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"comic/internal/cluster"
+)
+
+func benchMembers(n int) []cluster.Member {
+	out := make([]cluster.Member, n)
+	for i := range out {
+		out[i] = cluster.Member{ID: fmt.Sprintf("node-%02d", i), URL: fmt.Sprintf("http://node-%02d", i)}
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	members := benchMembers(5)
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = cluster.PlaceKey(fmt.Sprintf("graph-%03d", i), fmt.Sprintf("fp-%03d", i))
+	}
+	want := make([]string, len(keys))
+	for i, key := range keys {
+		owner, ok := cluster.Owner(members, key)
+		if !ok {
+			t.Fatalf("Owner(%q) not ok with %d members", key, len(members))
+		}
+		want[i] = owner.ID
+	}
+	// Same inputs, same answers — and in any member order: every node must
+	// agree on placement regardless of how its view was assembled.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]cluster.Member(nil), members...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for i, key := range keys {
+			owner, ok := cluster.Owner(shuffled, key)
+			if !ok || owner.ID != want[i] {
+				t.Fatalf("trial %d: Owner(%q) = %q, want %q", trial, key, owner.ID, want[i])
+			}
+		}
+	}
+}
+
+func TestOwnerEmptyMembers(t *testing.T) {
+	if _, ok := cluster.Owner(nil, "any"); ok {
+		t.Fatal("Owner(nil, ...) reported an owner")
+	}
+}
+
+func TestOwnerSpreadsKeys(t *testing.T) {
+	members := benchMembers(5)
+	counts := map[string]int{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		owner, _ := cluster.Owner(members, cluster.PlaceKey(fmt.Sprintf("g%d", i), ""))
+		counts[owner.ID]++
+	}
+	for _, m := range members {
+		share := float64(counts[m.ID]) / n
+		// Exactly even would be 0.20; SHA-256 scores keep every member well
+		// within a loose band at this sample size.
+		if share < 0.12 || share > 0.28 {
+			t.Fatalf("member %s owns %.1f%% of %d keys; placement is skewed: %v",
+				m.ID, 100*share, n, counts)
+		}
+	}
+}
+
+func TestOwnerMinimalDisruption(t *testing.T) {
+	members := benchMembers(5)
+	removed := members[2]
+	survivors := append(append([]cluster.Member(nil), members[:2]...), members[3:]...)
+	const n = 1000
+	moved, held := 0, 0
+	for i := 0; i < n; i++ {
+		key := cluster.PlaceKey(fmt.Sprintf("g%d", i), "fp")
+		before, _ := cluster.Owner(members, key)
+		after, _ := cluster.Owner(survivors, key)
+		if before.ID == removed.ID {
+			moved++
+			if after.ID == removed.ID {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			continue
+		}
+		// Rendezvous hashing's defining property: a key not owned by the
+		// removed member keeps its owner exactly.
+		if after.ID != before.ID {
+			t.Fatalf("key %q moved from %s to %s though %s left", key, before.ID, after.ID, removed.ID)
+		}
+		held++
+	}
+	if moved == 0 || held == 0 {
+		t.Fatalf("degenerate split: %d moved, %d held", moved, held)
+	}
+}
+
+func TestPlaceKeySeparatesNameAndFingerprint(t *testing.T) {
+	// Two graphs sharing a name but not content (a delete/re-register)
+	// must place independently, as must equal-content graphs registered
+	// under different names.
+	if cluster.PlaceKey("g", "fp1") == cluster.PlaceKey("g", "fp2") {
+		t.Fatal("fingerprint does not reach the placement key")
+	}
+	if cluster.PlaceKey("g1", "fp") == cluster.PlaceKey("g2", "fp") {
+		t.Fatal("name does not reach the placement key")
+	}
+	if cluster.PlaceKey("a", "b\x00c") == cluster.PlaceKey("a\x00b", "c") {
+		t.Fatal("name/fingerprint boundary is ambiguous")
+	}
+}

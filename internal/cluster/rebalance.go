@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rebalancing. A membership change re-runs placement; graphs whose owner
+// moves carry their warm cache state across through the shared snapshot
+// tier instead of rebuilding it:
+//
+//   - prepare: every node still holding a departing graph publishes that
+//     graph's resident collections to the store (idempotent — files the
+//     store already holds are not rewritten);
+//   - commit: every node swaps to the new view and adopts, from the
+//     store, the collections of every graph it just inherited.
+//
+// Publication and adoption are both fenced by the versioned GraphID
+// ("<name>#<reg-gen>@<edit-gen>"): an adopter reads only the store prefix
+// of the exact version it serves, so a snapshot of a stale generation can
+// never be adopted, let alone served. The two phases exist so an operator
+// rolling a whole cluster can order every push before every pull
+// (PUT /v1/cluster phase=prepare on all nodes, then phase=commit on all
+// nodes); a single-node change can use the combined SetMembers. A node
+// missing its window is never incorrect, only colder: an unpublished
+// graph rebuilds lazily, exactly as before the snapshot tier existed.
+
+// errValidation marks membership errors that are the caller's request
+// shape (empty list, duplicate IDs), as opposed to store failures.
+var errValidation = errors.New("cluster: invalid membership")
+
+// RebalanceSummary reports what one membership-change phase moved.
+type RebalanceSummary struct {
+	// Phase is "prepare", "commit" or "full".
+	Phase string `json:"phase"`
+	// GraphsOut counts graphs whose ownership departs this node under the
+	// new view; GraphsIn counts graphs this node inherits.
+	GraphsOut int `json:"graphsOut"`
+	GraphsIn  int `json:"graphsIn"`
+	// PublishedEntries and AdoptedEntries count the cache entries moved
+	// through the shared snapshot tier (0 without a store).
+	PublishedEntries int `json:"publishedEntries"`
+	AdoptedEntries   int `json:"adoptedEntries"`
+}
+
+// PrepareMembers runs the push half of a membership change: for every
+// graph this node owns under the current view but not under next, its
+// resident cache entries are published to the shared store. The
+// membership view itself is unchanged — call CommitMembers to swap it.
+func (n *Node) PrepareMembers(next []Member) (RebalanceSummary, error) {
+	sum := RebalanceSummary{Phase: "prepare"}
+	nm, err := validateMembers(next)
+	if err != nil {
+		return sum, fmt.Errorf("%w: %v", errValidation, err)
+	}
+	old := n.Members()
+	var firstErr error
+	for _, vi := range n.srv.GraphVersions() {
+		key := PlaceKey(vi.Name, vi.Fingerprint)
+		oldOwner, ok1 := Owner(old, key)
+		newOwner, ok2 := Owner(nm, key)
+		if !ok1 || !ok2 || oldOwner.ID != n.self.ID || newOwner.ID == n.self.ID {
+			continue
+		}
+		sum.GraphsOut++
+		if n.store == nil {
+			continue
+		}
+		pub, err := n.srv.Index().PublishGraph(n.store, vi.GraphID)
+		if err != nil {
+			// Keep pushing the rest: every graph published is one the new
+			// owner won't rebuild. The first failure is still reported.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: publishing %q: %v", vi.Name, err)
+			}
+			continue
+		}
+		sum.PublishedEntries += pub
+	}
+	n.published.Add(int64(sum.PublishedEntries))
+	return sum, firstErr
+}
+
+// CommitMembers runs the pull half of a membership change: the view swaps
+// to next, and for every graph this node now owns but did not before, the
+// store's published entries are adopted — warm cache state moves in with
+// zero collection rebuilds. A node absent from next is legal: it owns
+// nothing under the new view and proxies everything (drain mode).
+func (n *Node) CommitMembers(next []Member) (RebalanceSummary, error) {
+	sum := RebalanceSummary{Phase: "commit"}
+	nm, err := validateMembers(next)
+	if err != nil {
+		return sum, fmt.Errorf("%w: %v", errValidation, err)
+	}
+	n.mu.Lock()
+	old := n.members
+	n.members = nm
+	n.mu.Unlock()
+	var firstErr error
+	for _, vi := range n.srv.GraphVersions() {
+		key := PlaceKey(vi.Name, vi.Fingerprint)
+		oldOwner, ok1 := Owner(old, key)
+		newOwner, ok2 := Owner(nm, key)
+		if !ok2 || newOwner.ID != n.self.ID || (ok1 && oldOwner.ID == n.self.ID) {
+			continue
+		}
+		sum.GraphsIn++
+		if n.store == nil {
+			continue
+		}
+		adopted, err := n.srv.Index().AdoptGraph(n.store, vi.GraphID, vi.Graph)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: adopting %q: %v", vi.Name, err)
+			}
+			continue
+		}
+		sum.AdoptedEntries += adopted
+		n.mu.Lock()
+		n.adopted[vi.Name] = vi.GraphID
+		n.mu.Unlock()
+	}
+	n.adoptedN.Add(int64(sum.AdoptedEntries))
+	n.rebalances.Add(1)
+	return sum, firstErr
+}
+
+// SetMembers applies a membership change in one call: prepare, then
+// commit. Right for a single node joining or leaving; a coordinated
+// multi-node roll should phase the calls instead so every node's push
+// precedes every node's pull (see the package comment above).
+func (n *Node) SetMembers(next []Member) (RebalanceSummary, error) {
+	p, err := n.PrepareMembers(next)
+	if err != nil {
+		return p, err
+	}
+	c, err := n.CommitMembers(next)
+	sum := RebalanceSummary{
+		Phase:            "full",
+		GraphsOut:        p.GraphsOut,
+		GraphsIn:         c.GraphsIn,
+		PublishedEntries: p.PublishedEntries,
+		AdoptedEntries:   c.AdoptedEntries,
+	}
+	return sum, err
+}
+
+// PublishOwned pushes every graph this node currently owns to the shared
+// store — the graceful-shutdown path, so a node leaving without a prepare
+// phase still leaves its warm state behind for whoever inherits its
+// graphs. Returns the number of entries published.
+func (n *Node) PublishOwned() (int, error) {
+	if n.store == nil {
+		return 0, nil
+	}
+	members := n.Members()
+	total := 0
+	var firstErr error
+	for _, vi := range n.srv.GraphVersions() {
+		owner, ok := Owner(members, PlaceKey(vi.Name, vi.Fingerprint))
+		if !ok || owner.ID != n.self.ID {
+			continue
+		}
+		pub, err := n.srv.Index().PublishGraph(n.store, vi.GraphID)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: publishing %q: %v", vi.Name, err)
+			}
+			continue
+		}
+		total += pub
+	}
+	n.published.Add(int64(total))
+	return total, firstErr
+}

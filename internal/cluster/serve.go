@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"comic/internal/server"
+)
+
+// Serve builds a server from scfg, wraps it as a cluster node under ccfg,
+// and serves the full v1 API plus /v1/cluster on addr until ctx is
+// canceled. Shutdown mirrors the single-node path — drain in-flight
+// requests, snapshot local state — plus the cluster courtesy: the node's
+// owned graphs are published to the shared store so whoever inherits them
+// starts warm.
+func Serve(ctx context.Context, addr string, scfg server.Config, ccfg Config) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, l, scfg, ccfg)
+}
+
+// ServeListener is Serve on an already-bound listener; it takes ownership
+// of l.
+func ServeListener(ctx context.Context, l net.Listener, scfg server.Config, ccfg Config) error {
+	s, err := server.New(scfg)
+	if err != nil {
+		//comic:allow errlost boot already failed; the config error is what the caller needs
+		l.Close()
+		return err
+	}
+	defer s.Close()
+	node, err := New(s, ccfg)
+	if err != nil {
+		//comic:allow errlost boot already failed; the config error is what the caller needs
+		l.Close()
+		return err
+	}
+	srv := &http.Server{
+		Handler:           node,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		if _, err := node.PublishOwned(); err != nil {
+			return fmt.Errorf("cluster: shutdown publish: %w", err)
+		}
+		if scfg.StateDir != "" {
+			if err := s.SaveState(); err != nil {
+				return fmt.Errorf("cluster: shutdown snapshot: %w", err)
+			}
+		}
+		return nil
+	}
+}

@@ -53,6 +53,22 @@ const (
 	// codeInternal (500): a server-side failure — a panicking build, a
 	// persistence error. Nothing about the request caused it.
 	codeInternal = "internal"
+	// codePeerUnreachable (502): cluster mode only — the request had to be
+	// proxied to the graph's owner node, the owner did not answer (after
+	// the router's bounded retry), and the request could not be served
+	// locally instead (reads degrade to local service; mutations never
+	// do). The details carry the peer's id and url.
+	codePeerUnreachable = "peer_unreachable"
+)
+
+// Exported error-code aliases for the cluster router, which writes
+// transport-level failures in the same envelope the server's own handlers
+// use. The unexported constants above stay the package-internal currency.
+const (
+	CodeInvalidArgument  = codeInvalidArgument
+	CodeMethodNotAllowed = codeMethodNotAllowed
+	CodePeerUnreachable  = codePeerUnreachable
+	CodeInternal         = codeInternal
 )
 
 // errorBody is the inner object of the error envelope; batch results embed
@@ -102,6 +118,16 @@ func (s *Server) fail(status int, code string, format string, args ...any) *apiE
 // writeErr renders an apiError as the JSON error envelope.
 func (s *Server) writeErr(w http.ResponseWriter, e *apiError) {
 	writeJSON(w, e.Status, errorEnvelope{Error: e.body()})
+}
+
+// WriteError writes the standard structured error envelope without
+// touching a Server's counters — the cluster router uses it for failures
+// (unreachable peer, malformed routed body) that originate in the routing
+// tier, outside any one server's handlers. Proxied responses are passed
+// through verbatim and never re-wrapped; this is only for errors the
+// router itself produces.
+func WriteError(w http.ResponseWriter, status int, code, msg string, details map[string]any) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: msg, Details: details}})
 }
 
 // httpError counts and writes a transport-level rejection (bad method, bad

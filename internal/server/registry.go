@@ -331,6 +331,75 @@ func (r *registry) currentGraphsByID() map[string]*graph.Graph {
 	return out
 }
 
+// GraphVersionInfo describes one registered graph's current version — the
+// unit of cluster placement and of snapshot publication/adoption.
+// Everything here is immutable per version; a PATCH produces a new one.
+type GraphVersionInfo struct {
+	// Name is the client-visible graph name queries resolve.
+	Name string
+	// GraphID is the versioned RR-index GraphID
+	// ("<name>#<reg-gen>@<edit-gen>"): the cache-key component, and the
+	// generation fence the shared snapshot tier publishes and adopts
+	// under.
+	GraphID string
+	// Generation is the edit generation (0 = never patched).
+	Generation int64
+	// Fingerprint is the content digest of the version's topology and
+	// weights; with Name it forms the cluster placement key.
+	Fingerprint string
+	// Graph is the version's immutable topology.
+	Graph *graph.Graph
+}
+
+func versionInfoOf(e *regEntry, v *graphVersion) GraphVersionInfo {
+	return GraphVersionInfo{
+		Name:        e.name,
+		GraphID:     v.id,
+		Generation:  v.gen,
+		Fingerprint: v.fingerprint,
+		Graph:       v.d.Graph,
+	}
+}
+
+// GraphVersions lists every registered graph's current version, sorted by
+// name. The cluster layer uses it to compute the placement map and to
+// drive rebalancing.
+func (s *Server) GraphVersions() []GraphVersionInfo {
+	r := s.reg
+	type pair struct {
+		e *regEntry
+		v *graphVersion
+	}
+	r.mu.Lock()
+	pairs := make([]pair, 0, len(r.entries))
+	for _, e := range r.entries {
+		pairs = append(pairs, pair{e, e.cur})
+	}
+	r.mu.Unlock()
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].e.name < pairs[j].e.name })
+	out := make([]GraphVersionInfo, len(pairs))
+	for i, p := range pairs {
+		out[i] = versionInfoOf(p.e, p.v)
+	}
+	return out
+}
+
+// GraphVersion resolves one graph's current version by name.
+func (s *Server) GraphVersion(name string) (GraphVersionInfo, bool) {
+	r := s.reg
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	var v *graphVersion
+	if ok {
+		v = e.cur
+	}
+	r.mu.Unlock()
+	if !ok {
+		return GraphVersionInfo{}, false
+	}
+	return versionInfoOf(e, v), true
+}
+
 func (r *registry) names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()

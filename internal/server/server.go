@@ -197,6 +197,13 @@ type Server struct {
 	snapStop  chan struct{} // non-nil: closing stops the snapshot loop
 	snapDone  chan struct{}
 
+	// clusterInfo, when set (SetClusterInfo), contributes a "cluster"
+	// section to /healthz and /v1/stats: node identity, membership view,
+	// snapshot-store reachability, router counters. The server itself
+	// knows nothing about clustering; the hook keeps the dependency
+	// pointing from the cluster layer down.
+	clusterInfo atomic.Value // of func() map[string]any
+
 	// Request counters, incremented only after a request (or batch/job
 	// query) passes validation: rejected requests count as errors, not as
 	// served queries.
@@ -350,6 +357,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Index exposes the server's RR-set cache (for stats or for sharing with
 // in-process solves).
 func (s *Server) Index() *Index { return s.index }
+
+// SetClusterInfo installs the function that renders the "cluster" section
+// of /healthz and /v1/stats — node identity, membership view, snapshot-
+// store reachability, router counters. Called once by the cluster layer
+// when it wraps the server; fn must be safe for concurrent use.
+func (s *Server) SetClusterInfo(fn func() map[string]any) { s.clusterInfo.Store(fn) }
+
+// clusterSection returns the installed cluster info, or nil when the
+// server is not running in cluster mode.
+func (s *Server) clusterSection() map[string]any {
+	if fn, ok := s.clusterInfo.Load().(func() map[string]any); ok && fn != nil {
+		return fn()
+	}
+	return nil
+}
+
+// UploadByteLimit reports the configured request-body cap for graph
+// uploads and edge patches, so the routing tier can bound the bodies it
+// buffers for proxying with the same limit the serving node enforces.
+func (s *Server) UploadByteLimit() int64 { return s.cfg.MaxUploadBytes }
 
 // Close stops the async job workers — pending and running jobs are
 // canceled and the pool is drained — and the periodic snapshot loop, if
@@ -592,6 +619,10 @@ type statsResponse struct {
 	Regimes  map[string]int64 `json:"regimes"`
 	Jobs     []jobStatus      `json:"jobs,omitempty"`
 	Datasets []graphInfo      `json:"datasets"`
+	// Cluster is present in cluster mode only: node identity, membership
+	// view, snapshot-store reachability, and the router's proxy /
+	// singleflight / rebalance counters (see SetClusterInfo).
+	Cluster map[string]any `json:"cluster,omitempty"`
 }
 
 // --- handlers ---
@@ -600,11 +631,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"status":        "ok",
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 		"datasets":      s.reg.names(),
-	})
+	}
+	if cs := s.clusterSection(); cs != nil {
+		payload["cluster"] = cs
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -632,6 +667,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Jobs:     s.jobs.list(),
 		Datasets: infos,
+		Cluster:  s.clusterSection(),
 	})
 }
 
